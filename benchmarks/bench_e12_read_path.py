@@ -1,0 +1,128 @@
+"""E12 — read-only fast path: the hybrid-BFT optimization playbook.
+
+Every system in the paper's hybrid-BFT lineage (PBFT itself, MinBFT,
+CheapBFT...) ships a read-only optimization: reads skip ordering and
+complete on f+1 matching unordered replies.  This bench sweeps the read
+ratio of a KV workload over MinBFT and PBFT with the fast path on and
+off, reporting throughput, latency, and ordered-log growth.
+
+Shape assertions:
+* with the fast path, throughput rises with the read ratio (reads are
+  cheaper than ordered operations); without it, read ratio barely
+  matters;
+* fast reads never enter the ordered log;
+* the benefit is larger for PBFT (whose ordered path is pricier);
+* safety holds and reads return committed values (spot-checked by the
+  correctness tests in tests/test_bft_reads.py).
+"""
+
+from conftest import run_once
+
+from repro.bft import ClientConfig, ClientNode, GroupConfig, build_group
+from repro.metrics import Table
+from repro.sim import Simulator
+from repro.soc import Chip, ChipConfig
+
+DURATION = 250_000.0
+READ_RATIOS = [0.0, 0.5, 0.9]
+
+
+def make_op_factory(read_ratio):
+    period = 10
+    reads_per_period = round(read_ratio * period)
+
+    def factory(i):
+        slot = (i * 7) % period
+        if slot < reads_per_period:
+            return ("get", f"k{i % 16}")
+        return ("put", f"k{i % 16}", i)
+
+    return factory
+
+
+def run_config(protocol, read_ratio, fast_path, seed=83):
+    sim = Simulator(seed=seed)
+    chip = Chip(sim, ChipConfig(width=6, height=6))
+    group = build_group(chip, GroupConfig(protocol=protocol, f=1, group_id="g"))
+    predicate = None
+    if fast_path:
+        predicate = lambda op: isinstance(op, tuple) and op and op[0] == "get"
+    client = ClientNode(
+        "c0",
+        ClientConfig(
+            think_time=50,
+            timeout=10_000,
+            op_factory=make_op_factory(read_ratio),
+            read_only_predicate=predicate,
+        ),
+    )
+    group.attach_client(client)
+    client.start()
+    sim.run(until=20_000)
+    start_ops = client.completed
+    start = sim.now
+    sim.run(until=start + DURATION)
+    ops = client.completed - start_ops
+    lats = client.latencies_in(start, sim.now)
+    ordered = max(r.last_executed for r in group.correct_replicas())
+    return {
+        "ops": ops,
+        "mean_lat": sum(lats) / len(lats) if lats else float("nan"),
+        "fast_reads": client.fast_reads_completed,
+        "ordered": ordered,
+        "safe": group.safety.is_safe,
+    }
+
+
+def experiment():
+    table = Table(
+        "E12",
+        ["protocol", "read ratio", "fast path", "ops", "mean lat",
+         "fast reads", "ordered ops", "safe"],
+        title="Read-only fast path: throughput vs read ratio",
+    )
+    results = {}
+    for protocol in ["minbft", "pbft"]:
+        for ratio in READ_RATIOS:
+            for fast in [False, True]:
+                r = run_config(protocol, ratio, fast)
+                results[(protocol, ratio, fast)] = r
+                table.add_row(
+                    [protocol, ratio, fast, r["ops"], r["mean_lat"],
+                     r["fast_reads"], r["ordered"], r["safe"]]
+                )
+    table.print()
+    return results
+
+
+def test_e12_read_fast_path(benchmark):
+    results = run_once(benchmark, experiment)
+
+    for protocol in ["minbft", "pbft"]:
+        # With the fast path, more reads -> more throughput.
+        with_fast = [results[(protocol, r, True)]["ops"] for r in READ_RATIOS]
+        assert with_fast[0] < with_fast[1] < with_fast[2]
+        # Without it, the read ratio is irrelevant (everything is ordered).
+        without = [results[(protocol, r, False)]["ops"] for r in READ_RATIOS]
+        assert max(without) - min(without) < 0.1 * max(without)
+        # At 90% reads the fast path is a clear win.
+        assert (
+            results[(protocol, 0.9, True)]["ops"]
+            > 1.5 * results[(protocol, 0.9, False)]["ops"]
+        )
+        # Fast reads never inflate the ordered log.
+        fast_run = results[(protocol, 0.9, True)]
+        assert fast_run["ordered"] < 0.3 * fast_run["ops"]
+        assert fast_run["fast_reads"] > 0
+        for r in READ_RATIOS:
+            for fast in [False, True]:
+                assert results[(protocol, r, fast)]["safe"]
+
+    # PBFT benefits more (its ordered path costs more).
+    gain_pbft = (
+        results[("pbft", 0.9, True)]["ops"] / results[("pbft", 0.9, False)]["ops"]
+    )
+    gain_minbft = (
+        results[("minbft", 0.9, True)]["ops"] / results[("minbft", 0.9, False)]["ops"]
+    )
+    assert gain_pbft > gain_minbft

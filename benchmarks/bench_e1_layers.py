@@ -1,0 +1,107 @@
+"""E1 — Fig. 1: redundancy at each hardware layer masks faults.
+
+Regenerates the quantitative story behind the paper's only figure:
+reliability composed bottom-up through the layer stack (gate → circuit →
+3D chip → SoC fabric → MPSoC) for different redundancy schemes, the
+repair/rejuvenation effect on availability, and Weibull aging.
+
+Shape assertions:
+* NMR beats simplex for good components, and 5MR beats TMR;
+* redundancy *hurts* below the crossover reliability (the TMR r<0.5 trap);
+* repair (rejuvenation) raises availability and MTTF monotonically;
+* aging (Weibull shape>1) makes old components worse than fresh ones.
+"""
+
+from conftest import run_once
+
+from repro.analysis import RepairableSystem, compose_stack, nmr
+from repro.analysis.layers import default_stack
+from repro.faults.aging import weibull_hazard, weibull_reliability
+from repro.metrics import Table
+
+
+def experiment():
+    results = {}
+
+    # -- Table 1a: the Fig. 1 stack under different redundancy schemes.
+    base_reliabilities = [0.999999, 0.9999999, 0.99999999]
+    stack_names = [layer.name for layer in default_stack("none")]
+    table = Table(
+        "E1a",
+        ["base gate R", "scheme"] + stack_names,
+        title="Fig.1 stack: cumulative reliability per layer",
+    )
+    for base in base_reliabilities:
+        for scheme in ["none", "tmr", "5mr"]:
+            column = compose_stack(default_stack(scheme), base)
+            # Show the per-gate FAILURE probability: reliabilities this
+            # close to 1 would all render as "1" at table precision.
+            table.add_row([f"1-{1 - base:.0e}", scheme] + [f"{c:.9f}" for c in column])
+            results[(base, scheme)] = column[-1]
+    table.print()
+
+    # -- Table 1b: the redundancy crossover.
+    cross = Table(
+        "E1b",
+        ["component R", "simplex", "tmr", "5mr", "tmr helps"],
+        title="NMR crossover: redundancy hurts bad components",
+    )
+    crossover = {}
+    for r in [0.3, 0.45, 0.5, 0.55, 0.7, 0.9, 0.99]:
+        t, f5 = nmr(3, r), nmr(5, r)
+        cross.add_row([r, r, t, f5, t > r])
+        crossover[r] = t
+    cross.print()
+
+    # -- Table 1c: repair (the rejuvenation effect) on availability.
+    repair = Table(
+        "E1c",
+        ["repair rate mu", "availability (2-of-3)", "MTTF"],
+        title="Repairable 2-of-3 system, lambda=1e-3",
+    )
+    availabilities = []
+    for mu in [0.0, 1e-3, 1e-2, 1e-1]:
+        system = RepairableSystem(3, 2, failure_rate=1e-3, repair_rate=mu)
+        availability = system.availability()
+        availabilities.append(availability)
+        repair.add_row([mu, availability, system.mttf()])
+    repair.print()
+
+    # -- Table 1d: aging.
+    aging = Table(
+        "E1d",
+        ["t / scale", "R(t) shape=1", "R(t) shape=2.5", "hazard shape=2.5"],
+        title="Weibull aging: wear-out accelerates (scale=1.0)",
+    )
+    hazards = []
+    for t in [0.25, 0.5, 1.0, 2.0]:
+        aging.add_row(
+            [t, weibull_reliability(t, 1, 1), weibull_reliability(t, 1, 2.5),
+             weibull_hazard(t, 1, 2.5)]
+        )
+        hazards.append(weibull_hazard(t, 1, 2.5))
+    aging.print()
+
+    return results, crossover, availabilities, hazards
+
+
+def test_e1_layer_redundancy(benchmark):
+    results, crossover, availabilities, hazards = run_once(benchmark, experiment)
+
+    # Redundancy helps at every base reliability tested.
+    for base in [0.999999, 0.9999999, 0.99999999]:
+        assert results[(base, "tmr")] > results[(base, "none")]
+        assert results[(base, "5mr")] >= results[(base, "tmr")]
+
+    # The crossover: below 0.5 TMR hurts, above it helps.
+    assert crossover[0.3] < 0.3
+    assert crossover[0.7] > 0.7
+
+    # Repair monotonically improves availability (the rejuvenation claim).
+    assert availabilities == sorted(availabilities)
+    # mu = 100*lambda on a 2-of-3: unavailability ~ pi_2 + pi_3 ~ 6e-4.
+    assert availabilities[-1] > 0.999
+    assert availabilities[-1] > availabilities[0] + 0.1
+
+    # Aging: hazard rate increases with age for shape > 1.
+    assert hazards == sorted(hazards)

@@ -1,0 +1,80 @@
+"""E2 — §III: hybrids cut replication cost from 3f+1 to 2f+1.
+
+Runs PBFT and MinBFT replica groups on the same chip, same workload, for
+f in {1, 2}, and reports the costs the paper's hybridization argument is
+about: replica count (tiles consumed), protocol messages per operation,
+NoC flit-hops per operation (bandwidth/energy proxy), and client-visible
+commit latency/throughput.
+
+Shape assertions (per f):
+* MinBFT uses exactly f fewer tiles than PBFT (2f+1 vs 3f+1);
+* MinBFT needs fewer protocol messages and flit-hops per operation;
+* MinBFT commits with lower client latency and higher throughput;
+* costs grow with f for both, faster for PBFT.
+"""
+
+from conftest import build_protocol_stack, measure_window, run_once
+
+from repro.metrics import Table
+
+DURATION = 300_000.0
+
+
+def run_config(protocol, f, seed=5):
+    sim, chip, group, clients = build_protocol_stack(
+        protocol, f=f, seed=seed, width=7, height=7
+    )
+    ops, mean_lat, p95, flit_hops, msgs = measure_window(sim, chip, clients, DURATION)
+    return {
+        "replicas": len(group.members),
+        "ops": ops,
+        "mean_lat": mean_lat,
+        "p95_lat": p95,
+        "msgs_per_op": msgs / ops if ops else float("inf"),
+        "flit_hops_per_op": flit_hops / ops if ops else float("inf"),
+        "throughput_kops": ops / (DURATION / 1000.0),
+        "safe": group.safety.is_safe,
+    }
+
+
+def experiment():
+    table = Table(
+        "E2",
+        ["f", "protocol", "replicas", "msgs/op", "flit-hops/op",
+         "mean lat", "p95 lat", "ops/kcycle", "safe"],
+        title="PBFT (3f+1) vs MinBFT (2f+1) on the NoC",
+    )
+    results = {}
+    for f in [1, 2]:
+        for protocol in ["pbft", "minbft"]:
+            r = run_config(protocol, f)
+            results[(protocol, f)] = r
+            table.add_row(
+                [f, protocol, r["replicas"], r["msgs_per_op"], r["flit_hops_per_op"],
+                 r["mean_lat"], r["p95_lat"], r["throughput_kops"], r["safe"]]
+            )
+    table.print()
+    return results
+
+
+def test_e2_hybrid_bft_cost(benchmark):
+    results = run_once(benchmark, experiment)
+    for f in [1, 2]:
+        pbft, minbft = results[("pbft", f)], results[("minbft", f)]
+        assert pbft["safe"] and minbft["safe"]
+        # The headline: f fewer replicas.
+        assert pbft["replicas"] == 3 * f + 1
+        assert minbft["replicas"] == 2 * f + 1
+        # Message and bandwidth cost: MinBFT wins.
+        assert minbft["msgs_per_op"] < pbft["msgs_per_op"]
+        assert minbft["flit_hops_per_op"] < pbft["flit_hops_per_op"]
+        # Client-visible performance: MinBFT wins.
+        assert minbft["mean_lat"] < pbft["mean_lat"]
+        assert minbft["throughput_kops"] > pbft["throughput_kops"]
+    # Costs grow with f, and PBFT's message bill grows faster.
+    assert results[("pbft", 2)]["msgs_per_op"] > results[("pbft", 1)]["msgs_per_op"]
+    pbft_growth = results[("pbft", 2)]["msgs_per_op"] - results[("pbft", 1)]["msgs_per_op"]
+    minbft_growth = (
+        results[("minbft", 2)]["msgs_per_op"] - results[("minbft", 1)]["msgs_per_op"]
+    )
+    assert pbft_growth > minbft_growth

@@ -1,0 +1,153 @@
+"""E5 — §II.D: threat-adaptive protocol switching beats static choices.
+
+A phased threat timeline (calm -> leader compromise -> calm) is run
+against three deployments of the same service:
+
+* static CFT     — fastest, but a compromised leader can split-brain it
+  (we give the attacker a split-brain strategy that sends *different
+  operations* to different followers at the same sequence number);
+* static PBFT    — safe throughout, but pays 3f+1 and three phases even
+  in calm weather;
+* adaptive       — CFT while calm, escalating via the severity detector
+  to a BFT protocol during the attack, then relaxing back.
+
+Reported per phase: throughput and mean latency; per deployment: safety
+violations and protocol history.
+
+Shape assertions:
+* static CFT commits safety violations for the whole attack window;
+* static PBFT never violates safety;
+* the adaptive deployment's violations are bounded by its *detection
+  window* — an order of magnitude fewer than static CFT (a detector-based
+  design cannot retroactively protect the instants before it reacts);
+* in calm phases the adaptive deployment's latency tracks CFT's and beats
+  static PBFT's;
+* the adaptive controller actually switches up and back.
+"""
+
+import dataclasses
+
+from conftest import run_once
+
+from repro.bft import ClientConfig, ClientNode, GroupConfig, build_group
+from repro.bft.messages import Append
+from repro.core import AdaptationController, AdaptationPolicy, SeverityDetector
+from repro.core.severity import SeverityConfig
+from repro.metrics import Table
+from repro.sim import Simulator
+from repro.soc import Chip, ChipConfig
+
+PHASES = [("calm-1", 0.0, 250_000.0), ("attack", 250_000.0, 550_000.0),
+          ("calm-2", 550_000.0, 850_000.0)]
+HORIZON = 850_000.0
+ATTACK_START, ATTACK_END = 250_000.0, 550_000.0
+
+
+def install_split_brain(sim, group):
+    """Compromise the current leader with a split-brain outbound filter:
+    Append messages carry different operations per destination."""
+    leader = group.replicas[group.members[0]]
+    leader.compromise()
+
+    def split(dst, message):
+        if isinstance(message, Append):
+            forged_op = ("put", f"evil-{dst}", dst)
+            forged_request = dataclasses.replace(message.request, op=forged_op)
+            return dataclasses.replace(message, request=forged_request)
+        return message
+
+    leader.add_outbound_filter(split)
+    return leader
+
+
+def run_deployment(mode, seed=77):
+    sim = Simulator(seed=seed)
+    chip = Chip(sim, ChipConfig(width=6, height=6))
+    protocol = {"cft": "cft", "pbft": "pbft", "adaptive": "cft"}[mode]
+    group = build_group(chip, GroupConfig(protocol=protocol, f=1, group_id="g"))
+    client = ClientNode("c0", ClientConfig(think_time=100, timeout=10_000))
+    group.attach_client(client)
+
+    controller = None
+    if mode == "adaptive":
+        detector = SeverityDetector(
+            group, [client], SeverityConfig(window=20_000, hysteresis_windows=3)
+        )
+        controller = AdaptationController(group, detector, AdaptationPolicy(cooldown=20_000))
+        detector.start()
+
+    compromised = []
+
+    def attack():
+        compromised.append(install_split_brain(sim, group))
+
+    def stop_attack():
+        for node in compromised:
+            if not node.is_correct and node.name in group.replicas:
+                group.replicas[node.name].recover()
+
+    sim.schedule_at(ATTACK_START, attack)
+    sim.schedule_at(ATTACK_END, stop_attack)
+    client.start()
+    sim.run(until=HORIZON)
+
+    phase_stats = {}
+    for label, start, end in PHASES:
+        ops = client.completions_in(start, end)
+        lats = client.latencies_in(start, end)
+        phase_stats[label] = (
+            ops,
+            sum(lats) / len(lats) if lats else float("nan"),
+        )
+    return {
+        "phases": phase_stats,
+        "violations": len(group.safety.violations),
+        "switches": list(controller.switches) if controller else [],
+        "final_protocol": group.protocol,
+    }
+
+
+def experiment():
+    table = Table(
+        "E5",
+        ["deployment", "phase", "ops", "mean lat", "violations (total)"],
+        title="Static CFT vs static PBFT vs threat-adaptive under a "
+              "split-brain leader attack",
+    )
+    results = {}
+    for mode in ["cft", "pbft", "adaptive"]:
+        r = run_deployment(mode)
+        results[mode] = r
+        for label, _, _ in PHASES:
+            ops, lat = r["phases"][label]
+            table.add_row([mode, label, ops, lat, r["violations"]])
+    table.print()
+    adaptive = results["adaptive"]
+    print(f"adaptive protocol history: "
+          f"{[(f't={t:.0f}', f'{a}->{b}') for t, a, b, _ in adaptive['switches']]}")
+    return results
+
+
+def test_e5_adaptation(benchmark):
+    results = run_once(benchmark, experiment)
+
+    # Static CFT is split-brained by the compromised leader.
+    assert results["cft"]["violations"] > 0
+    # Static PBFT never violates safety.
+    assert results["pbft"]["violations"] == 0
+    # Adaptive: only the detection window is exposed — an order of
+    # magnitude fewer violations than riding out the attack on CFT.
+    assert results["adaptive"]["violations"] < results["cft"]["violations"] / 10
+
+    # Calm-phase performance: adaptive (running CFT) beats static PBFT.
+    adaptive_calm_lat = results["adaptive"]["phases"]["calm-1"][1]
+    pbft_calm_lat = results["pbft"]["phases"]["calm-1"][1]
+    cft_calm_lat = results["cft"]["phases"]["calm-1"][1]
+    assert adaptive_calm_lat < pbft_calm_lat
+    assert abs(adaptive_calm_lat - cft_calm_lat) / cft_calm_lat < 0.1
+
+    # The controller escalated during the attack and relaxed afterwards.
+    switches = results["adaptive"]["switches"]
+    assert switches, "adaptive deployment never switched"
+    assert any(a == "cft" and b in ("minbft", "pbft") for _, a, b, _ in switches)
+    assert results["adaptive"]["final_protocol"] == "cft"

@@ -1,0 +1,140 @@
+"""E6 — §III: the hybrid complexity middle ground.
+
+The paper's USIG example: plain counter registers are minimal but "any
+bitflip in the counter will have catastrophic effects on the consensus
+problem"; ECC registers add bits and logic but tolerate flips; a full
+softcore overshoots.  Two views of the trade-off:
+
+1. **Executable**: MinBFT groups whose USIG counters sit in plain / ECC /
+   TMR registers, under a Poisson bitflip campaign at increasing rates.
+   Metrics: operations completed, UI rejections (detected stalls), halted
+   USIGs (DED fail-safe), timeouts.
+2. **Analytic**: the hybridization advisor's per-mission failure
+   probability and gate-equivalent complexity per design point.
+
+Shape assertions:
+* with no flips all register families perform identically;
+* at high flip rates the plain-register group degrades (UI rejections /
+  throughput loss) while the ECC group stays clean;
+* complexity ordering: plain < tmr < ecc << softcore (the middle ground
+  exists: ECC buys orders of magnitude in failure probability for ~8%
+  more gates, softcore buys nothing more for 8x the gates);
+* the advisor recommends plain in benign conditions and a protected
+  register (never the softcore) under radiation.
+"""
+
+from conftest import build_protocol_stack, run_once
+
+from repro.bft.minbft import MinBftConfig
+from repro.core import HybridizationAdvisor
+from repro.faults import FaultInjector
+from repro.hybrids import estimate_complexity
+from repro.metrics import Table
+
+DURATION = 250_000.0
+FLIP_RATES = [0.0, 1e-9, 1e-7]
+
+
+def run_group(register_kind, rate, seed=11):
+    sim, chip, group, clients = build_protocol_stack(
+        "minbft",
+        f=1,
+        seed=seed,
+        protocol_config=MinBftConfig(register_kind=register_kind),
+    )
+    injector = FaultInjector(sim, chip)
+    for replica in group.replicas.values():
+        if rate > 0:
+            injector.bitflip_campaign(replica.usig, rate, check_period=1_000)
+    client = clients[0]
+    client.start()
+    sim.run(until=DURATION)
+    gid = group.config.group_id
+    rejected = (
+        chip.metrics.counter(f"{gid}.ui_rejected").value
+        if f"{gid}.ui_rejected" in chip.metrics
+        else 0
+    )
+    halted = sum(1 for r in group.replicas.values() if r.usig.halted)
+    return {
+        "ops": client.completed,
+        "rejected": rejected,
+        "halted": halted,
+        "timeouts": client.timeouts,
+        "flips": injector.injected_bitflips,
+        "safe": group.safety.is_safe,
+    }
+
+
+def experiment():
+    table = Table(
+        "E6a",
+        ["register", "flip rate/bit", "flips injected", "ops", "UI rejected",
+         "USIGs halted", "timeouts", "safe"],
+        title="MinBFT under USIG-counter bitflips, by register family",
+    )
+    results = {}
+    for kind in ["plain", "ecc", "tmr"]:
+        for rate in FLIP_RATES:
+            r = run_group(kind, rate)
+            results[(kind, rate)] = r
+            table.add_row(
+                [kind, rate, r["flips"], r["ops"], r["rejected"], r["halted"],
+                 r["timeouts"], r["safe"]]
+            )
+    table.print()
+
+    advisor_benign = HybridizationAdvisor(flip_probability_per_bit=1e-12)
+    advisor_harsh = HybridizationAdvisor(flip_probability_per_bit=1e-7)
+    analytic = Table(
+        "E6b",
+        ["design", "gate equivalents", "P(fail) benign", "P(fail) harsh"],
+        title="Analytic design points (per-mission failure vs complexity)",
+    )
+    complexity = {}
+    for design in ["usig-plain", "usig-tmr", "usig-ecc", "softcore"]:
+        ge = estimate_complexity(design).total_ge
+        complexity[design] = ge
+        analytic.add_row(
+            [design, ge, advisor_benign.failure_probability(design),
+             advisor_harsh.failure_probability(design)]
+        )
+    analytic.print()
+    recommendations = {
+        "benign": advisor_benign.recommend(1e-6),
+        "harsh": advisor_harsh.recommend(1e-3),
+    }
+    for regime, rec in recommendations.items():
+        print(f"advisor[{regime}]: {rec}")
+    return results, complexity, recommendations
+
+
+def test_e6_hybrid_complexity(benchmark):
+    results, complexity, recommendations = run_once(benchmark, experiment)
+
+    # No flips: all families equivalent (same protocol, same workload).
+    baseline_ops = {k: results[(k, 0.0)]["ops"] for k in ["plain", "ecc", "tmr"]}
+    assert len(set(baseline_ops.values())) == 1
+    for kind in ["plain", "ecc", "tmr"]:
+        assert results[(kind, 0.0)]["rejected"] == 0
+
+    # High flip rate: plain degrades visibly; ECC absorbs everything.
+    harsh_plain = results[("plain", 1e-7)]
+    harsh_ecc = results[("ecc", 1e-7)]
+    assert harsh_plain["flips"] > 0
+    assert harsh_plain["rejected"] > 0 or harsh_plain["timeouts"] > 0
+    assert harsh_plain["ops"] < harsh_ecc["ops"]
+    assert harsh_ecc["rejected"] == 0
+    assert harsh_ecc["ops"] == results[("ecc", 0.0)]["ops"]
+    # Whatever happens, the hybrid's design keeps it SAFE (stall, not lie).
+    assert all(r["safe"] for r in results.values())
+
+    # The complexity middle ground.
+    assert complexity["usig-plain"] < complexity["usig-tmr"]
+    assert complexity["usig-plain"] < complexity["usig-ecc"]
+    assert complexity["usig-ecc"] < 1.2 * complexity["usig-plain"]
+    assert complexity["softcore"] > 5 * complexity["usig-ecc"]
+
+    # The advisor's recommendations embody the rule.
+    assert recommendations["benign"].design == "usig-plain"
+    assert recommendations["harsh"].design in ("usig-ecc", "usig-tmr")

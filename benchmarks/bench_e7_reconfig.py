@@ -1,0 +1,157 @@
+"""E7 — §II.E: reconfiguration privilege must be consensual.
+
+An attacker who owns k of 3 reconfiguration kernels attempts a batch of
+malicious writes (forged bitstreams and, when it owns the single-writer
+path, validation bypass) while legitimate updates continue.  Compared:
+
+* single-writer — one almighty kernel holds the ICAP ACL and controls
+  the validation path;
+* consensual — a voting gate (quorum 2 of 3) in front of the ICAP
+  validates bitstreams *inside the gate*.
+
+Metrics: fraction of malicious writes blocked, fraction of legitimate
+writes completed, and the latency overhead of collecting votes.
+
+Shape assertions:
+* single-writer with the kernel compromised blocks nothing;
+* consensual blocks all malicious writes for k <= f, and even at k > f
+  the gate's internal validation still blocks forged payloads;
+* legitimate updates succeed in both modes;
+* the consensual path costs extra latency (the price of votes).
+"""
+
+from conftest import run_once
+
+from repro.crypto import KeyStore
+from repro.fabric import Bitstream, FpgaFabric, IcapResult
+from repro.metrics import Table
+from repro.recon import KernelReplica, ReconfigCoordinator, VotingGate, WriteProposal
+from repro.sim import Simulator
+from repro.soc import Chip, ChipConfig
+
+ATTEMPTS = 10
+
+
+def build(seed=3):
+    sim = Simulator(seed=seed)
+    chip = Chip(sim, ChipConfig(width=5, height=5))
+    fabric = FpgaFabric(sim, chip)
+    fabric.register_variants("svc", ["vA", "vB"])
+    keystore = KeyStore()
+    kernels = []
+    for i in range(3):
+        kernel = KernelReplica(f"k{i}", fabric.store, keystore)
+        chip.place_node(kernel, chip.free_tiles()[0])
+        kernels.append(kernel)
+    return sim, chip, fabric, keystore, kernels
+
+
+def run_single_writer(compromised):
+    sim, chip, fabric, keystore, kernels = build()
+    fabric.icap.grant("k0")
+    if compromised:
+        kernels[0].compromise()
+        fabric.icap.validate_writes = False  # the owner controls the check
+    blocked = 0
+    legit_ok = 0
+    legit_latency = []
+    for i in range(ATTEMPTS):
+        region = fabric.region_at(chip.free_tiles()[0])
+        forged = Bitstream.forge(f"mal{i}", "svc", "evil", 262_144)
+        if fabric.icap.write("k0", region, forged) != IcapResult.OK:
+            blocked += 1
+        sim.run(until=sim.now + 20_000)
+        # Interleave a legitimate update.
+        region2 = fabric.region_at(chip.free_tiles()[0])
+        start = sim.now
+        done = []
+        fabric.icap.write("k0", region2, fabric.store.get("vA"),
+                          lambda r: done.append(sim.now))
+        sim.run(until=sim.now + 20_000)
+        if done:
+            legit_ok += 1
+            legit_latency.append(done[0] - start)
+    return blocked, legit_ok, sum(legit_latency) / len(legit_latency)
+
+
+def run_consensual(n_compromised):
+    sim, chip, fabric, keystore, kernels = build()
+    gate = VotingGate(fabric.icap, keystore, [k.name for k in kernels], quorum=2)
+    coordinator = ReconfigCoordinator("coord", gate, [k.name for k in kernels])
+    chip.place_node(coordinator, chip.free_tiles()[0])
+    for kernel in kernels[:n_compromised]:
+        kernel.compromise()
+    blocked = 0
+    legit_ok = 0
+    legit_latency = []
+    for i in range(ATTEMPTS):
+        region = fabric.region_at(chip.free_tiles()[0])
+        forged = Bitstream.forge(f"mal{i}", "svc", "evil", 262_144)
+        verdicts = []
+        coordinator.propose(
+            WriteProposal(region.region_id, forged, epoch=gate.epoch),
+            region, on_done=verdicts.append,
+        )
+        sim.run(until=sim.now + 20_000)
+        if not verdicts or verdicts[0] != IcapResult.OK:
+            blocked += 1
+        # Interleave a legitimate update.
+        region2 = fabric.region_at(chip.free_tiles()[0])
+        start = sim.now
+        done = []
+        coordinator.propose(
+            WriteProposal(region2.region_id, fabric.store.get("vA"), epoch=gate.epoch),
+            region2,
+            on_done=lambda r: done.append((r, sim.now)),
+        )
+        sim.run(until=sim.now + 20_000)
+        if done and done[0][0] == IcapResult.OK:
+            legit_ok += 1
+            legit_latency.append(done[0][1] - start)
+    return blocked, legit_ok, sum(legit_latency) / len(legit_latency)
+
+
+def experiment():
+    table = Table(
+        "E7",
+        ["mode", "kernels compromised", "malicious blocked", "legit completed",
+         "legit latency"],
+        title=f"Malicious reconfiguration attempts ({ATTEMPTS} forged writes)",
+    )
+    results = {}
+    for label, fn, arg in [
+        ("single-writer", run_single_writer, False),
+        ("single-writer", run_single_writer, True),
+        ("consensual", run_consensual, 0),
+        ("consensual", run_consensual, 1),
+        ("consensual", run_consensual, 2),
+    ]:
+        blocked, legit, latency = fn(arg)
+        key = (label, int(arg) if isinstance(arg, bool) else arg)
+        results[key] = (blocked, legit, latency)
+        table.add_row(
+            [label, key[1], f"{blocked}/{ATTEMPTS}", f"{legit}/{ATTEMPTS}", latency]
+        )
+    table.print()
+    return results
+
+
+def test_e7_consensual_reconfiguration(benchmark):
+    results = run_once(benchmark, experiment)
+
+    # Honest single writer blocks forged images (its validation works)...
+    assert results[("single-writer", 0)][0] == ATTEMPTS
+    # ...but once compromised, nothing is blocked: total breach.
+    assert results[("single-writer", 1)][0] == 0
+
+    # Consensual: everything blocked for k <= f, and even for k > f the
+    # gate's internal golden-image validation stops forged payloads.
+    for k in [0, 1, 2]:
+        assert results[("consensual", k)][0] == ATTEMPTS
+
+    # Legitimate updates flow in every configuration.
+    for key, (_, legit, _) in results.items():
+        assert legit == ATTEMPTS, f"legit updates starved in {key}"
+
+    # Voting costs latency: consensual legit path slower than single-writer.
+    assert results[("consensual", 0)][2] > results[("single-writer", 0)][2]

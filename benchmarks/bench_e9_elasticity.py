@@ -1,0 +1,127 @@
+"""E9 — §II.A: spawning hard replicas on demand, "like virtual machines".
+
+Measures the fabric's elasticity: configure k softcore replicas through
+the (single, serializing) ICAP, for k = 1..8 and for three bitstream
+sizes, and scale an already-serving group out under load.
+
+Metrics: time until the k-th replica is ready (makespan), per-replica
+ready times (showing ICAP serialization), and client throughput while a
+scale-out happens mid-run.
+
+Shape assertions:
+* makespan grows linearly with k (the single ICAP is the bottleneck);
+* makespan grows linearly with bitstream size;
+* spawning is partial & dynamic: a serving group keeps committing while
+  a new replica's bitstream streams in (no service gap);
+* the scaled-out replica catches up by state transfer and participates.
+"""
+
+from conftest import run_once
+
+from repro.bft import ClientConfig, ClientNode, GroupConfig
+from repro.core import DiversityManager, VariantLibrary
+from repro.core.replication import ReplicationManager
+from repro.fabric import FabricConfig, FpgaFabric
+from repro.metrics import Table
+from repro.sim import Simulator
+from repro.soc import Chip, ChipConfig, Node
+
+
+class _Stub(Node):
+    """Minimal spawnable node for raw elasticity timing."""
+
+    def on_message(self, sender, message):
+        pass
+
+
+def spawn_makespan(k, size_bytes, seed=31):
+    sim = Simulator(seed=seed)
+    chip = Chip(sim, ChipConfig(width=6, height=6))
+    fabric = FpgaFabric(sim, chip)
+    fabric.register_variants("svc", [f"v{i}" for i in range(k)], size_bytes=size_bytes)
+    fabric.icap.grant("mgr")
+    ready_times = []
+    free = fabric.free_regions()
+    for i in range(k):
+        fabric.spawn(
+            "mgr", _Stub(f"s{i}"), f"v{i}", free[i],
+            on_ready=lambda n: ready_times.append(sim.now),
+        )
+    sim.run(until=10_000_000)
+    assert len(ready_times) == k
+    return ready_times
+
+
+def scale_out_under_load(seed=32):
+    sim = Simulator(seed=seed)
+    chip = Chip(sim, ChipConfig(width=6, height=6))
+    fabric = FpgaFabric(sim, chip, config=FabricConfig())
+    library = VariantLibrary.generate("svc", 6, 3)
+    fabric.register_variants("svc", library.names())
+    diversity = DiversityManager(library)
+    manager = ReplicationManager(chip, fabric, diversity)
+    group = manager.deploy_group(GroupConfig(protocol="minbft", f=1, group_id="g"))
+    sim.run(until=30_000)
+    client = ClientNode("c0", ClientConfig(think_time=100, timeout=10_000))
+    group.attach_client(client)
+    client.start()
+    sim.run(until=100_000)
+    before_window = client.completions_in(50_000, 100_000)
+    new_name = manager.scale_out()
+    sim.run(until=150_000)
+    during_window = client.completions_in(100_000, 150_000)
+    gap = client.max_completion_gap(95_000, 150_000)
+    sim.run(until=250_000)
+    newcomer = group.replicas[new_name]
+    leader = max(r.last_executed for r in group.correct_replicas())
+    return before_window, during_window, gap, newcomer.last_executed, leader, group
+
+
+def experiment():
+    table = Table(
+        "E9a",
+        ["k replicas", "bitstream KiB", "makespan", "per-replica spacing"],
+        title="Spawn makespan through the single ICAP",
+    )
+    makespans = {}
+    for size in [65_536, 262_144, 1_048_576]:
+        for k in [1, 2, 4, 8]:
+            times = spawn_makespan(k, size)
+            spacing = times[1] - times[0] if k > 1 else times[0]
+            makespans[(k, size)] = times[-1]
+            table.add_row([k, size // 1024, times[-1], spacing])
+    table.print()
+
+    before, during, gap, newcomer_seq, leader_seq, group = scale_out_under_load()
+    live = Table(
+        "E9b",
+        ["ops 50k window (before)", "ops 50k window (during spawn)",
+         "max completion gap", "newcomer seq", "group seq"],
+        title="Scale-out under load: partial & dynamic",
+    )
+    live.add_row([before, during, gap, newcomer_seq, leader_seq])
+    live.print()
+    return makespans, (before, during, gap, newcomer_seq, leader_seq, group)
+
+
+def test_e9_elasticity(benchmark):
+    makespans, live = run_once(benchmark, experiment)
+
+    # Linear in k at fixed size (serialized ICAP): 8 replicas ~ 8x one.
+    for size in [65_536, 262_144, 1_048_576]:
+        m1, m8 = makespans[(1, size)], makespans[(8, size)]
+        assert 6.0 < m8 / m1 < 10.0
+        assert makespans[(2, size)] < makespans[(4, size)] < m8
+
+    # Linear in bitstream size at fixed k.
+    for k in [1, 8]:
+        small, large = makespans[(k, 65_536)], makespans[(k, 1_048_576)]
+        assert 12.0 < large / small < 20.0  # 16x the bytes
+
+    # Partial & dynamic: service throughput survives the spawn.
+    before, during, gap, newcomer_seq, leader_seq, group = live
+    assert during > 0.7 * before
+    assert gap < 20_000.0
+    # The newcomer joined and caught up (modulo in-flight operations).
+    assert newcomer_seq >= leader_seq - 20
+    assert group.safety.is_safe

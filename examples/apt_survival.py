@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Surviving an Advanced Persistent Threat with diverse rejuvenation.
+
+§II.C of the paper: an APT invests time to break each replica, and reuses
+its exploit knowledge against identical variants — so a monoculture
+collapses shortly after the first breach.  Diverse, relocating
+rejuvenation resets the attacker's per-replica progress and invalidates
+its fabric implants.
+
+This example races one APT against four defensive postures and prints the
+attacker's maximum simultaneous foothold and the time the system spent
+beyond its fault bound f.
+
+Run:  python examples/apt_survival.py
+"""
+
+from repro.bft import GroupConfig
+from repro.core import (
+    DiversityManager,
+    RejuvenationPolicy,
+    RejuvenationScheduler,
+    VariantLibrary,
+)
+from repro.core.replication import ReplicationManager
+from repro.fabric import FpgaFabric
+from repro.faults import AptAttacker, AptConfig
+from repro.metrics import Table
+from repro.sim import PeriodicTimer, Simulator
+from repro.soc import Chip, ChipConfig
+
+HORIZON = 1_200_000
+POSTURES = [
+    ("static monoculture", False, False, False),
+    ("rejuvenate in place", True, False, False),
+    ("rejuvenate + diversify", True, True, False),
+    ("rejuvenate + diversify + relocate", True, True, True),
+]
+
+
+def run_posture(label, rejuvenate, diversify, relocate, seed=21):
+    sim = Simulator(seed=seed)
+    chip = Chip(sim, ChipConfig(width=6, height=6))
+    fabric = FpgaFabric(sim, chip)
+    library = VariantLibrary.generate("svc", 6, 3)
+    fabric.register_variants("svc", library.names())
+    diversity = DiversityManager(library)
+    manager = ReplicationManager(chip, fabric, diversity)
+    group = manager.deploy_group(GroupConfig(protocol="minbft", f=1, group_id="g"))
+    if not diversify:
+        # Monoculture: everyone runs variant 0.
+        sim.schedule_at(25_000, lambda: diversity.assignment.update(
+            {m: library.names()[0] for m in group.members}))
+    sim.run(until=30_000)  # spawns done
+
+    attacker = AptAttacker(
+        sim,
+        targets=lambda: list(group.members),
+        variant_of=diversity.variant_of,
+        compromise=lambda name: group.replicas[name].compromise(),
+        config=AptConfig(mean_effort=150_000, reuse_factor=0.3),
+    )
+    if rejuvenate:
+        scheduler = RejuvenationScheduler(
+            group, fabric, diversity,
+            RejuvenationPolicy(period=10_000, diversify=diversify, relocate=relocate),
+            on_rejuvenated=attacker.notify_rejuvenated,
+        )
+        scheduler.start()
+    attacker.start()
+
+    max_foothold = [0]
+    beyond_f_time = [0.0]
+
+    def sample():
+        count = attacker.compromised_count
+        max_foothold[0] = max(max_foothold[0], count)
+        if count > group.f:
+            beyond_f_time[0] += 5_000
+
+    PeriodicTimer(sim, 5_000, sample)
+    sim.run(until=HORIZON)
+    return max_foothold[0], beyond_f_time[0]
+
+
+def main() -> None:
+    table = Table(
+        "apt-survival",
+        ["posture", "max foothold", "time beyond f", "fraction beyond f"],
+        title=f"APT vs defensive postures (f=1, horizon={HORIZON} cycles)",
+    )
+    for label, rejuvenate, diversify, relocate in POSTURES:
+        foothold, beyond = run_posture(label, rejuvenate, diversify, relocate)
+        table.add_row([label, foothold, beyond, beyond / HORIZON])
+    table.print()
+    print("Reading: the static system is fully owned; each added ingredient")
+    print("(rejuvenation, diversity, relocation) shrinks the attacker's hold,")
+    print("reproducing the qualitative claim of paper SII.C.")
+
+
+if __name__ == "__main__":
+    main()

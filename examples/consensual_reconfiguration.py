@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Consensual FPGA reconfiguration: no single kernel owns the fabric.
+
+§II.E of the paper (after Gouveia et al.): privilege change — here,
+writing the FPGA configuration memory — "must remain a trusted operation
+executed consensually and enforced by a trusted-trustworthy component".
+This example runs three kernel replicas in front of a voting gate and
+shows what an attacker who owns one kernel can and cannot do.
+
+Run:  python examples/consensual_reconfiguration.py
+"""
+
+from repro.crypto import KeyStore
+from repro.fabric import Bitstream, FpgaFabric, IcapResult
+from repro.recon import KernelReplica, ReconfigCoordinator, VotingGate, WriteProposal
+from repro.sim import Simulator
+from repro.soc import Chip, ChipConfig
+
+
+def main() -> None:
+    sim = Simulator(seed=9)
+    chip = Chip(sim, ChipConfig(width=4, height=4))
+    fabric = FpgaFabric(sim, chip)
+    fabric.register_variants("svc", ["controller-v1", "controller-v2"])
+    keystore = KeyStore()
+
+    kernels = []
+    for i in range(3):
+        kernel = KernelReplica(f"kernel{i}", fabric.store, keystore)
+        chip.place_node(kernel, chip.free_tiles()[0])
+        kernels.append(kernel)
+    gate = VotingGate(fabric.icap, keystore, [k.name for k in kernels], quorum=2)
+    coordinator = ReconfigCoordinator("coord", gate, [k.name for k in kernels])
+    chip.place_node(coordinator, chip.free_tiles()[0])
+
+    outcomes = []
+
+    def attempt(label, bitstream):
+        region = fabric.region_at(chip.free_tiles()[0])
+        proposal = WriteProposal(region.region_id, bitstream, epoch=gate.epoch)
+        coordinator.propose(
+            proposal, region, on_done=lambda r, l=label: outcomes.append((l, r))
+        )
+        sim.run(until=sim.now + 50_000)
+
+    print("== consensual reconfiguration ==")
+    # 1. A legitimate update sails through.
+    attempt("legit update (all kernels honest)", fabric.store.get("controller-v1"))
+
+    # 2. The adversary compromises ONE kernel (f=1 < quorum=2) and tries
+    #    to push a forged bitstream: honest kernels refuse, quorum fails.
+    kernels[0].compromise()
+    attempt("forged image, 1/3 kernels compromised",
+            Bitstream.forge("controller-v1", "svc", "evil", 262_144))
+
+    # 3. Even with TWO kernels compromised (quorum of endorsements!), the
+    #    gate's own golden-image validation rejects forged payloads —
+    #    the trusted-trustworthy component is the last line of defense.
+    kernels[1].compromise()
+    attempt("forged image, 2/3 kernels compromised",
+            Bitstream.forge("controller-v1", "svc", "evil", 262_144))
+
+    # 4. Contrast: the single-writer baseline, where one almighty kernel
+    #    controls the ICAP *and* its validation path.
+    fabric.icap.grant("kernel0")
+    fabric.icap.validate_writes = False
+    region = fabric.region_at(chip.free_tiles()[0])
+    verdict = fabric.icap.write(
+        "kernel0", region, Bitstream.forge("controller-v1", "svc", "evil", 262_144)
+    )
+    sim.run(until=sim.now + 50_000)
+    outcomes.append(("single-writer baseline, kernel compromised", verdict))
+
+    for label, result in outcomes:
+        blocked = "BLOCKED" if result != IcapResult.OK else "WENT THROUGH"
+        print(f"  {label:45s} -> {result.value:18s} [{blocked}]")
+    print()
+    print(f"gate stats: accepted={gate.accepted} quorum-rejected={gate.rejected_quorum} "
+          f"invalid-rejected={gate.rejected_invalid}")
+    assert outcomes[0][1] == IcapResult.OK
+    assert outcomes[1][1] == IcapResult.DENIED_ACL
+    assert outcomes[2][1] == IcapResult.INVALID_BITSTREAM
+    assert outcomes[3][1] == IcapResult.OK  # the baseline is breached
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""repro: fault- and intrusion-resilient manycore systems on a chip.
+
+A from-scratch Python reproduction of Shoker, Esteves-Verissimo and Völp,
+"The Path to Fault- and Intrusion-Resilient Manycore Systems on a Chip"
+(DSN 2023) — the complete architecture the paper envisions, built as a
+deterministic discrete-event simulation:
+
+* a tile-based manycore SoC over a 2D-mesh NoC (:mod:`repro.soc`,
+  :mod:`repro.noc`),
+* an FPGA fabric with internal, partial, dynamic reconfiguration
+  (:mod:`repro.fabric`),
+* trusted hybrids — USIG, TrInc, A2M — with ECC/TMR/plain register
+  storage and a gate-complexity model (:mod:`repro.hybrids`),
+* a replication protocol suite — PBFT, MinBFT, CFT, passive
+  (:mod:`repro.bft`),
+* benign and malicious fault models — aging, bitflips, trojans,
+  Byzantine strategies, APTs (:mod:`repro.faults`),
+* consensual reconfiguration (:mod:`repro.recon`), and
+* the paper's resilience orchestration: replication, diversity,
+  rejuvenation, adaptation, hybridization (:mod:`repro.core`).
+
+Quickstart::
+
+    from repro.core import ResilientSystem, OrchestratorConfig
+
+    system = ResilientSystem(OrchestratorConfig(seed=1, protocol="minbft"))
+    client = system.add_client("c0")
+    system.start()
+    system.run(500_000)
+    print(system.summary())
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analysis",
+    "bft",
+    "core",
+    "crypto",
+    "fabric",
+    "faults",
+    "hybrids",
+    "metrics",
+    "noc",
+    "recon",
+    "sim",
+    "soc",
+    "sos",
+    "workloads",
+]

@@ -1,0 +1,36 @@
+"""Reliability analysis: the quantitative backbone of Fig. 1 (E1).
+
+Closed-form and numerical models for the redundancy structures the paper
+surveys across hardware layers — gate-level redundancy, TMR/NMR with
+voters, standby sparing, and repairable-system availability:
+
+* :mod:`~repro.analysis.reliability` — combinatorial reliability algebra
+  (series/parallel/k-of-n/NMR-with-voter/standby).
+* :mod:`~repro.analysis.markov`      — continuous-time Markov chains for
+  repairable redundant systems (availability, MTTF).
+* :mod:`~repro.analysis.layers`      — the Fig. 1 stack: compose per-layer
+  redundancy choices bottom-up from gates to networked MPSoCs.
+"""
+
+from repro.analysis.layers import LayerSpec, compose_stack
+from repro.analysis.markov import RepairableSystem
+from repro.analysis.reliability import (
+    k_of_n,
+    nmr,
+    parallel,
+    series,
+    standby,
+    tmr,
+)
+
+__all__ = [
+    "LayerSpec",
+    "RepairableSystem",
+    "compose_stack",
+    "k_of_n",
+    "nmr",
+    "parallel",
+    "series",
+    "standby",
+    "tmr",
+]

@@ -1,0 +1,92 @@
+"""The Fig. 1 stack: composing redundancy choices across hardware layers.
+
+The paper's Fig. 1 sketches "resilience forms at the different
+(networked) hardware layers of multicore systems on chip": gate-level
+redundancy inside circuits, replicated layers in a 3D chip, redundant
+microchips in an SoC fabric, diverse chips in an MPSoC, and networked
+systems of SoCs.  This module lets an experiment describe one redundancy
+choice per layer and compose the stack's end-to-end reliability
+bottom-up — making the paper's "right level of resiliency at each stage"
+argument quantitative (experiment E1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.analysis.reliability import k_of_n, nmr, series, standby
+
+
+@dataclass(frozen=True)
+class LayerSpec:
+    """One layer of the Fig. 1 stack.
+
+    ``scheme`` ∈ {"none", "nmr", "k-of-n", "standby"}; ``n``/``k`` as the
+    scheme needs; ``units`` is how many independent instances of the
+    composed sublayer this layer aggregates in series (e.g. a circuit is
+    many gates in series); ``voter_reliability`` covers the scheme's
+    voting/detection logic.
+    """
+
+    name: str
+    scheme: str = "none"
+    n: int = 1
+    k: int = 1
+    units: int = 1
+    voter_reliability: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.scheme not in ("none", "nmr", "k-of-n", "standby"):
+            raise ValueError(f"unknown scheme {self.scheme!r}")
+        if self.units < 1:
+            raise ValueError("units must be >= 1")
+
+    def compose(self, sub_reliability: float) -> float:
+        """Reliability of this layer given one sublayer instance's R."""
+        base = series([sub_reliability] * self.units)
+        if self.scheme == "none":
+            return base
+        if self.scheme == "nmr":
+            return nmr(self.n, base, self.voter_reliability)
+        if self.scheme == "k-of-n":
+            return k_of_n(self.k, self.n, base) * self.voter_reliability
+        # standby: n-1 backups behind a primary, detector = voter_reliability
+        r = base
+        for _ in range(self.n - 1):
+            r = standby(r, base, self.voter_reliability)
+        return r
+
+
+def compose_stack(layers: Sequence[LayerSpec], base_reliability: float) -> List[float]:
+    """Compose the stack bottom-up.
+
+    ``layers[0]`` is the lowest layer (gates); returns the cumulative
+    reliability after each layer, so benches can print the whole column.
+    """
+    if not 0 <= base_reliability <= 1:
+        raise ValueError("base reliability must be in [0, 1]")
+    out: List[float] = []
+    current = base_reliability
+    for layer in layers:
+        current = layer.compose(current)
+        out.append(current)
+    return out
+
+
+def default_stack(redundancy: str = "tmr") -> List[LayerSpec]:
+    """A representative Fig. 1 stack.
+
+    ``redundancy`` ∈ {"none", "tmr", "5mr"} applies the chosen scheme at
+    the circuit, 3D-chip, and SoC-fabric layers, mirroring the paper's
+    suggestion to choose the right level per stage.
+    """
+    n = {"none": 1, "tmr": 3, "5mr": 5}[redundancy]
+    scheme = "none" if redundancy == "none" else "nmr"
+    return [
+        LayerSpec("gate", scheme="none", units=1),
+        LayerSpec("circuit", scheme=scheme, n=n, units=1000, voter_reliability=0.999999),
+        LayerSpec("3d-chip", scheme=scheme, n=n, units=4, voter_reliability=0.999999),
+        LayerSpec("soc-fabric", scheme=scheme, n=n, units=8, voter_reliability=0.999999),
+        LayerSpec("mpsoc", scheme="k-of-n", n=4, k=3, units=1),
+    ]

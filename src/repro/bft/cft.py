@@ -1,0 +1,298 @@
+"""A leader/majority crash-fault-tolerant SMR protocol (Raft normal case).
+
+The cheap end of the adaptation spectrum (§II.D): 2f+1 replicas, one
+round trip (APPEND → majority ACK → COMMIT-NOTICE), no MACs charged, no
+Byzantine defences.  Under crash faults it is safe and fast; under a
+*compromised* leader it equivocates freely — exactly the failure mode the
+threat-adaptive controller (E5) must detect and escape by switching to a
+BFT protocol.
+
+Leader failover: followers time out on pending requests, broadcast
+ELECT(term+1) votes carrying their log tails; the new term's leader
+(round-robin) merges tails from f+1 voters — majority intersection under
+crash faults guarantees every committed entry reaches the new leader —
+and re-replicates before serving new requests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from repro.bft.messages import (
+    Append,
+    AppendAck,
+    ClientRequest,
+    CommitNotice,
+    LeaderElect,
+    LeaderElectAck,
+)
+from repro.bft.replica import BaseReplica, GroupContext
+from repro.crypto.mac import digest as request_digest
+from repro.sim.timers import Timeout
+from repro.soc.chip import is_corrupted
+
+
+@dataclass
+class CftConfig:
+    """Protocol knobs."""
+
+    election_timeout: float = 40_000.0
+
+
+@dataclass(frozen=True)
+class _LogEntry:
+    """One appended (not necessarily committed) operation."""
+
+    term: int
+    seq: int
+    digest: bytes
+    request: ClientRequest
+
+
+def required_replicas(f: int) -> int:
+    """The CFT protocol needs 2f+1 replicas to tolerate f crash faults."""
+    return 2 * f + 1
+
+
+class CftReplica(BaseReplica):
+    """One CFT replica.  ``term`` plays the role PBFT's view does."""
+
+    def __init__(self, name: str, group: GroupContext, config: Optional[CftConfig] = None) -> None:
+        super().__init__(name, group)
+        self.config = config or CftConfig()
+        expected = required_replicas(group.f)
+        if group.n < expected:
+            raise ValueError(f"CFT with f={group.f} needs n>={expected}, got {group.n}")
+        self._log: Dict[int, _LogEntry] = {}
+        self._acks: Dict[int, set] = {}
+        self._next_seq = 0
+        self._committed_seq = 0
+        self._pending_requests: Dict[Tuple[str, int], ClientRequest] = {}
+        self._elect_votes: Dict[int, Dict[str, LeaderElectAck]] = {}
+        self._elect_sent: set = set()
+        self._election_timer = None
+
+    # ``view`` (BaseReplica) is used as the term so primary_of() works.
+
+    @property
+    def majority(self) -> int:
+        """Majority quorum: f+1."""
+        return self.group.f + 1
+
+    # ------------------------------------------------------------------
+    # Timer plumbing
+    # ------------------------------------------------------------------
+    def _ensure_timer(self) -> Timeout:
+        if self._election_timer is None:
+            self._election_timer = Timeout(
+                self.sim, self.config.election_timeout, self._on_election_timeout
+            )
+        return self._election_timer
+
+    def _note_pending(self, request: ClientRequest) -> None:
+        if request.key() in self._pending_requests or self.already_executed(request):
+            return
+        self._pending_requests[request.key()] = request
+        timer = self._ensure_timer()
+        if not timer.armed:
+            timer.start()
+
+    def _note_executed(self, request: ClientRequest) -> None:
+        self._pending_requests.pop(request.key(), None)
+        timer = self._ensure_timer()
+        if self._pending_requests:
+            timer.start()
+        else:
+            timer.cancel()
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def on_message(self, sender: str, message: Any) -> None:
+        if is_corrupted(message):
+            return
+        if self.handle_common(sender, message):
+            return
+        if isinstance(message, ClientRequest):
+            self._handle_request(sender, message)
+            return
+        if sender not in self.group.members:
+            return
+        if isinstance(message, Append):
+            self._handle_append(sender, message)
+        elif isinstance(message, AppendAck):
+            self._handle_ack(sender, message)
+        elif isinstance(message, CommitNotice):
+            self._handle_commit_notice(sender, message)
+        elif isinstance(message, LeaderElect):
+            self._handle_elect(sender, message)
+        elif isinstance(message, LeaderElectAck):
+            self._handle_elect_ack(sender, message)
+
+    # ------------------------------------------------------------------
+    # Normal case
+    # ------------------------------------------------------------------
+    def _handle_request(self, sender: str, request: ClientRequest) -> None:
+        if self.already_executed(request):
+            self.resend_cached_reply(request)
+            return
+        if self.is_primary:
+            self._append(request)
+        else:
+            self.send(self.primary, request, request.wire_size())
+            self._note_pending(request)
+
+    def _append(self, request: ClientRequest) -> None:
+        if any(
+            e.request.key() == request.key() and e.seq > self._committed_seq
+            for e in self._log.values()
+        ):
+            return  # already replicating
+        self._next_seq += 1
+        seq = self._next_seq
+        dig = request_digest((request.client, request.rid, request.op))
+        entry = _LogEntry(self.view, seq, dig, request)
+        self._log[seq] = entry
+        self._acks[seq] = {self.name}
+        self._note_pending(request)
+        message = Append(self.view, seq, request, self.name)
+        self.broadcast(self.other_members(), message, message.wire_size())
+
+    def _handle_append(self, sender: str, message: Append) -> None:
+        if message.term < self.view:
+            return
+        if message.term > self.view:
+            self._adopt_term(message.term)
+        if sender != self.primary:
+            return
+        dig = request_digest(
+            (message.request.client, message.request.rid, message.request.op)
+        )
+        self._log[message.seq] = _LogEntry(message.term, message.seq, dig, message.request)
+        self._next_seq = max(self._next_seq, message.seq)
+        self._note_pending(message.request)
+        ack = AppendAck(message.term, message.seq, self.name)
+        self.send(sender, ack, ack.wire_size())
+
+    def _handle_ack(self, sender: str, message: AppendAck) -> None:
+        if message.term != self.view or not self.is_primary:
+            return
+        acks = self._acks.setdefault(message.seq, {self.name})
+        acks.add(sender)
+        if len(acks) >= self.majority and message.seq in self._log:
+            self._commit_up_to(message.seq)
+            notice = CommitNotice(self.view, self._committed_seq, self.name)
+            self.broadcast(self.other_members(), notice, notice.wire_size())
+
+    def _handle_commit_notice(self, sender: str, message: CommitNotice) -> None:
+        if message.term != self.view or sender != self.primary:
+            return
+        self._commit_up_to(message.seq)
+
+    def _commit_up_to(self, seq: int) -> None:
+        while self._committed_seq < seq:
+            next_seq = self._committed_seq + 1
+            entry = self._log.get(next_seq)
+            if entry is None:
+                break  # hole: wait for the missing append
+            self._committed_seq = next_seq
+            self.commit_operation(entry.seq, entry.digest, entry.request)
+            self._note_executed(entry.request)
+
+    # ------------------------------------------------------------------
+    # Leader failover
+    # ------------------------------------------------------------------
+    def _on_election_timeout(self) -> None:
+        if not self._pending_requests:
+            return
+        target = self.view + 1
+        if target in self._elect_sent:
+            target = max(self._elect_sent) + 1
+        self._elect_sent.add(target)
+        message = LeaderElect(target, self.group.primary_of(target), self.last_executed)
+        self.broadcast(self.other_members(), message, message.wire_size())
+        self._record_elect_ack(
+            self.name, LeaderElectAck(target, self.group.primary_of(target), self.name)
+        )
+        self._ensure_timer().start()
+        self.group.metrics.counter(f"{self.group.group_id}.elections").inc()
+
+    def _handle_elect(self, sender: str, message: LeaderElect) -> None:
+        if message.term <= self.view:
+            return
+        ack = LeaderElectAck(message.term, message.candidate, self.name)
+        candidate = message.candidate
+        if candidate == self.name:
+            self._record_elect_ack(sender, ack)
+        else:
+            self.send(candidate, ack, ack.wire_size())
+        # Also push our uncommitted tail to the candidate so committed
+        # entries survive the failover (majority intersection).
+        for seq in sorted(self._log):
+            if seq > self._committed_seq or seq > self.last_executed:
+                entry = self._log[seq]
+                fwd = Append(message.term, entry.seq, entry.request, candidate)
+                if candidate != self.name:
+                    self.send(candidate, fwd, fwd.wire_size())
+
+    def _handle_elect_ack(self, sender: str, message: LeaderElectAck) -> None:
+        if message.term <= self.view or message.candidate != self.name:
+            return
+        self._record_elect_ack(sender, message)
+
+    def _record_elect_ack(self, sender: str, message: LeaderElectAck) -> None:
+        if message.candidate != self.group.primary_of(message.term):
+            return
+        votes = self._elect_votes.setdefault(message.term, {})
+        votes[sender] = message
+        if (
+            len(votes) >= self.majority
+            and message.candidate == self.name
+            and message.term > self.view
+        ):
+            self._become_leader(message.term)
+
+    def _become_leader(self, term: int) -> None:
+        self._adopt_term(term)
+        # Re-replicate everything above the committed point, then pending.
+        for seq in sorted(self._log):
+            if seq > self._committed_seq:
+                entry = self._log[seq]
+                self._acks[seq] = {self.name}
+                message = Append(term, seq, entry.request, self.name)
+                self.broadcast(self.other_members(), message, message.wire_size())
+        for request in list(self._pending_requests.values()):
+            if not self.already_executed(request):
+                self._append(request)
+
+    def _adopt_term(self, term: int) -> None:
+        self.view = term
+        for stale in [t for t in self._elect_votes if t <= term]:
+            del self._elect_votes[stale]
+        timer = self._ensure_timer()
+        if self._pending_requests:
+            timer.start()
+        else:
+            timer.cancel()
+
+    # ------------------------------------------------------------------
+    @property
+    def state_sync_quorum(self) -> int:
+        """Crash-only model: a single responder's state is trusted."""
+        return 1
+
+    def on_state_imported(self) -> None:
+        self._committed_seq = max(self._committed_seq, self.last_executed)
+        self._next_seq = max(self._next_seq, self._committed_seq)
+
+    def reset_protocol_state(self) -> None:
+        self._log = {s: e for s, e in self._log.items() if s <= self._committed_seq}
+        self._acks.clear()
+        self._pending_requests.clear()
+        self._elect_votes.clear()
+        self._elect_sent.clear()
+        self._committed_seq = max(self._committed_seq, self.last_executed)
+        self._next_seq = max(self._next_seq, self._committed_seq)
+        if self._election_timer is not None:
+            self._election_timer.cancel()

@@ -1,0 +1,208 @@
+"""Closed-loop clients: the workload driver for every experiment."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.bft.messages import ClientReply, ClientRequest
+from repro.sim.timers import Timeout
+from repro.soc.chip import is_corrupted
+from repro.soc.node import Node
+
+OpFactory = Callable[[int], Any]
+
+
+def default_op_factory(i: int) -> Any:
+    """A small KV workload: alternate puts and gets over 64 keys."""
+    key = f"k{i % 64}"
+    if i % 2 == 0:
+        return ("put", key, i)
+    return ("get", key)
+
+
+@dataclass
+class ClientConfig:
+    """Client behaviour parameters.
+
+    ``think_time`` is the gap between a completed operation and the next
+    request; ``timeout`` triggers retransmission-to-all (which is also
+    what lets backups detect a mute primary); ``max_requests`` bounds the
+    run (None = until stopped).  ``read_only_predicate`` classifies
+    operations for the read fast path: matching ops are broadcast
+    unordered and complete on ``read_quorum`` matching replies, falling
+    back to the ordered path on timeout.
+    """
+
+    think_time: float = 100.0
+    timeout: float = 30_000.0
+    max_requests: Optional[int] = None
+    op_factory: OpFactory = default_op_factory
+    backoff_factor: float = 2.0
+    max_timeout: float = 480_000.0
+    read_only_predicate: Optional[Callable[[Any], bool]] = None
+
+
+class ClientNode(Node):
+    """A closed-loop client of one replica group.
+
+    Sends each request to the believed primary; collects replies until
+    ``reply_quorum`` *matching* ones arrive (f+1 for BFT — at least one
+    is from a correct replica); retransmits to all replicas on timeout.
+    """
+
+    def __init__(self, name: str, config: Optional[ClientConfig] = None) -> None:
+        super().__init__(name)
+        self.config = config or ClientConfig()
+        self.replicas: List[str] = []
+        self.reply_quorum = 1
+        self._primary_hint = 0
+        self._rid = 0
+        self._inflight: Optional[ClientRequest] = None
+        self._reply_votes: Dict[Any, set] = {}
+        self._sent_at = 0.0
+        self._timeout: Optional[Timeout] = None
+        self._current_timeout = 0.0
+        self.read_quorum = 1
+        self.completed = 0
+        self.fast_reads_completed = 0
+        self.read_fallbacks = 0
+        self.timeouts = 0
+        self.running = False
+        self.latencies: List[float] = []
+        self._completion_times: List[float] = []
+
+    # ------------------------------------------------------------------
+    def configure(
+        self, replicas: List[str], reply_quorum: int, read_quorum: Optional[int] = None
+    ) -> None:
+        """Point the client at a replica group (callable mid-run when the
+        adaptation layer switches protocols)."""
+        if reply_quorum < 1:
+            raise ValueError("reply quorum must be >= 1")
+        self.replicas = list(replicas)
+        self.reply_quorum = reply_quorum
+        self.read_quorum = read_quorum if read_quorum is not None else reply_quorum
+        self._primary_hint %= max(1, len(self.replicas))
+
+    def start(self) -> None:
+        """Begin the closed loop."""
+        if not self.replicas:
+            raise ValueError(f"client {self.name} has no replicas configured")
+        self.running = True
+        self._timeout = Timeout(self.sim, self.config.timeout, self._on_timeout)
+        self._current_timeout = self.config.timeout
+        self._issue_next()
+
+    def stop(self) -> None:
+        """Stop issuing requests (the in-flight one is abandoned)."""
+        self.running = False
+        if self._timeout is not None:
+            self._timeout.cancel()
+
+    # ------------------------------------------------------------------
+    @property
+    def primary_name(self) -> str:
+        """The replica currently believed to be primary."""
+        return self.replicas[self._primary_hint % len(self.replicas)]
+
+    def _issue_next(self) -> None:
+        if not self.running:
+            return
+        if self.config.max_requests is not None and self._rid >= self.config.max_requests:
+            self.running = False
+            return
+        op = self.config.op_factory(self._rid)
+        predicate = self.config.read_only_predicate
+        read_only = bool(predicate is not None and predicate(op))
+        request = ClientRequest(self.name, self._rid, op, read_only=read_only)
+        self._rid += 1
+        self._inflight = request
+        self._reply_votes = {}
+        self._sent_at = self.sim.now
+        self._current_timeout = self.config.timeout
+        if read_only:
+            # Fast path: ask everyone, wait for read_quorum matching.
+            self.broadcast(self.replicas, request, request.wire_size())
+        else:
+            self.send(self.primary_name, request, request.wire_size())
+        assert self._timeout is not None
+        self._timeout.duration = self._current_timeout
+        self._timeout.start()
+
+    def _on_timeout(self) -> None:
+        if not self.running or self._inflight is None:
+            return
+        self.timeouts += 1
+        if self._inflight.read_only:
+            # The fast path stalled (concurrent writes or faulty replies):
+            # fall back to the ordered path with the same rid.
+            import dataclasses
+
+            self.read_fallbacks += 1
+            self._inflight = dataclasses.replace(self._inflight, read_only=False)
+            self._reply_votes = {}
+        # Suspect the primary; broadcast so every backup sees the request
+        # (that is what arms their view-change timers).
+        self.broadcast(self.replicas, self._inflight, self._inflight.wire_size())
+        self._primary_hint += 1
+        self._current_timeout = min(
+            self._current_timeout * self.config.backoff_factor, self.config.max_timeout
+        )
+        assert self._timeout is not None
+        self._timeout.duration = self._current_timeout
+        self._timeout.start()
+
+    def on_message(self, sender: str, message: Any) -> None:
+        if is_corrupted(message):
+            return
+        if not isinstance(message, ClientReply):
+            return
+        if self._inflight is None or message.rid != self._inflight.rid:
+            return
+        if sender != message.replica or sender not in self.replicas:
+            return  # transport-authenticated sender must match the claim
+        votes = self._reply_votes.setdefault(message.match_key(), set())
+        votes.add(sender)
+        needed = self.read_quorum if self._inflight.read_only else self.reply_quorum
+        if len(votes) >= needed:
+            if self._inflight.read_only:
+                self.fast_reads_completed += 1
+            self._complete(message)
+
+    def _complete(self, reply: ClientReply) -> None:
+        assert self._timeout is not None
+        self._timeout.cancel()
+        self._inflight = None
+        self.completed += 1
+        latency = self.sim.now - self._sent_at
+        self.latencies.append(latency)
+        self._completion_times.append(self.sim.now)
+        # Adopt the replier's view for primary targeting.
+        if self.replicas:
+            self._primary_hint = reply.view % len(self.replicas)
+        self.sim.schedule(self.config.think_time, self._issue_next)
+
+    # ------------------------------------------------------------------
+    # Measurement helpers
+    # ------------------------------------------------------------------
+    def completions_in(self, start: float, end: float) -> int:
+        """Operations completed in a time window."""
+        return sum(1 for t in self._completion_times if start <= t < end)
+
+    def latencies_in(self, start: float, end: float) -> List[float]:
+        """Latencies of operations completed in a window."""
+        return [
+            lat
+            for t, lat in zip(self._completion_times, self.latencies)
+            if start <= t < end
+        ]
+
+    def max_completion_gap(self, start: float, end: float) -> float:
+        """Largest gap between consecutive completions in a window.
+
+        The E8 'failover gap' metric: how long the service was effectively
+        unavailable to this client.  Window edges count as events.
+        """
+        events = [start] + [t for t in self._completion_times if start <= t < end] + [end]
+        return max(b - a for a, b in zip(events, events[1:]))

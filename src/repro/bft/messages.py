@@ -1,0 +1,392 @@
+"""Protocol message types for all four replication families.
+
+Messages are frozen dataclasses (so adversarial tampering must go through
+``dataclasses.replace``, producing a *new* object — no aliasing surprises)
+with a ``wire_size()`` that feeds the NoC's flit accounting.  Sizes follow
+the usual BFT accounting: 8-byte ids/sequence numbers, 32-byte digests,
+16-byte MACs, plus the opaque operation payload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Tuple
+
+from repro.hybrids.usig import UI
+
+DIGEST_BYTES = 32
+MAC_BYTES = 16
+HEADER_BYTES = 16  # type tag, view, flags
+
+
+def _op_size(op: Any) -> int:
+    """Approximate serialized size of an opaque operation payload."""
+    if isinstance(op, bytes):
+        return len(op)
+    if isinstance(op, str):
+        return len(op.encode("utf-8"))
+    if isinstance(op, (tuple, list)):
+        return sum(_op_size(item) for item in op) + 4
+    if isinstance(op, dict):
+        return sum(_op_size(k) + _op_size(v) for k, v in op.items()) + 4
+    return 8  # ints, floats, None, bools
+
+
+# ----------------------------------------------------------------------
+# Client interaction (shared by every family)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ClientRequest:
+    """A client operation: (client, rid) is globally unique and dedupes
+    retransmissions.
+
+    ``read_only`` requests take the fast path: replicas answer from their
+    current state without ordering; the client needs f+1 *matching*
+    replies (sequentially-consistent reads — at least one reply is from a
+    correct replica, so the value was genuinely committed).  Mismatching
+    replies (a write raced the read) make the client fall back to the
+    ordered path.
+    """
+
+    client: str
+    rid: int
+    op: Any
+    read_only: bool = False
+
+    def wire_size(self) -> int:
+        return HEADER_BYTES + 8 + _op_size(self.op) + MAC_BYTES
+
+    def key(self) -> Tuple[str, int]:
+        """The dedup key."""
+        return (self.client, self.rid)
+
+
+@dataclass(frozen=True)
+class ClientReply:
+    """A replica's reply; clients wait for a quorum of matching replies."""
+
+    replica: str
+    client: str
+    rid: int
+    result: Any
+    view: int
+
+    def wire_size(self) -> int:
+        return HEADER_BYTES + 8 + _op_size(self.result) + MAC_BYTES
+
+    def match_key(self) -> Tuple[int, str]:
+        """Two replies 'match' when rid and result agree."""
+        return (self.rid, repr(self.result))
+
+
+# ----------------------------------------------------------------------
+# State synchronisation (all families: rejuvenation catch-up, view-change
+# catch-up, protocol switching)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class StateRequest:
+    """Ask peers for application state newer than ``have_seq``."""
+
+    replica: str
+    have_seq: int
+
+    def wire_size(self) -> int:
+        return HEADER_BYTES + 8 + MAC_BYTES
+
+
+@dataclass(frozen=True)
+class StateResponse:
+    """A peer's state offer: full snapshot + its digest for cross-checking.
+
+    Requesters adopt a snapshot only once ``state_sync_quorum`` responders
+    agree on (last_executed, state_digest) — a single Byzantine responder
+    cannot poison a recovering replica.
+    """
+
+    replica: str
+    last_executed: int
+    state_digest: bytes
+    state: Any  # the export_state() dict; opaque to the wire layer
+
+    def wire_size(self) -> int:
+        # Snapshot size dominates; approximate from the dedup cache size.
+        executed = self.state.get("executed_requests", {}) if isinstance(self.state, dict) else {}
+        return HEADER_BYTES + 8 + DIGEST_BYTES + 64 + 16 * len(executed)
+
+
+# ----------------------------------------------------------------------
+# PBFT (3f+1)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PrePrepare:
+    """Primary's ordering proposal; carries the full request."""
+
+    view: int
+    seq: int
+    digest: bytes
+    request: ClientRequest
+    auth_size: int = 0  # MAC-vector bytes, set by the sender for accounting
+
+    def wire_size(self) -> int:
+        return HEADER_BYTES + 8 + DIGEST_BYTES + self.request.wire_size() + self.auth_size
+
+
+@dataclass(frozen=True)
+class Prepare:
+    """Backup's agreement to the (view, seq, digest) binding."""
+
+    view: int
+    seq: int
+    digest: bytes
+    replica: str
+    auth_size: int = 0
+
+    def wire_size(self) -> int:
+        return HEADER_BYTES + 8 + DIGEST_BYTES + self.auth_size
+
+
+@dataclass(frozen=True)
+class Commit:
+    """Second-phase vote; 2f+1 of these commit the operation."""
+
+    view: int
+    seq: int
+    digest: bytes
+    replica: str
+    auth_size: int = 0
+
+    def wire_size(self) -> int:
+        return HEADER_BYTES + 8 + DIGEST_BYTES + self.auth_size
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """Periodic state checkpoint for log truncation."""
+
+    seq: int
+    state_digest: bytes
+    replica: str
+
+    def wire_size(self) -> int:
+        return HEADER_BYTES + 8 + DIGEST_BYTES + MAC_BYTES
+
+
+@dataclass(frozen=True)
+class ViewChange:
+    """Vote to move to ``new_view``; carries the prepared-set summary."""
+
+    new_view: int
+    last_executed: int
+    prepared: Tuple[Tuple[int, bytes], ...]  # (seq, digest) pairs
+    replica: str
+
+    def wire_size(self) -> int:
+        return (
+            HEADER_BYTES
+            + 8
+            + len(self.prepared) * (8 + DIGEST_BYTES)
+            + MAC_BYTES
+        )
+
+
+@dataclass(frozen=True)
+class NewView:
+    """New primary's installation message with re-proposals."""
+
+    view: int
+    reproposals: Tuple[PrePrepare, ...]
+    replica: str
+
+    def wire_size(self) -> int:
+        return HEADER_BYTES + sum(p.wire_size() for p in self.reproposals) + MAC_BYTES
+
+
+# ----------------------------------------------------------------------
+# MinBFT (2f+1, USIG)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class MbPrepare:
+    """Primary's proposal.
+
+    The UI's counter orders the primary's message stream (``seq``); the
+    primary additionally assigns the *global execution sequence*
+    (``exec_seq``) so replicas that join or recover mid-stream agree on
+    operation numbering.  A primary lying about ``exec_seq`` produces a
+    detectable stall (replicas execute only at last_executed + 1), never
+    divergence.
+    """
+
+    view: int
+    request: ClientRequest
+    digest: bytes
+    ui: UI
+    exec_seq: int = 0
+
+    @property
+    def seq(self) -> int:
+        """Stream sequence assigned by the primary's USIG counter."""
+        return self.ui.counter
+
+    def wire_size(self) -> int:
+        return (
+            HEADER_BYTES + 8 + DIGEST_BYTES + self.request.wire_size() + self.ui.size_bytes
+        )
+
+
+@dataclass(frozen=True)
+class MbCommit:
+    """Backup's commit; binds its own UI to the primary's prepare UI."""
+
+    view: int
+    replica: str
+    prepare_ui: UI
+    digest: bytes
+    ui: UI
+
+    @property
+    def seq(self) -> int:
+        """Sequence number inherited from the prepare's UI counter."""
+        return self.prepare_ui.counter
+
+    def wire_size(self) -> int:
+        return HEADER_BYTES + DIGEST_BYTES + 2 * self.ui.size_bytes
+
+
+@dataclass(frozen=True)
+class MbReqViewChange:
+    """Request to move off a suspected-faulty primary."""
+
+    new_view: int
+    replica: str
+
+    def wire_size(self) -> int:
+        return HEADER_BYTES + 8 + MAC_BYTES
+
+
+@dataclass(frozen=True)
+class MbViewChange:
+    """UI-certified view-change vote."""
+
+    new_view: int
+    last_executed: int
+    replica: str
+    ui: UI
+
+    def wire_size(self) -> int:
+        return HEADER_BYTES + 8 + self.ui.size_bytes
+
+
+@dataclass(frozen=True)
+class MbNewView:
+    """New primary installs the view, certified by its UI."""
+
+    view: int
+    start_seq: int
+    replica: str
+    ui: UI
+
+    def wire_size(self) -> int:
+        return HEADER_BYTES + 8 + self.ui.size_bytes
+
+
+# ----------------------------------------------------------------------
+# CFT (leader/majority, crash-only)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Append:
+    """Leader replicates an operation at (term, seq)."""
+
+    term: int
+    seq: int
+    request: ClientRequest
+    leader: str
+
+    def wire_size(self) -> int:
+        # No MACs: the CFT deployment trusts its enclosure.
+        return HEADER_BYTES + 8 + self.request.wire_size()
+
+
+@dataclass(frozen=True)
+class AppendAck:
+    """Follower acknowledgement."""
+
+    term: int
+    seq: int
+    replica: str
+
+    def wire_size(self) -> int:
+        return HEADER_BYTES + 8
+
+
+@dataclass(frozen=True)
+class CommitNotice:
+    """Leader announces commit of everything up to ``seq``."""
+
+    term: int
+    seq: int
+    leader: str
+
+    def wire_size(self) -> int:
+        return HEADER_BYTES + 8
+
+
+@dataclass(frozen=True)
+class LeaderElect:
+    """Crash-failover election message (simplified single-round)."""
+
+    term: int
+    candidate: str
+    last_seq: int
+
+    def wire_size(self) -> int:
+        return HEADER_BYTES + 8
+
+
+@dataclass(frozen=True)
+class LeaderElectAck:
+    """Vote for a candidate in ``term``."""
+
+    term: int
+    candidate: str
+    replica: str
+
+    def wire_size(self) -> int:
+        return HEADER_BYTES + 8
+
+
+# ----------------------------------------------------------------------
+# Passive replication (primary/backup)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class StateUpdate:
+    """Primary ships the executed operation + resulting state digest."""
+
+    seq: int
+    request: ClientRequest
+    result: Any
+    state_digest: bytes
+
+    def wire_size(self) -> int:
+        return HEADER_BYTES + 8 + self.request.wire_size() + DIGEST_BYTES + _op_size(self.result)
+
+
+@dataclass(frozen=True)
+class StateAck:
+    """Backup acknowledges a state update."""
+
+    seq: int
+    replica: str
+
+    def wire_size(self) -> int:
+        return HEADER_BYTES + 8
+
+
+@dataclass(frozen=True)
+class Heartbeat:
+    """Primary liveness beacon for the backup's failure detector."""
+
+    primary: str
+    seq: int
+
+    def wire_size(self) -> int:
+        return HEADER_BYTES + 8

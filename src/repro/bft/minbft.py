@@ -1,0 +1,499 @@
+"""MinBFT (Veronese et al., IEEE ToC 2011): 2f+1 replicas with USIG.
+
+The flagship hybrid protocol of the paper's §III: a USIG per replica
+makes equivocation impossible (each message gets a unique, monotonically
+increasing counter certified inside a trusted perimeter), which
+
+* cuts the replica bound from 3f+1 to **2f+1**, and
+* removes one protocol phase: PREPARE (primary, UI-certified) followed by
+  COMMIT (backups, UI-certified); the primary's PREPARE doubles as its
+  commit vote, and an operation commits once f+1 matching votes exist.
+
+As in the original protocol, receivers verify **every** UI-carrying
+message from a given sender in counter order: out-of-order messages are
+held back until the gap closes, duplicates are dropped, and a message
+whose counter can never become current (suppressed predecessor) simply
+never executes — the hybrid turns equivocation and suppression into
+liveness problems that the view change resolves, never into safety
+problems.  The sequence number of an operation *is* the primary's USIG
+counter for its PREPARE.
+
+Experiment E6 injects bitflips into the USIG counter register to show why
+the hybrid's storage must be ECC-protected: a plain register lets the
+counter jump, which the sequential check converts into a stall (and the
+halted-USIG case kills the replica outright).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.bft.messages import (
+    ClientRequest,
+    MbCommit,
+    MbNewView,
+    MbPrepare,
+    MbReqViewChange,
+    MbViewChange,
+)
+from repro.bft.replica import BaseReplica, GroupContext
+from repro.crypto.mac import digest as request_digest
+from repro.hybrids.usig import UI, Usig, UsigError, UsigVerifier
+from repro.sim.timers import Timeout
+from repro.soc.chip import is_corrupted
+
+
+@dataclass
+class MinBftConfig:
+    """Protocol knobs."""
+
+    view_timeout: float = 40_000.0
+    register_kind: str = "ecc"
+
+
+@dataclass
+class _MbSlot:
+    """Per-sequence agreement state."""
+
+    prepare: Optional[MbPrepare] = None
+    commit_votes: Dict[str, bytes] = field(default_factory=dict)  # sender -> digest
+    committed: bool = False
+    commit_sent: bool = False
+
+
+def required_replicas(f: int) -> int:
+    """MinBFT needs 2f+1 replicas to tolerate f Byzantine faults."""
+    return 2 * f + 1
+
+
+def _ui_payload(message: Any) -> bytes:
+    """The byte string a message's UI must certify."""
+    if isinstance(message, MbPrepare):
+        return (
+            b"prep|"
+            + message.view.to_bytes(8, "big")
+            + message.exec_seq.to_bytes(8, "big")
+            + message.digest
+        )
+    if isinstance(message, MbCommit):
+        return (
+            b"comm|"
+            + message.view.to_bytes(8, "big")
+            + message.prepare_ui.counter.to_bytes(8, "big")
+            + message.digest
+        )
+    if isinstance(message, MbViewChange):
+        return b"vc|" + message.new_view.to_bytes(8, "big")
+    if isinstance(message, MbNewView):
+        return b"nv|" + message.view.to_bytes(8, "big")
+    raise TypeError(f"{type(message).__name__} carries no UI")
+
+
+class MinBftReplica(BaseReplica):
+    """One MinBFT replica with its USIG hybrid."""
+
+    def __init__(
+        self, name: str, group: GroupContext, config: Optional[MinBftConfig] = None
+    ) -> None:
+        super().__init__(name, group)
+        self.config = config or MinBftConfig()
+        expected = required_replicas(group.f)
+        if group.n < expected:
+            raise ValueError(f"MinBFT with f={group.f} needs n>={expected}, got {group.n}")
+        self.usig = Usig(name, group.keystore, self.config.register_kind)
+        self.verifier = UsigVerifier(group.keystore)
+        self._slots: Dict[int, _MbSlot] = {}
+        self._holdback: Dict[str, Dict[int, Any]] = {}
+        self._expected_counter: Dict[str, Optional[int]] = {}
+        # Execution follows prepare-counter order within a view: committed
+        # slots park in _ready until the cursor (next counter to execute)
+        # reaches them; the global execution sequence is last_executed + 1.
+        self._exec_cursor: Optional[int] = None
+        self._ready: Dict[int, MbPrepare] = {}
+        self._next_exec_seq = 0
+        self._pending_requests: Dict[Tuple[str, int], ClientRequest] = {}
+        self._req_view_change_votes: Dict[int, set] = {}
+        self._view_change_votes: Dict[int, Dict[str, MbViewChange]] = {}
+        self._in_view_change = False
+        self._view_timer = None
+        self.usig_failures = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def commit_quorum(self) -> int:
+        """Matching commit votes needed (prepare counts as the primary's): f+1."""
+        return self.group.f + 1
+
+    def _create_ui(self, payload: bytes) -> Optional[UI]:
+        """Ask the local USIG for a certificate; None if the hybrid halted."""
+        try:
+            return self.usig.create_ui(payload)
+        except UsigError:
+            self.usig_failures += 1
+            self.group.metrics.counter(f"{self.group.group_id}.usig_halted").inc()
+            return None
+
+    # ------------------------------------------------------------------
+    # Timer plumbing
+    # ------------------------------------------------------------------
+    def _ensure_timer(self) -> Timeout:
+        if self._view_timer is None:
+            self._view_timer = Timeout(self.sim, self.config.view_timeout, self._on_view_timeout)
+        return self._view_timer
+
+    def _note_pending(self, request: ClientRequest) -> None:
+        if request.key() in self._pending_requests or self.already_executed(request):
+            return
+        self._pending_requests[request.key()] = request
+        timer = self._ensure_timer()
+        if not timer.armed:
+            timer.start()
+
+    def _note_executed(self, request: ClientRequest) -> None:
+        self._pending_requests.pop(request.key(), None)
+        timer = self._ensure_timer()
+        if self._pending_requests:
+            timer.start()
+        else:
+            timer.cancel()
+
+    # ------------------------------------------------------------------
+    # Dispatch with per-sender sequential UI processing
+    # ------------------------------------------------------------------
+    def on_message(self, sender: str, message: Any) -> None:
+        if is_corrupted(message):
+            self.group.metrics.counter(f"{self.group.group_id}.corrupt_dropped").inc()
+            return
+        if self.handle_common(sender, message):
+            return
+        if isinstance(message, ClientRequest):
+            self._handle_request(sender, message)
+            return
+        if sender not in self.group.members:
+            return
+        if isinstance(message, MbReqViewChange):
+            # No UI on this message type; handle directly.
+            self._handle_req_view_change(sender, message)
+            return
+        if not isinstance(message, (MbPrepare, MbCommit, MbViewChange, MbNewView)):
+            # Stale traffic from a previous protocol era (the group may
+            # have just switched families); ignore.
+            return
+        delay = self.charge(self.costs.usig_verify)
+        self.sim.schedule(delay, self._sequence_ui_message, sender, message)
+
+    def _sequence_ui_message(self, sender: str, message: Any) -> None:
+        """Verify the UI and enforce per-sender counter order with hold-back."""
+        if self.state.value == "crashed":
+            return
+        ui: UI = message.ui
+        if ui.replica_id != sender:
+            return
+        if not self.verifier.verify_ui(ui, _ui_payload(message)):
+            self.group.metrics.counter(f"{self.group.group_id}.ui_rejected").inc()
+            return
+        expected = self._expected_counter.get(sender)
+        if expected is None:
+            # First contact (or post-recovery resync): adopt the sender's
+            # current counter as the stream head.
+            expected = ui.counter
+        if ui.counter < expected:
+            return  # duplicate / replay
+        if ui.counter > expected:
+            queue = self._holdback.setdefault(sender, {})
+            queue[ui.counter] = message
+            return
+        self._expected_counter[sender] = expected + 1
+        self._process_ui_message(sender, message)
+        self._drain_holdback(sender)
+
+    def _drain_holdback(self, sender: str) -> None:
+        queue = self._holdback.get(sender)
+        if not queue:
+            return
+        while True:
+            expected = self._expected_counter.get(sender)
+            if expected is None or expected not in queue:
+                break
+            message = queue.pop(expected)
+            self._expected_counter[sender] = expected + 1
+            self._process_ui_message(sender, message)
+
+    def _process_ui_message(self, sender: str, message: Any) -> None:
+        if isinstance(message, MbPrepare):
+            self._handle_prepare(sender, message)
+        elif isinstance(message, MbCommit):
+            self._handle_commit(sender, message)
+        elif isinstance(message, MbViewChange):
+            self._handle_view_change(sender, message)
+        elif isinstance(message, MbNewView):
+            self._handle_new_view(sender, message)
+
+    # ------------------------------------------------------------------
+    # Normal case
+    # ------------------------------------------------------------------
+    def _handle_request(self, sender: str, request: ClientRequest) -> None:
+        if self.already_executed(request):
+            self.resend_cached_reply(request)
+            return
+        if self._in_view_change:
+            self._note_pending(request)
+            return
+        if self.is_primary:
+            self._propose(request)
+        else:
+            self.send(self.primary, request, request.wire_size())
+            self._note_pending(request)
+
+    def _propose(self, request: ClientRequest) -> None:
+        for slot in self._slots.values():
+            if (
+                slot.prepare is not None
+                and slot.prepare.request.key() == request.key()
+                and not slot.committed
+            ):
+                return  # already in flight
+        dig = request_digest((request.client, request.rid, request.op))
+        delay = self.charge(self.costs.usig_create)
+        self.sim.schedule(delay, self._send_prepare, request, dig)
+
+    def _send_prepare(self, request: ClientRequest, dig: bytes) -> None:
+        if self.state.value == "crashed" or not self.is_primary or self._in_view_change:
+            return
+        self._next_exec_seq = max(self._next_exec_seq, self.last_executed) + 1
+        exec_seq = self._next_exec_seq
+        ui = self._create_ui(
+            b"prep|"
+            + self.view.to_bytes(8, "big")
+            + exec_seq.to_bytes(8, "big")
+            + dig
+        )
+        if ui is None:
+            return
+        message = MbPrepare(self.view, request, dig, ui, exec_seq)
+        slot = self._slots.setdefault(message.seq, _MbSlot())
+        slot.prepare = message
+        slot.commit_votes[self.name] = dig  # prepare doubles as primary's vote
+        if self._exec_cursor is None:
+            self._exec_cursor = message.seq
+        self._note_pending(request)
+        self.broadcast(self.other_members(), message, message.wire_size())
+        self._maybe_committed(message.seq)
+
+    def _handle_prepare(self, sender: str, message: MbPrepare) -> None:
+        if message.view != self.view or self._in_view_change:
+            return
+        if sender != self.primary:
+            return
+        expected = request_digest(
+            (message.request.client, message.request.rid, message.request.op)
+        )
+        if expected != message.digest:
+            self.group.metrics.counter(f"{self.group.group_id}.bad_digest").inc()
+            return
+        slot = self._slots.setdefault(message.seq, _MbSlot())
+        if slot.prepare is None:
+            slot.prepare = message
+        slot.commit_votes[sender] = message.digest
+        if self._exec_cursor is None:
+            # Prepares from the primary arrive in counter order (the
+            # hold-back queue guarantees it), so the first one seen in a
+            # view is the view's lowest sequence.
+            self._exec_cursor = message.seq
+        self._note_pending(message.request)
+        self._send_commit(message)
+        self._maybe_committed(message.seq)
+
+    def _send_commit(self, prepare: MbPrepare) -> None:
+        slot = self._slots.setdefault(prepare.seq, _MbSlot())
+        if slot.commit_sent:
+            return
+        slot.commit_sent = True
+        delay = self.charge(self.costs.usig_create)
+        self.sim.schedule(delay, self._emit_commit, prepare)
+
+    def _emit_commit(self, prepare: MbPrepare) -> None:
+        if self.state.value == "crashed":
+            return
+        ui = self._create_ui(
+            b"comm|"
+            + prepare.view.to_bytes(8, "big")
+            + prepare.ui.counter.to_bytes(8, "big")
+            + prepare.digest
+        )
+        if ui is None:
+            return
+        message = MbCommit(prepare.view, self.name, prepare.ui, prepare.digest, ui)
+        slot = self._slots.setdefault(prepare.seq, _MbSlot())
+        slot.commit_votes[self.name] = prepare.digest
+        self.broadcast(self.other_members(), message, message.wire_size())
+        self._maybe_committed(prepare.seq)
+
+    def _handle_commit(self, sender: str, message: MbCommit) -> None:
+        if message.view != self.view or self._in_view_change:
+            return
+        if sender != message.replica:
+            return
+        slot = self._slots.setdefault(message.seq, _MbSlot())
+        slot.commit_votes[sender] = message.digest
+        self._maybe_committed(message.seq)
+
+    def _maybe_committed(self, seq: int) -> None:
+        slot = self._slots.get(seq)
+        if slot is None or slot.committed or slot.prepare is None:
+            return
+        matching = sum(
+            1 for dig in slot.commit_votes.values() if dig == slot.prepare.digest
+        )
+        if matching >= self.commit_quorum:
+            slot.committed = True
+            self._ready[seq] = slot.prepare
+            self._drain_ready()
+
+    def _drain_ready(self) -> None:
+        """Execute committed slots in prepare-counter order.
+
+        Gated on ``syncing``: after recovery the replica must not assign
+        global sequence numbers until it knows whether peers executed
+        further while it was down (its ``last_executed`` would be stale).
+        """
+        if self.syncing:
+            return
+        while self._exec_cursor is not None and self._exec_cursor in self._ready:
+            prepare = self._ready[self._exec_cursor]
+            if prepare.exec_seq <= self.last_executed:
+                # Covered by an adopted snapshot / executed in an earlier
+                # view; consuming it again would shift later numbering.
+                self._ready.pop(self._exec_cursor)
+                self._exec_cursor += 1
+                self._note_executed(prepare.request)
+                continue
+            if prepare.exec_seq > self.last_executed + 1:
+                # We missed operations (joined/recovered mid-stream):
+                # catch up by state transfer before executing further.
+                if not self.syncing:
+                    self.request_state_sync()
+                return
+            self._ready.pop(self._exec_cursor)
+            self._exec_cursor += 1
+            self.commit_operation(prepare.exec_seq, prepare.digest, prepare.request)
+            self._note_executed(prepare.request)
+
+    def on_state_synced(self) -> None:
+        self._drain_ready()
+
+    # ------------------------------------------------------------------
+    # State transfer alignment
+    # ------------------------------------------------------------------
+    def on_state_imported(self) -> None:
+        self._next_exec_seq = max(self._next_exec_seq, self.last_executed)
+        self._drain_ready()
+
+    # ------------------------------------------------------------------
+    # View change (REQ-VIEW-CHANGE → VIEW-CHANGE → NEW-VIEW)
+    # ------------------------------------------------------------------
+    def _on_view_timeout(self) -> None:
+        if not self._pending_requests:
+            return
+        target = self.view + 1
+        message = MbReqViewChange(target, self.name)
+        self._record_req_vote(self.name, target)
+        self.broadcast(self.other_members(), message, message.wire_size())
+        self._ensure_timer().start()
+
+    def _handle_req_view_change(self, sender: str, message: MbReqViewChange) -> None:
+        if sender != message.replica or message.new_view <= self.view:
+            return
+        self._record_req_vote(sender, message.new_view)
+
+    def _record_req_vote(self, sender: str, new_view: int) -> None:
+        votes = self._req_view_change_votes.setdefault(new_view, set())
+        votes.add(sender)
+        if len(votes) >= self.group.f + 1 and not self._in_view_change and new_view > self.view:
+            self._send_view_change(new_view)
+
+    def _send_view_change(self, new_view: int) -> None:
+        self._in_view_change = True
+        ui = self._create_ui(b"vc|" + new_view.to_bytes(8, "big"))
+        if ui is None:
+            return
+        message = MbViewChange(new_view, self.last_executed, self.name, ui)
+        self._record_view_change_vote(self.name, message)
+        self.broadcast(self.other_members(), message, message.wire_size())
+        self.group.metrics.counter(f"{self.group.group_id}.view_changes").inc()
+
+    def _handle_view_change(self, sender: str, message: MbViewChange) -> None:
+        if message.new_view <= self.view:
+            return
+        self._record_view_change_vote(sender, message)
+
+    def _record_view_change_vote(self, sender: str, message: MbViewChange) -> None:
+        votes = self._view_change_votes.setdefault(message.new_view, {})
+        votes[sender] = message
+        if (
+            len(votes) >= self.group.f + 1
+            and self.group.primary_of(message.new_view) == self.name
+            and message.new_view > self.view
+        ):
+            self._install_view(message.new_view)
+
+    def _install_view(self, new_view: int) -> None:
+        ui = self._create_ui(b"nv|" + new_view.to_bytes(8, "big"))
+        if ui is None:
+            return
+        message = MbNewView(new_view, self.last_executed, self.name, ui)
+        self._enter_view(new_view)
+        self.broadcast(self.other_members(), message, message.wire_size())
+        self._repropose_pending()
+
+    def _handle_new_view(self, sender: str, message: MbNewView) -> None:
+        if message.view <= self.view:
+            return
+        if sender != self.group.primary_of(message.view):
+            return
+        self._enter_view(message.view)
+        if message.start_seq > self.last_executed:
+            # The new primary executed further than we did; catch up by
+            # state transfer before processing the new view's prepares.
+            self.request_state_sync()
+        for request in list(self._pending_requests.values()):
+            self.send(self.primary, request, request.wire_size())
+
+    def _enter_view(self, new_view: int) -> None:
+        self.view = new_view
+        self._in_view_change = False
+        self._slots = {s: slot for s, slot in self._slots.items() if slot.committed}
+        self._exec_cursor = None  # next accepted prepare re-anchors it
+        self._ready.clear()
+        self._next_exec_seq = max(self._next_exec_seq, self.last_executed)
+        for stale in [v for v in self._req_view_change_votes if v <= new_view]:
+            del self._req_view_change_votes[stale]
+        for stale in [v for v in self._view_change_votes if v <= new_view]:
+            del self._view_change_votes[stale]
+        timer = self._ensure_timer()
+        if self._pending_requests:
+            timer.start()
+        else:
+            timer.cancel()
+
+    def _repropose_pending(self) -> None:
+        if not self.is_primary:
+            return
+        for request in list(self._pending_requests.values()):
+            if not self.already_executed(request):
+                self._propose(request)
+
+    # ------------------------------------------------------------------
+    def reset_protocol_state(self) -> None:
+        self._slots.clear()
+        self._holdback.clear()
+        self._expected_counter.clear()  # resync on first contact per sender
+        self._exec_cursor = None
+        self._ready.clear()
+        self._pending_requests.clear()
+        self._req_view_change_votes.clear()
+        self._view_change_votes.clear()
+        self._in_view_change = False
+        if self._view_timer is not None:
+            self._view_timer.cancel()

@@ -1,0 +1,183 @@
+"""Passive (primary-backup) replication with a heartbeat failure detector.
+
+Paper §II.A: "Passive replication allows a failing system to failover
+into a backup replica.  This is a cheap solution that typically requires
+one passive backup replica.  However, recovery is slow, requires reliable
+detection and is not seamless to the user."  E8 measures exactly that:
+the steady-state cost is one backup and one state-update message per
+operation, but a primary crash opens a service gap of roughly the
+detection timeout plus promotion, during which client requests stall.
+
+Crash-only fault model: a Byzantine primary trivially corrupts the backup
+(it ships state updates unchecked) — another reason the adaptation layer
+exists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from repro.bft.messages import ClientRequest, Heartbeat, StateAck, StateUpdate
+from repro.bft.replica import BaseReplica, GroupContext
+from repro.crypto.mac import digest as request_digest
+from repro.sim.timers import PeriodicTimer, Timeout
+from repro.soc.chip import is_corrupted
+
+
+@dataclass
+class PassiveConfig:
+    """Protocol knobs.
+
+    The failure detector fires after ``detect_timeout`` without a
+    heartbeat; detection accuracy vs speed is the E8 sweep axis.
+    """
+
+    heartbeat_period: float = 2_000.0
+    detect_timeout: float = 10_000.0
+
+
+def required_replicas(f: int) -> int:
+    """Primary-backup needs f+1 replicas to survive f crash faults."""
+    return f + 1
+
+
+class PassiveReplica(BaseReplica):
+    """Primary or backup of a passive pair (role decided by member order)."""
+
+    def __init__(
+        self, name: str, group: GroupContext, config: Optional[PassiveConfig] = None
+    ) -> None:
+        super().__init__(name, group)
+        self.config = config or PassiveConfig()
+        self.role = "primary" if group.members[0] == name else "backup"
+        self._next_seq = 0
+        self._applied_seq = 0
+        self._buffered: Dict[Tuple[str, int], ClientRequest] = {}
+        self._heartbeat_timer: Optional[PeriodicTimer] = None
+        self._detector: Optional[Timeout] = None
+        self.promotions = 0
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Begin heartbeating (primary) or monitoring (backup).
+
+        Must be called once the replica is placed on the chip.
+        """
+        if self.role == "primary":
+            self._heartbeat_timer = PeriodicTimer(
+                self.sim, self.config.heartbeat_period, self._send_heartbeat
+            )
+        else:
+            self._detector = Timeout(self.sim, self.config.detect_timeout, self._on_suspect)
+            self._detector.start()
+
+    def _send_heartbeat(self) -> None:
+        if self.state.value == "crashed" or self.role != "primary":
+            return
+        message = Heartbeat(self.name, self._next_seq)
+        self.broadcast(self.other_members(), message, message.wire_size())
+
+    # ------------------------------------------------------------------
+    def on_message(self, sender: str, message: Any) -> None:
+        if is_corrupted(message):
+            return
+        if self.handle_common(sender, message):
+            return
+        if isinstance(message, ClientRequest):
+            self._handle_request(sender, message)
+        elif isinstance(message, StateUpdate):
+            self._handle_state_update(sender, message)
+        elif isinstance(message, StateAck):
+            pass  # acks are informational in this model
+        elif isinstance(message, Heartbeat):
+            self._handle_heartbeat(sender, message)
+
+    # ------------------------------------------------------------------
+    # Primary path
+    # ------------------------------------------------------------------
+    def _handle_request(self, sender: str, request: ClientRequest) -> None:
+        if self.already_executed(request):
+            self.resend_cached_reply(request)
+            return
+        if self.role != "primary":
+            # Buffer: if we are promoted later, these get served.
+            self._buffered[request.key()] = request
+            return
+        self._next_seq += 1
+        seq = self._next_seq
+        dig = request_digest((request.client, request.rid, request.op))
+        self.commit_operation(seq, dig, request)
+        # Ship the executed operation to the backups.
+        update = StateUpdate(seq, request, None, self.app.state_digest())
+        self.broadcast(self.other_members(), update, update.wire_size())
+
+    # ------------------------------------------------------------------
+    # Backup path
+    # ------------------------------------------------------------------
+    def _handle_state_update(self, sender: str, message: StateUpdate) -> None:
+        if self.role != "backup":
+            return
+        if sender != self.group.members[0] and sender not in self.group.members:
+            return
+        if self._detector is not None:
+            self._detector.start()  # any primary traffic proves liveness
+        if message.seq <= self._applied_seq:
+            return
+        dig = request_digest(
+            (message.request.client, message.request.rid, message.request.op)
+        )
+        self._applied_seq = message.seq
+        self._next_seq = max(self._next_seq, message.seq)
+        self.commit_operation(message.seq, dig, message.request)
+        self._buffered.pop(message.request.key(), None)
+        ack = StateAck(message.seq, self.name)
+        self.send(sender, ack, ack.wire_size())
+
+    def _handle_heartbeat(self, sender: str, message: Heartbeat) -> None:
+        if self.role == "backup" and self._detector is not None:
+            self._detector.start()
+
+    def _on_suspect(self) -> None:
+        """Failure detector fired: promote to primary."""
+        if self.role != "backup" or self.state.value == "crashed":
+            return
+        self.role = "primary"
+        # Advance the view so replies steer clients to us: view % n must
+        # select this replica's member index (otherwise every request
+        # keeps timing out against the dead primary first).
+        self.view = self.group.members.index(self.name)
+        self.promotions += 1
+        self.group.metrics.counter(f"{self.group.group_id}.promotions").inc()
+        self._heartbeat_timer = PeriodicTimer(
+            self.sim, self.config.heartbeat_period, self._send_heartbeat
+        )
+        # Serve everything clients retried at us while we were backup.
+        for request in list(self._buffered.values()):
+            self._handle_request(request.client, request)
+        self._buffered.clear()
+
+    # ------------------------------------------------------------------
+    @property
+    def state_sync_quorum(self) -> int:
+        """Crash-only model: a single responder's state is trusted."""
+        return 1
+
+    def on_state_imported(self) -> None:
+        self._applied_seq = max(self._applied_seq, self.last_executed)
+        self._next_seq = max(self._next_seq, self._applied_seq)
+
+    def shutdown(self) -> None:
+        if self._heartbeat_timer is not None:
+            self._heartbeat_timer.stop()
+            self._heartbeat_timer = None
+        if self._detector is not None:
+            self._detector.cancel()
+            self._detector = None
+        super().shutdown()
+
+    def reset_protocol_state(self) -> None:
+        self._buffered.clear()
+        self._next_seq = max(self._next_seq, self._applied_seq, self.last_executed)
+        if self.role == "backup" and self._detector is not None:
+            self._detector.start()

@@ -1,0 +1,447 @@
+"""PBFT (Castro & Liskov, OSDI'99): 3f+1 replicas, three phases.
+
+The baseline active-replication protocol the paper cites (§II.A).  Normal
+case: the primary orders a request with PRE-PREPARE; backups agree on the
+(view, seq, digest) binding with PREPARE (quorum: 2f, plus the
+pre-prepare); everyone confirms with COMMIT (quorum: 2f+1); execution is
+in sequence order; the client accepts f+1 matching replies.
+
+Implemented here with:
+
+* real request digests (SHA-256 over the canonical serialization) — a
+  tampering primary is caught by the digest check;
+* transport-authenticated channels standing in for pairwise MACs, with
+  MAC compute/verify *time* charged per the cost model (one MAC per
+  recipient on multicasts — the message-cost asymmetry E2 measures);
+* periodic checkpointing with log truncation at 2f+1 matching
+  checkpoints;
+* a view-change subprotocol: backups time-out on pending requests,
+  broadcast VIEW-CHANGE, and the next primary installs NEW-VIEW with
+  re-proposals of prepared-but-unexecuted operations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Set, Tuple
+
+from repro.bft.messages import (
+    Checkpoint,
+    ClientReply,
+    ClientRequest,
+    Commit,
+    NewView,
+    PrePrepare,
+    Prepare,
+    ViewChange,
+)
+from repro.bft.replica import BaseReplica, GroupContext
+from repro.crypto.mac import MAC_LENGTH, digest as request_digest
+from repro.sim.timers import Timeout
+from repro.soc.chip import is_corrupted
+
+
+@dataclass
+class PbftConfig:
+    """Protocol knobs."""
+
+    checkpoint_interval: int = 64
+    watermark_window: int = 256
+    view_timeout: float = 40_000.0
+
+
+@dataclass
+class _SlotState:
+    """Per-(view, seq) agreement state."""
+
+    pre_prepare: Optional[PrePrepare] = None
+    prepares: Set[str] = field(default_factory=set)
+    commits: Set[str] = field(default_factory=set)
+    prepare_sent: bool = False
+    commit_sent: bool = False
+    committed: bool = False
+
+
+def required_replicas(f: int) -> int:
+    """PBFT needs 3f+1 replicas to tolerate f Byzantine faults."""
+    return 3 * f + 1
+
+
+class PbftReplica(BaseReplica):
+    """One PBFT replica."""
+
+    def __init__(
+        self, name: str, group: GroupContext, config: Optional[PbftConfig] = None
+    ) -> None:
+        super().__init__(name, group)
+        self.config = config or PbftConfig()
+        expected = required_replicas(group.f)
+        if group.n < expected:
+            raise ValueError(f"PBFT with f={group.f} needs n>={expected}, got {group.n}")
+        self._slots: Dict[Tuple[int, int], _SlotState] = {}
+        self._next_seq = 0
+        self._stable_seq = 0
+        self._checkpoint_votes: Dict[Tuple[int, bytes], Set[str]] = {}
+        self._pending_requests: Dict[Tuple[str, int], ClientRequest] = {}
+        self._seen_digests: Dict[int, bytes] = {}  # seq -> digest once prepared
+        self._view_change_votes: Dict[int, Dict[str, ViewChange]] = {}
+        self._in_view_change = False
+        self._view_timer = None  # created lazily (needs sim, i.e. placement)
+
+    # ------------------------------------------------------------------
+    # Quorums
+    # ------------------------------------------------------------------
+    @property
+    def prepare_quorum(self) -> int:
+        """Prepares needed (besides the pre-prepare): 2f."""
+        return 2 * self.group.f
+
+    @property
+    def commit_quorum(self) -> int:
+        """Commits needed: 2f+1."""
+        return 2 * self.group.f + 1
+
+    # ------------------------------------------------------------------
+    # Cost-charged authenticated send
+    # ------------------------------------------------------------------
+    def _auth_multicast(self, message: Any, extra_bytes: int = 0) -> None:
+        """Multicast with a MAC vector: charge one MAC per recipient, then
+        send.  ``auth_size`` rides on the message for wire accounting."""
+        recipients = self.other_members()
+        delay = self.charge(self.costs.mac_compute * len(recipients))
+        self.sim.schedule(delay, self._do_multicast, recipients, message)
+
+    def _do_multicast(self, recipients, message) -> None:
+        if self.state.value == "crashed":
+            return
+        size = message.wire_size() + MAC_LENGTH * len(recipients)
+        self.broadcast(recipients, message, size)
+
+    # ------------------------------------------------------------------
+    # Timer plumbing
+    # ------------------------------------------------------------------
+    def _ensure_timer(self) -> Timeout:
+        if self._view_timer is None:
+            self._view_timer = Timeout(self.sim, self.config.view_timeout, self._on_view_timeout)
+        return self._view_timer
+
+    def _note_pending(self, request: ClientRequest) -> None:
+        if request.key() in self._pending_requests or self.already_executed(request):
+            return
+        self._pending_requests[request.key()] = request
+        timer = self._ensure_timer()
+        if not timer.armed:
+            timer.start()
+
+    def _note_executed(self, request: ClientRequest) -> None:
+        self._pending_requests.pop(request.key(), None)
+        timer = self._ensure_timer()
+        if self._pending_requests:
+            timer.start()  # progress: give remaining requests a fresh window
+        else:
+            timer.cancel()
+
+    # ------------------------------------------------------------------
+    # Message dispatch
+    # ------------------------------------------------------------------
+    def on_message(self, sender: str, message: Any) -> None:
+        if is_corrupted(message):
+            self.group.metrics.counter(f"{self.group.group_id}.corrupt_dropped").inc()
+            return
+        if self.handle_common(sender, message):
+            return
+        if isinstance(message, ClientRequest):
+            self._handle_request(sender, message)
+            return
+        # All inter-replica traffic pays MAC verification first.
+        if sender not in self.group.members:
+            return
+        delay = self.charge(self.costs.mac_verify)
+        self.sim.schedule(delay, self._dispatch_verified, sender, message)
+
+    def _dispatch_verified(self, sender: str, message: Any) -> None:
+        if self.state.value == "crashed":
+            return
+        if isinstance(message, PrePrepare):
+            self._handle_pre_prepare(sender, message)
+        elif isinstance(message, Prepare):
+            self._handle_prepare(sender, message)
+        elif isinstance(message, Commit):
+            self._handle_commit(sender, message)
+        elif isinstance(message, Checkpoint):
+            self._handle_checkpoint(sender, message)
+        elif isinstance(message, ViewChange):
+            self._handle_view_change(sender, message)
+        elif isinstance(message, NewView):
+            self._handle_new_view(sender, message)
+
+    # ------------------------------------------------------------------
+    # Normal case
+    # ------------------------------------------------------------------
+    def _handle_request(self, sender: str, request: ClientRequest) -> None:
+        if self.already_executed(request):
+            self.resend_cached_reply(request)
+            return
+        if self._in_view_change:
+            self._note_pending(request)
+            return
+        if self.is_primary:
+            self._propose(request)
+        else:
+            # Forward to the primary and start watching for progress.
+            self.send(self.primary, request, request.wire_size())
+            self._note_pending(request)
+
+    def _propose(self, request: ClientRequest) -> None:
+        if any(
+            slot.pre_prepare is not None
+            and slot.pre_prepare.request.key() == request.key()
+            and not slot.committed
+            for slot in self._slots.values()
+        ):
+            return  # already being ordered
+        if self._next_seq - self._stable_seq >= self.config.watermark_window:
+            return  # window full; client will retry
+        self._next_seq += 1
+        seq = self._next_seq
+        dig = request_digest((request.client, request.rid, request.op))
+        message = PrePrepare(self.view, seq, dig, request)
+        slot = self._slot(self.view, seq)
+        slot.pre_prepare = message
+        self._note_pending(request)
+        self._auth_multicast(message)
+        # The primary prepares implicitly via its pre-prepare.
+        self._maybe_prepared(self.view, seq)
+
+    def _slot(self, view: int, seq: int) -> _SlotState:
+        return self._slots.setdefault((view, seq), _SlotState())
+
+    def _handle_pre_prepare(self, sender: str, message: PrePrepare) -> None:
+        if message.view != self.view or self._in_view_change:
+            return
+        if sender != self.primary:
+            return  # only the view's primary may order
+        if message.seq <= self._stable_seq:
+            return
+        if message.seq > self._stable_seq + self.config.watermark_window:
+            return
+        expected = request_digest(
+            (message.request.client, message.request.rid, message.request.op)
+        )
+        if expected != message.digest:
+            self.group.metrics.counter(f"{self.group.group_id}.bad_digest").inc()
+            return
+        slot = self._slot(message.view, message.seq)
+        if slot.pre_prepare is not None and slot.pre_prepare.digest != message.digest:
+            return  # equivocation: keep the first binding
+        slot.pre_prepare = message
+        self._note_pending(message.request)
+        if not slot.prepare_sent:
+            slot.prepare_sent = True
+            prepare = Prepare(message.view, message.seq, message.digest, self.name)
+            slot.prepares.add(self.name)
+            self._auth_multicast(prepare)
+        self._maybe_prepared(message.view, message.seq)
+
+    def _handle_prepare(self, sender: str, message: Prepare) -> None:
+        if message.view != self.view or self._in_view_change:
+            return
+        if sender != message.replica:
+            return
+        slot = self._slot(message.view, message.seq)
+        if slot.pre_prepare is not None and slot.pre_prepare.digest != message.digest:
+            return
+        slot.prepares.add(sender)
+        self._maybe_prepared(message.view, message.seq)
+
+    def _maybe_prepared(self, view: int, seq: int) -> None:
+        slot = self._slot(view, seq)
+        if slot.pre_prepare is None or slot.commit_sent:
+            return
+        # The primary's pre-prepare stands in for its prepare.
+        votes = set(slot.prepares)
+        votes.add(self.group.primary_of(view))
+        if len(votes) >= self.prepare_quorum + 1:  # 2f distinct + primary
+            slot.commit_sent = True
+            self._seen_digests[seq] = slot.pre_prepare.digest
+            commit = Commit(view, seq, slot.pre_prepare.digest, self.name)
+            slot.commits.add(self.name)
+            self._auth_multicast(commit)
+            self._maybe_committed(view, seq)
+
+    def _handle_commit(self, sender: str, message: Commit) -> None:
+        if message.view != self.view or self._in_view_change:
+            return
+        if sender != message.replica:
+            return
+        slot = self._slot(message.view, message.seq)
+        if slot.pre_prepare is not None and slot.pre_prepare.digest != message.digest:
+            return
+        slot.commits.add(sender)
+        self._maybe_committed(message.view, message.seq)
+
+    def _maybe_committed(self, view: int, seq: int) -> None:
+        slot = self._slot(view, seq)
+        if slot.committed or slot.pre_prepare is None or not slot.commit_sent:
+            return
+        if len(slot.commits) >= self.commit_quorum:
+            slot.committed = True
+            request = slot.pre_prepare.request
+            self.commit_operation(seq, slot.pre_prepare.digest, request)
+            self._note_executed(request)
+            if seq % self.config.checkpoint_interval == 0:
+                self._emit_checkpoint(seq)
+
+    # ------------------------------------------------------------------
+    # Checkpoints
+    # ------------------------------------------------------------------
+    def _emit_checkpoint(self, seq: int) -> None:
+        message = Checkpoint(seq, self.app.state_digest(), self.name)
+        self._record_checkpoint_vote(self.name, message)
+        self._auth_multicast(message)
+
+    def _handle_checkpoint(self, sender: str, message: Checkpoint) -> None:
+        if sender != message.replica:
+            return
+        self._record_checkpoint_vote(sender, message)
+
+    def _record_checkpoint_vote(self, sender: str, message: Checkpoint) -> None:
+        key = (message.seq, message.state_digest)
+        votes = self._checkpoint_votes.setdefault(key, set())
+        votes.add(sender)
+        if len(votes) >= self.commit_quorum and message.seq > self._stable_seq:
+            self._stable_seq = message.seq
+            self._truncate_log(message.seq)
+
+    def _truncate_log(self, stable_seq: int) -> None:
+        for (view, seq) in [k for k in self._slots if k[1] <= stable_seq]:
+            del self._slots[(view, seq)]
+        for key in [k for k in self._checkpoint_votes if k[0] < stable_seq]:
+            del self._checkpoint_votes[key]
+
+    # ------------------------------------------------------------------
+    # View change
+    # ------------------------------------------------------------------
+    def _on_view_timeout(self) -> None:
+        if not self._pending_requests:
+            return
+        self._start_view_change(self.view + 1)
+
+    def _start_view_change(self, new_view: int) -> None:
+        if new_view <= self.view and self._in_view_change:
+            return
+        self._in_view_change = True
+        prepared = tuple(
+            (seq, slot.pre_prepare.digest)
+            for (view, seq), slot in sorted(self._slots.items())
+            if slot.pre_prepare is not None
+            and slot.commit_sent
+            and not slot.committed
+        )
+        message = ViewChange(new_view, self.last_executed, prepared, self.name)
+        self._record_view_change_vote(self.name, message)
+        self._auth_multicast(message)
+        # If this view change stalls too, escalate further.
+        timer = self._ensure_timer()
+        timer.start()
+        self.group.metrics.counter(f"{self.group.group_id}.view_changes").inc()
+
+    def _handle_view_change(self, sender: str, message: ViewChange) -> None:
+        if sender != message.replica or message.new_view <= self.view:
+            return
+        self._record_view_change_vote(sender, message)
+
+    def _record_view_change_vote(self, sender: str, message: ViewChange) -> None:
+        votes = self._view_change_votes.setdefault(message.new_view, {})
+        votes[sender] = message
+        # A backup that sees f+1 view changes joins (Castro-Liskov rule).
+        if (
+            len(votes) >= self.group.f + 1
+            and not self._in_view_change
+            and message.new_view > self.view
+        ):
+            self._start_view_change(message.new_view)
+        if (
+            len(votes) >= self.commit_quorum
+            and self.group.primary_of(message.new_view) == self.name
+            and message.new_view > self.view
+        ):
+            self._install_view(message.new_view, votes)
+
+    def _install_view(self, new_view: int, votes: Dict[str, ViewChange]) -> None:
+        # Gather re-proposals for prepared-but-unexecuted operations we
+        # still hold the request body for.
+        reproposals = []
+        seen: Set[int] = set()
+        for vc in votes.values():
+            for seq, dig in vc.prepared:
+                if seq in seen or seq <= self.last_executed:
+                    continue
+                body = self._find_request(dig)
+                if body is not None:
+                    seen.add(seq)
+                    reproposals.append(PrePrepare(new_view, seq, dig, body))
+        message = NewView(new_view, tuple(sorted(reproposals, key=lambda p: p.seq)), self.name)
+        self._enter_view(new_view)
+        if seen:
+            self._next_seq = max(self._next_seq, max(seen))
+        self._auth_multicast(message)
+        for reproposal in message.reproposals:
+            slot = self._slot(new_view, reproposal.seq)
+            slot.pre_prepare = reproposal
+            self._maybe_prepared(new_view, reproposal.seq)
+        self._repropose_pending()
+
+    def _handle_new_view(self, sender: str, message: NewView) -> None:
+        if message.view <= self.view:
+            return
+        if sender != self.group.primary_of(message.view):
+            return
+        self._enter_view(message.view)
+        for reproposal in message.reproposals:
+            self._handle_pre_prepare(sender, reproposal)
+        # Re-introduce still-pending client requests into the new view.
+        for request in list(self._pending_requests.values()):
+            self.send(self.primary, request, request.wire_size())
+
+    def _enter_view(self, new_view: int) -> None:
+        self.view = new_view
+        self._in_view_change = False
+        self._next_seq = max(self._next_seq, self.last_executed)
+        for stale in [v for v in self._view_change_votes if v <= new_view]:
+            del self._view_change_votes[stale]
+        timer = self._ensure_timer()
+        if self._pending_requests:
+            timer.start()
+        else:
+            timer.cancel()
+
+    def _repropose_pending(self) -> None:
+        if not self.is_primary:
+            return
+        for request in list(self._pending_requests.values()):
+            if not self.already_executed(request):
+                self._propose(request)
+
+    def _find_request(self, dig: bytes) -> Optional[ClientRequest]:
+        for slot in self._slots.values():
+            if slot.pre_prepare is not None and slot.pre_prepare.digest == dig:
+                return slot.pre_prepare.request
+        return None
+
+    # ------------------------------------------------------------------
+    def on_state_imported(self) -> None:
+        self._next_seq = max(self._next_seq, self.last_executed)
+        # Imported state is as good as a stable checkpoint: anchor the
+        # watermark window there or the window check rejects every seq.
+        self._stable_seq = max(self._stable_seq, self.last_executed)
+
+    def reset_protocol_state(self) -> None:
+        self._slots.clear()
+        self._checkpoint_votes.clear()
+        self._pending_requests.clear()
+        self._view_change_votes.clear()
+        self._in_view_change = False
+        self._next_seq = max(self._next_seq, self.last_executed)
+        if self._view_timer is not None:
+            self._view_timer.cancel()

@@ -1,0 +1,345 @@
+"""Common replica machinery shared by all protocol families."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.bft.app import StateMachine
+from repro.bft.messages import ClientReply, ClientRequest, StateRequest, StateResponse
+from repro.bft.safety import SafetyRecorder
+from repro.crypto.mac import digest as payload_digest
+from repro.crypto.keys import KeyStore
+from repro.metrics import MetricsRegistry
+from repro.soc.node import Node, NodeState
+
+
+@dataclass
+class GroupContext:
+    """Everything a replica needs to know about its group.
+
+    Shared (by reference) among the group's replicas; protocols read the
+    ordered member list, the fault bound f, and the shared observers.
+    """
+
+    group_id: str
+    members: List[str]
+    f: int
+    app_factory: Callable[[], StateMachine]
+    keystore: KeyStore
+    safety: SafetyRecorder
+    metrics: MetricsRegistry
+
+    def __post_init__(self) -> None:
+        if self.f < 0:
+            raise ValueError("f must be non-negative")
+        if len(set(self.members)) != len(self.members):
+            raise ValueError("duplicate member names")
+
+    @property
+    def n(self) -> int:
+        """Group size."""
+        return len(self.members)
+
+    def primary_of(self, view: int) -> str:
+        """Round-robin primary for a view."""
+        return self.members[view % self.n]
+
+
+class BaseReplica(Node):
+    """Base class: in-order execution, reply cache, safety reporting.
+
+    Subclasses implement the ordering protocol and call
+    :meth:`commit_operation` once an operation is committed at a sequence
+    number; this class handles ordered execution, deduplication, client
+    replies, and the safety recorder.
+    """
+
+    # Subclasses override: how many matching replies a client must collect.
+    reply_quorum = 1
+
+    def __init__(self, name: str, group: GroupContext) -> None:
+        super().__init__(name)
+        self.group = group
+        self.app: StateMachine = group.app_factory()
+        self.view = 0
+        self.last_executed = 0
+        self._pending_execution: Dict[int, Tuple[bytes, ClientRequest]] = {}
+        self._last_reply: Dict[str, ClientReply] = {}
+        self._executed_requests: Dict[Tuple[str, int], bool] = {}
+        self._state_offers: Dict[Tuple[int, bytes], Dict[str, Any]] = {}
+        self._sync_current_votes: set = set()
+        self.syncing = False
+        self.commits = 0
+        self.state_syncs = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def primary(self) -> str:
+        """The current view's primary."""
+        return self.group.primary_of(self.view)
+
+    @property
+    def is_primary(self) -> bool:
+        """True if this replica leads the current view."""
+        return self.primary == self.name
+
+    def other_members(self) -> List[str]:
+        """All group members except self."""
+        return [m for m in self.group.members if m != self.name]
+
+    # ------------------------------------------------------------------
+    # Execution pipeline
+    # ------------------------------------------------------------------
+    def commit_operation(self, seq: int, digest: bytes, request: ClientRequest) -> None:
+        """Protocol callback: ``request`` is committed at ``seq``.
+
+        Executes in order; out-of-order commits are buffered until the
+        gap closes.  Duplicate commits for an executed seq are ignored.
+        """
+        if seq <= self.last_executed:
+            return
+        self._pending_execution[seq] = (digest, request)
+        while self.last_executed + 1 in self._pending_execution:
+            next_seq = self.last_executed + 1
+            pending_digest, pending_request = self._pending_execution.pop(next_seq)
+            self._execute(next_seq, pending_digest, pending_request)
+        if not self.syncing and len(self._pending_execution) >= 4:
+            # A real execution gap (not mere reordering): an operation we
+            # never saw committed below us.  Catch up by state transfer.
+            self.request_state_sync()
+
+    def _execute(self, seq: int, digest: bytes, request: ClientRequest) -> None:
+        self.group.safety.record_commit(self.name, seq, digest, self.is_correct)
+        self.commits += 1
+        self.last_executed = seq
+        if self._executed_requests.get(request.key()):
+            return  # replayed request re-ordered at a later seq: no-op
+        self._executed_requests[request.key()] = True
+        # Apply to the app state *now* so snapshots taken at any instant
+        # are consistent with last_executed; only the reply is delayed by
+        # the execution cost.
+        result = self.app.execute(request.op)
+        reply = ClientReply(self.name, request.client, request.rid, result, self.view)
+        self._last_reply[request.client] = reply
+        self.group.metrics.counter(f"{self.group.group_id}.executions").inc()
+        delay = self.charge(self.costs.execute_request)
+        self.sim.schedule(delay, self._send_reply, reply)
+
+    def _send_reply(self, reply: ClientReply) -> None:
+        if self.state.value == "crashed" or self.chip is None:
+            return
+        if self.chip.has_node(reply.client) or self.chip.off_chip_handler is not None:
+            # The client may live on another chip (repro.sos tunnelling).
+            self.send(reply.client, reply, reply.wire_size())
+
+    def resend_cached_reply(self, request: ClientRequest) -> bool:
+        """Resend the cached reply for a retransmitted, executed request."""
+        cached = self._last_reply.get(request.client)
+        if cached is not None and cached.rid == request.rid:
+            self.send(request.client, cached, cached.wire_size())
+            return True
+        return False
+
+    def already_executed(self, request: ClientRequest) -> bool:
+        """True if the request was executed (dedup check)."""
+        return bool(self._executed_requests.get(request.key()))
+
+    # ------------------------------------------------------------------
+    # State transfer (rejuvenation / protocol switch)
+    # ------------------------------------------------------------------
+    def export_state(self) -> Dict[str, Any]:
+        """Snapshot for state transfer to a recovering/switching replica."""
+        return {
+            "snapshot": self.app.snapshot(),
+            "last_executed": self.last_executed,
+            "executed_requests": dict(self._executed_requests),
+            "last_reply": dict(self._last_reply),
+            "view": self.view,
+            "protocol_tag": type(self).__name__,
+            "protocol_extra": self.export_protocol_state(),
+        }
+
+    def import_state(self, state: Dict[str, Any]) -> None:
+        """Adopt a transferred snapshot (the inverse of export_state).
+
+        Protocol-internal queues are *kept* (messages that raced the
+        transfer stay valid); subclasses re-align their counters in
+        :meth:`on_state_imported`, and same-family stream positions
+        transfer through :meth:`import_protocol_state`.
+        """
+        self.app.restore(state["snapshot"])
+        self.last_executed = state["last_executed"]
+        self._executed_requests = dict(state["executed_requests"])
+        self._last_reply = dict(state["last_reply"])
+        self.view = max(self.view, state["view"])
+        self._pending_execution = {
+            s: v for s, v in self._pending_execution.items() if s > self.last_executed
+        }
+        self.group.safety.reset_replica(self.name, self.last_executed)
+        if state.get("protocol_tag") == type(self).__name__:
+            self.import_protocol_state(state.get("protocol_extra", {}))
+        self.on_state_imported()
+
+    def export_protocol_state(self) -> Dict[str, Any]:
+        """Subclass hook: protocol stream positions worth transferring."""
+        return {}
+
+    def import_protocol_state(self, extra: Dict[str, Any]) -> None:
+        """Subclass hook: adopt same-family stream positions."""
+
+    def on_state_imported(self) -> None:
+        """Subclass hook: re-align internal counters with last_executed."""
+
+    def shutdown(self) -> None:
+        """Permanently deactivate this replica *instance*.
+
+        Called when the group rebuilds its replicas (protocol switch,
+        scale-in): the old object must stop acting — a live "zombie"
+        holding the same name would keep firing timers and committing
+        stale operations attributed to its successor.
+        """
+        self.state = NodeState.CRASHED
+        self.syncing = False
+        self.reset_protocol_state()
+
+    def on_recover(self) -> None:
+        """After rejuvenation the replica rejoins with its durable state.
+
+        We model reliable local persistence of executed state (NVM or
+        state transfer from peers); protocol-internal message state is
+        subclass responsibility via :meth:`reset_protocol_state`.  The
+        replica also asks peers for anything it missed while down.
+        """
+        self._pending_execution.clear()
+        self.group.safety.reset_replica(self.name, self.last_executed)
+        self.reset_protocol_state()
+        if self.chip is not None:
+            self.sim.call_soon(self.request_state_sync)
+
+    def reset_protocol_state(self) -> None:
+        """Subclass hook: drop in-flight protocol bookkeeping."""
+
+    # ------------------------------------------------------------------
+    # State synchronisation (catch-up after downtime / view change)
+    # ------------------------------------------------------------------
+    @property
+    def state_sync_quorum(self) -> int:
+        """Matching state offers needed before adopting one: f+1 (BFT);
+        crash-only protocols override to 1."""
+        return self.group.f + 1
+
+    def request_state_sync(self, retry_after: float = 20_000.0) -> None:
+        """Ask all peers for state newer than what we executed.
+
+        While ``syncing`` is True, subclasses must not assign new global
+        sequence numbers (MinBFT gates its execution drain on it).  The
+        flag clears when either a newer state is adopted or a quorum of
+        peers confirms we are current; unresolved syncs retry.
+        """
+        if self.state.value == "crashed":
+            return
+        self.syncing = True
+        self._state_offers.clear()
+        self._sync_current_votes.clear()
+        message = StateRequest(self.name, self.last_executed)
+        self.broadcast(self.other_members(), message, message.wire_size())
+        if retry_after > 0:
+            self.sim.schedule(retry_after, self._retry_sync, retry_after)
+
+    def _retry_sync(self, retry_after: float) -> None:
+        if self.syncing and self.state.value != "crashed":
+            self.request_state_sync(retry_after)
+
+    def handle_common(self, sender: str, message: Any) -> bool:
+        """Protocols call this first in ``on_message``; True = consumed."""
+        if isinstance(message, StateRequest):
+            self._handle_state_request(sender, message)
+            return True
+        if isinstance(message, StateResponse):
+            self._handle_state_response(sender, message)
+            return True
+        if isinstance(message, ClientRequest) and message.read_only:
+            self._serve_read(sender, message)
+            return True
+        return False
+
+    def _serve_read(self, sender: str, request: ClientRequest) -> None:
+        """Read-only fast path: answer from current state, no ordering.
+
+        Any replica (primary or backup) serves reads.  The client needs
+        f+1 *matching* replies, so a lone stale or Byzantine replica
+        cannot make up a value — at worst mismatching replies push the
+        client onto the ordered path.
+        """
+        if self.syncing:
+            return  # our state may be behind; let up-to-date peers answer
+        try:
+            result = self.app.read(request.op)
+        except ValueError:
+            return  # not actually read-only: only the ordered path may run it
+        self.group.metrics.counter(f"{self.group.group_id}.fast_reads").inc()
+        reply = ClientReply(self.name, request.client, request.rid, result, self.view)
+        if self.chip is not None and (
+            self.chip.has_node(request.client) or self.chip.off_chip_handler is not None
+        ):
+            self.send(request.client, reply, reply.wire_size())
+
+    def _handle_state_request(self, sender: str, message: StateRequest) -> None:
+        if sender != message.replica or sender not in self.group.members:
+            return
+        if self.last_executed <= message.have_seq:
+            # "You are current": lets the requester resolve its sync even
+            # when nothing was missed.
+            response = StateResponse(self.name, self.last_executed, b"", None)
+            self.send(sender, response, response.wire_size())
+            return
+        state = self.export_state()
+        response = StateResponse(
+            self.name, self.last_executed, self.app.state_digest(), state
+        )
+        self.send(sender, response, response.wire_size())
+
+    def _handle_state_response(self, sender: str, message: StateResponse) -> None:
+        if sender != message.replica or sender not in self.group.members:
+            return
+        if message.last_executed <= self.last_executed:
+            self._sync_current_votes.add(sender)
+            if self.syncing and len(self._sync_current_votes) >= self.state_sync_quorum:
+                self.syncing = False
+                self.on_state_synced()
+            return
+        key = (message.last_executed, message.state_digest)
+        offers = self._state_offers.setdefault(key, {})
+        offers[sender] = message.state
+        if len(offers) >= self.state_sync_quorum:
+            # Adopt the first copy whose snapshot actually matches the
+            # agreed digest — a Byzantine responder can echo the agreed
+            # key but cannot craft a poisoned snapshot with that digest.
+            state = self._first_valid_offer(offers, message.state_digest)
+            if state is None:
+                return
+            self._state_offers.clear()
+            self.state_syncs += 1
+            self.import_state(state)
+            self.syncing = False
+            self.on_state_synced()
+
+    def _first_valid_offer(self, offers: Dict[str, Any], digest: bytes) -> Optional[Any]:
+        probe = self.group.app_factory()
+        for sender in sorted(offers):
+            state = offers[sender]
+            try:
+                probe.restore(state["snapshot"])
+            except (KeyError, TypeError, ValueError):
+                continue
+            if probe.state_digest() == digest:
+                return state
+        return None
+
+    def on_state_synced(self) -> None:
+        """Subclass hook: called after adopting a transferred state."""
+
+    # ------------------------------------------------------------------
+    def on_message(self, sender: str, message: Any) -> None:  # pragma: no cover
+        raise NotImplementedError

@@ -1,0 +1,108 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``info``
+    Print the package inventory and version.
+``demo``
+    Run a short end-to-end demo (the quickstart scenario) and print its
+    summary.
+``experiments``
+    List the experiment index (id, claim, bench target).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+EXPERIMENTS = [
+    ("E1", "Fig.1: redundancy per layer masks faults", "bench_e1_layers.py"),
+    ("E2", "SIII: hybrids cut 3f+1 to 2f+1", "bench_e2_hybrid_bft.py"),
+    ("E3", "SII.B: diversity vs common-mode failure", "bench_e3_diversity.py"),
+    ("E4", "SII.C: rejuvenation vs APTs", "bench_e4_rejuvenation.py"),
+    ("E5", "SII.D: threat-adaptive protocol switching", "bench_e5_adaptation.py"),
+    ("E6", "SIII: hybrid complexity middle ground", "bench_e6_hybrid_complexity.py"),
+    ("E7", "SII.E: consensual reconfiguration", "bench_e7_reconfig.py"),
+    ("E8", "SII.A: passive vs active replication", "bench_e8_passive_active.py"),
+    ("E9", "SII.A: replica elasticity (spawn like VMs)", "bench_e9_elasticity.py"),
+    ("E10", "SII.C: partial rejuvenation vs device restart", "bench_e10_partial_rejuv.py"),
+    ("E11", "SI: networked systems of SoCs", "bench_e11_spanning.py"),
+    ("E12", "read-only fast path", "bench_e12_read_path.py"),
+    ("A1", "ablation: the hybrid interface is the trust anchor", "bench_a1_hybrid_interface.py"),
+    ("A2", "ablation: severity-detector tuning", "bench_a2_severity_ablation.py"),
+]
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    """Print version and package inventory."""
+    import repro
+
+    print(f"repro {repro.__version__} — fault- and intrusion-resilient "
+          f"manycore systems on a chip (DSN 2023 reproduction)")
+    print("subsystems:", ", ".join(repro.__all__))
+    return 0
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    """Run a short end-to-end scenario and print the outcome."""
+    from repro.core import OrchestratorConfig, ResilientSystem
+    from repro.core.rejuvenation import RejuvenationPolicy
+
+    system = ResilientSystem(
+        OrchestratorConfig(
+            seed=args.seed,
+            protocol=args.protocol,
+            f=1,
+            rejuvenation=RejuvenationPolicy(period=60_000),
+        )
+    )
+    system.add_client("c0")
+    system.start()
+    system.run(args.duration)
+    print(system.summary())
+    return 0 if system.is_safe else 1
+
+
+def cmd_experiments(args: argparse.Namespace) -> int:
+    """List the experiment index."""
+    width = max(len(e[0]) for e in EXPERIMENTS)
+    for exp_id, claim, bench in EXPERIMENTS:
+        print(f"{exp_id.ljust(width)}  {claim:55s} benchmarks/{bench}")
+    print()
+    print("run all:  pytest benchmarks/ --benchmark-only -s")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree for ``python -m repro``."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Fault- and intrusion-resilient manycore systems on a chip",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="package inventory").set_defaults(fn=cmd_info)
+
+    demo = sub.add_parser("demo", help="run a short end-to-end scenario")
+    demo.add_argument("--seed", type=int, default=42)
+    demo.add_argument("--protocol", choices=["minbft", "pbft", "cft", "passive"],
+                      default="minbft")
+    demo.add_argument("--duration", type=float, default=300_000.0)
+    demo.set_defaults(fn=cmd_demo)
+
+    sub.add_parser("experiments", help="list the experiment index").set_defaults(
+        fn=cmd_experiments
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,48 @@
+"""The paper's contribution: on-chip resilience orchestration.
+
+This package composes the substrates (chip, NoC, fabric, hybrids, BFT
+suite, fault models) into the resilience architecture of the paper — the
+four programmability ingredients of §II plus the hybridization doctrine
+of §III:
+
+* :mod:`~repro.core.replication`  — spawn and scale replica groups as
+  softcores on the fabric ("like creating virtual machines", §II.A).
+* :mod:`~repro.core.diversity`    — variant pools, diversity-maximizing
+  assignment, common-mode exposure metrics (§II.B).
+* :mod:`~repro.core.rejuvenation` — proactive/reactive schedules with
+  optional diversification and spatial relocation (§II.C).
+* :mod:`~repro.core.severity`     — the severity detectors the paper
+  calls for ("research on severity detectors that can trigger adaptation
+  actions", §II.D).
+* :mod:`~repro.core.adaptation`   — the threat-adaptive controller:
+  protocol switching and f-scaling (§II.D).
+* :mod:`~repro.core.hybridization`— the right-complexity advisor for
+  hybrid design points (§III).
+* :mod:`~repro.core.orchestrator` — the facade tying it all together;
+  the entry point for examples.
+"""
+
+from repro.core.adaptation import AdaptationController, AdaptationPolicy
+from repro.core.diversity import DiversityManager, Variant, VariantLibrary
+from repro.core.hybridization import HybridizationAdvisor, Recommendation
+from repro.core.orchestrator import OrchestratorConfig, ResilientSystem
+from repro.core.rejuvenation import RejuvenationPolicy, RejuvenationScheduler
+from repro.core.replication import ReplicationManager
+from repro.core.severity import SeverityDetector, ThreatLevel
+
+__all__ = [
+    "AdaptationController",
+    "AdaptationPolicy",
+    "DiversityManager",
+    "HybridizationAdvisor",
+    "OrchestratorConfig",
+    "Recommendation",
+    "RejuvenationPolicy",
+    "RejuvenationScheduler",
+    "ReplicationManager",
+    "ResilientSystem",
+    "SeverityDetector",
+    "ThreatLevel",
+    "Variant",
+    "VariantLibrary",
+]

@@ -1,0 +1,110 @@
+"""Threat-adaptive protocol control (§II.D).
+
+"Among the adaptation forms are scaling out/in the system when f may
+change ... or switching to a backup protocol that is more adequate to the
+current conditions (considering safety, liveness, performance...)."
+
+The controller maps :class:`~repro.core.severity.ThreatLevel` to a
+protocol family:
+
+* LOW       → CFT (fast; adequate while faults look benign),
+* ELEVATED  → MinBFT (Byzantine-safe at 2f+1, modest overhead),
+* CRITICAL  → PBFT (no reliance on hybrids' trustworthiness; maximum
+  margin while under active attack).
+
+Switches execute through :meth:`ReplicaGroup.switch_protocol` (state
+transfer included) with a cooldown so the system cannot be made to
+thrash by an adversary oscillating just above and below a threshold —
+the performance/resilience trade E5 quantifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.bft.group import ReplicaGroup
+from repro.core.severity import SeverityDetector, ThreatLevel
+
+
+@dataclass
+class AdaptationPolicy:
+    """What to run at each threat level, plus anti-thrash spacing."""
+
+    protocol_for: Dict[ThreatLevel, str] = field(
+        default_factory=lambda: {
+            ThreatLevel.LOW: "cft",
+            ThreatLevel.ELEVATED: "minbft",
+            ThreatLevel.CRITICAL: "pbft",
+        }
+    )
+    f_for: Dict[ThreatLevel, Optional[int]] = field(
+        default_factory=lambda: {
+            ThreatLevel.LOW: None,       # keep current f
+            ThreatLevel.ELEVATED: None,
+            ThreatLevel.CRITICAL: None,
+        }
+    )
+    cooldown: float = 30_000.0
+
+    def __post_init__(self) -> None:
+        if self.cooldown < 0:
+            raise ValueError("cooldown must be non-negative")
+        for level in ThreatLevel:
+            if level not in self.protocol_for:
+                raise ValueError(f"policy missing protocol for {level.name}")
+
+
+class AdaptationController:
+    """Connects a severity detector to protocol switching."""
+
+    def __init__(
+        self,
+        group: ReplicaGroup,
+        detector: SeverityDetector,
+        policy: Optional[AdaptationPolicy] = None,
+    ) -> None:
+        self.group = group
+        self.detector = detector
+        self.policy = policy or AdaptationPolicy()
+        self._last_switch_at = -float("inf")
+        self._pending_level: Optional[ThreatLevel] = None
+        self.switches: List = []  # (time, from_protocol, to_protocol, level)
+        detector.on_change = self._on_threat_change
+
+    # ------------------------------------------------------------------
+    def _on_threat_change(self, level: ThreatLevel) -> None:
+        sim = self.group.chip.sim
+        target = self.policy.protocol_for[level]
+        if target == self.group.protocol:
+            return
+        since = sim.now - self._last_switch_at
+        if since < self.policy.cooldown:
+            # Defer: re-check once the cooldown expires.
+            self._pending_level = level
+            sim.schedule(self.policy.cooldown - since, self._apply_pending)
+            return
+        self._switch(level, target)
+
+    def _apply_pending(self) -> None:
+        if self._pending_level is None:
+            return
+        level = self.detector.level  # use the *current* assessment
+        self._pending_level = None
+        target = self.policy.protocol_for[level]
+        if target != self.group.protocol:
+            self._switch(level, target)
+
+    def _switch(self, level: ThreatLevel, target: str) -> None:
+        sim = self.group.chip.sim
+        source = self.group.protocol
+        f = self.policy.f_for.get(level)
+        self.group.switch_protocol(target, f=f)
+        self._last_switch_at = sim.now
+        self.switches.append((sim.now, source, target, level))
+
+    # ------------------------------------------------------------------
+    @property
+    def current_protocol(self) -> str:
+        """The protocol currently running."""
+        return self.group.protocol

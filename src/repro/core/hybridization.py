@@ -1,0 +1,131 @@
+"""The right-complexity advisor for hybrid design points (§III).
+
+The paper's hybridization doctrine: "The objective of hardware-level
+hybridization is to remain in this middle-ground" — protected enough that
+storage faults cannot subvert the guarantee, but simpler than a full
+fetch-decode-execute core.  The advisor makes this executable: given a
+functionality's inherent logic complexity and the deployment's expected
+bitflip rate, it scores each register family (plain/ECC/TMR) and the
+softcore fallback, and recommends the cheapest design whose predicted
+failure rate meets the target.
+
+The failure model per design point:
+
+* plain — every counter-register bitflip corrupts the hybrid's state
+  (probability of at least one flip per mission: 1 - (1-p)^bits);
+* ecc   — fails only when >= 2 flips land between scrub/rewrite events;
+* tmr   — fails when two copies are hit in the same bit position;
+* softcore — storage is assumed protected, but the large SRAM and logic
+  area raises the *intrusion* surface: its verification-effort proxy is
+  its gate count, which the score penalizes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.hybrids.complexity import GateComplexity, estimate_complexity
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """One scored design point."""
+
+    design: str
+    complexity: GateComplexity
+    mission_failure_probability: float
+    meets_target: bool
+
+    def __str__(self) -> str:  # pragma: no cover
+        return (
+            f"{self.design}: {self.complexity.total_ge:.0f} GE, "
+            f"P(fail)={self.mission_failure_probability:.2e}, "
+            f"{'meets' if self.meets_target else 'misses'} target"
+        )
+
+
+def _binom_tail_ge2(n: int, p: float) -> float:
+    """P(X >= 2) for X ~ Binomial(n, p), numerically stable for small p."""
+    if p <= 0:
+        return 0.0
+    if p >= 1:
+        return 1.0
+    log_q = n * math.log1p(-p)
+    p0 = math.exp(log_q)
+    p1 = n * p * math.exp((n - 1) * math.log1p(-p))
+    return max(0.0, 1.0 - p0 - p1)
+
+
+class HybridizationAdvisor:
+    """Scores hybrid design points against a mission failure target."""
+
+    def __init__(
+        self,
+        flip_probability_per_bit: float,
+        scrub_intervals_per_mission: int = 1000,
+        counter_width: int = 64,
+    ) -> None:
+        if not 0 <= flip_probability_per_bit < 1:
+            raise ValueError("per-bit flip probability must be in [0, 1)")
+        if scrub_intervals_per_mission < 1:
+            raise ValueError("need at least one scrub interval")
+        self.p_flip = flip_probability_per_bit
+        self.intervals = scrub_intervals_per_mission
+        self.width = counter_width
+
+    # ------------------------------------------------------------------
+    def failure_probability(self, design: str) -> float:
+        """Per-mission probability the design's guarantee is broken."""
+        p, k = self.p_flip, self.intervals
+        if design == "usig-plain":
+            # Any flip in any interval corrupts the counter.
+            per_interval = 1.0 - (1.0 - p) ** self.width
+        elif design == "usig-ecc":
+            # SEC-DED: needs >= 2 flips within one interval (writes re-encode).
+            from repro.hybrids.registers import _parity_bit_count
+
+            bits = self.width + _parity_bit_count(self.width) + 1
+            per_interval = _binom_tail_ge2(bits, p)
+        elif design == "usig-tmr":
+            # Fails when the same bit position is hit in >= 2 copies.
+            per_position = _binom_tail_ge2(3, p)
+            per_interval = 1.0 - (1.0 - per_position) ** self.width
+        elif design == "softcore":
+            # ECC-protected SRAM assumed; residual rate comparable to ECC.
+            from repro.hybrids.registers import _parity_bit_count
+
+            bits = self.width + _parity_bit_count(self.width) + 1
+            per_interval = _binom_tail_ge2(bits, p)
+        else:
+            raise ValueError(f"unknown design {design!r}")
+        return 1.0 - (1.0 - per_interval) ** k
+
+    def evaluate(self, target_failure_probability: float = 1e-6) -> List[Recommendation]:
+        """Score all designs, cheapest first."""
+        designs = ["usig-plain", "usig-tmr", "usig-ecc", "softcore"]
+        out = []
+        for design in designs:
+            complexity = estimate_complexity(design, self.width)
+            pfail = self.failure_probability(design)
+            out.append(
+                Recommendation(
+                    design, complexity, pfail, pfail <= target_failure_probability
+                )
+            )
+        out.sort(key=lambda r: r.complexity.total_ge)
+        return out
+
+    def recommend(self, target_failure_probability: float = 1e-6) -> Optional[Recommendation]:
+        """The cheapest design meeting the target, or None.
+
+        This is the paper's middle-ground rule in code: walk designs in
+        complexity order and stop at the first that is robust enough —
+        never pay softcore complexity when an ECC'd circuit suffices,
+        never accept a plain register that melts under the flip rate.
+        """
+        for recommendation in self.evaluate(target_failure_probability):
+            if recommendation.meets_target:
+                return recommendation
+        return None

@@ -1,0 +1,129 @@
+"""The facade: one object that assembles a resilient manycore system.
+
+:class:`ResilientSystem` is the public API a downstream user starts from
+(see ``examples/quickstart.py``): it builds the chip, the fabric, a
+diversified replica group spawned as softcores, the rejuvenation
+schedule, the severity detector, and the adaptation controller — the
+complete architecture of the paper in one call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.bft.app import KeyValueStore, StateMachine
+from repro.bft.client import ClientConfig, ClientNode
+from repro.bft.group import GroupConfig, ReplicaGroup
+from repro.core.adaptation import AdaptationController, AdaptationPolicy
+from repro.core.diversity import DiversityManager, VariantLibrary
+from repro.core.rejuvenation import RejuvenationPolicy, RejuvenationScheduler
+from repro.core.replication import ReplicationManager
+from repro.core.severity import SeverityConfig, SeverityDetector
+from repro.fabric.fabric import FabricConfig, FpgaFabric
+from repro.sim.simulator import Simulator
+from repro.soc.chip import Chip, ChipConfig
+
+
+@dataclass
+class OrchestratorConfig:
+    """Everything needed to stand up a resilient system."""
+
+    seed: int = 0
+    width: int = 6
+    height: int = 6
+    protocol: str = "minbft"
+    f: int = 1
+    n_variants: int = 6
+    n_vendors: int = 3
+    app_factory: Callable[[], StateMachine] = KeyValueStore
+    rejuvenation: Optional[RejuvenationPolicy] = None
+    severity: Optional[SeverityConfig] = None
+    adaptation: Optional[AdaptationPolicy] = None
+    enable_rejuvenation: bool = True
+    enable_adaptation: bool = False
+    functionality: str = "service"
+
+
+class ResilientSystem:
+    """A fully assembled fault- and intrusion-resilient manycore SoC."""
+
+    def __init__(self, config: Optional[OrchestratorConfig] = None) -> None:
+        self.config = config or OrchestratorConfig()
+        cfg = self.config
+        self.sim = Simulator(seed=cfg.seed)
+        self.chip = Chip(self.sim, ChipConfig(width=cfg.width, height=cfg.height))
+        self.fabric = FpgaFabric(self.sim, self.chip)
+        self.library = VariantLibrary.generate(
+            cfg.functionality, cfg.n_variants, cfg.n_vendors
+        )
+        self.fabric.register_variants(cfg.functionality, self.library.names())
+        self.diversity = DiversityManager(self.library)
+        self.replication = ReplicationManager(self.chip, self.fabric, self.diversity)
+        self.group: ReplicaGroup = self.replication.deploy_group(
+            GroupConfig(
+                protocol=cfg.protocol,
+                f=cfg.f,
+                group_id="sys",
+                app_factory=cfg.app_factory,
+            )
+        )
+        self.clients: List[ClientNode] = []
+        self.detector = SeverityDetector(self.group, self.clients, cfg.severity)
+        self.rejuvenation: Optional[RejuvenationScheduler] = None
+        if cfg.enable_rejuvenation:
+            # The detector is masked around planned maintenance so that
+            # rejuvenation downtime is not read as an attack.
+            self.rejuvenation = RejuvenationScheduler(
+                self.group, self.fabric, self.diversity, cfg.rejuvenation,
+                detector=self.detector,
+            )
+        self.adaptation: Optional[AdaptationController] = None
+        if cfg.enable_adaptation:
+            self.adaptation = AdaptationController(self.group, self.detector, cfg.adaptation)
+
+    # ------------------------------------------------------------------
+    def add_client(self, name: str, client_config: Optional[ClientConfig] = None) -> ClientNode:
+        """Create, place, and configure a client of the system."""
+        client = ClientNode(name, client_config)
+        self.group.attach_client(client)
+        self.clients.append(client)
+        return client
+
+    def start(self, warmup: float = 50_000.0) -> None:
+        """Start background machinery and clients.
+
+        ``warmup`` runs the simulator long enough for the fabric spawns
+        to complete before clients begin issuing requests.
+        """
+        self.sim.run(until=self.sim.now + warmup)
+        for client in self.clients:
+            client.start()
+        if self.rejuvenation is not None:
+            self.rejuvenation.start()
+        self.detector.start()
+
+    def run(self, duration: float) -> None:
+        """Advance the simulation."""
+        self.sim.run(until=self.sim.now + duration)
+
+    # ------------------------------------------------------------------
+    # Convenience queries for examples and tests
+    # ------------------------------------------------------------------
+    @property
+    def is_safe(self) -> bool:
+        """True while no SMR safety violation was recorded."""
+        return self.group.safety.is_safe
+
+    def completed_operations(self) -> int:
+        """Total operations completed across all clients."""
+        return sum(c.completed for c in self.clients)
+
+    def summary(self) -> str:
+        """One-line status for example scripts."""
+        return (
+            f"t={self.sim.now:.0f} protocol={self.group.protocol} "
+            f"f={self.group.f} ops={self.completed_operations()} "
+            f"threat={self.detector.level.name} "
+            f"safety={'SAFE' if self.is_safe else 'VIOLATED'}"
+        )

@@ -1,0 +1,198 @@
+"""Replication management: replica groups as fabric-spawned softcores.
+
+§II.A: "Using an FPGA, it is possible to spawn replicas as soft cores or
+logical blocks, using off-the-shelf soft IPs ... the flexibility to
+create hard-replicas quickly and on-demand, using only one fabric, in a
+similar way to creating virtual machines or containers at software
+level."  The :class:`ReplicationManager` does exactly that: it spawns a
+:class:`~repro.bft.group.ReplicaGroup`'s members through the fabric's
+ICAP (E9 measures the elasticity curve), tracks which variant each
+replica runs, and scales the group out/in.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.bft.group import FAMILIES, GroupConfig, ReplicaGroup
+from repro.bft.replica import BaseReplica
+from repro.bft.safety import SafetyRecorder
+from repro.core.diversity import DiversityManager
+from repro.crypto.keys import KeyStore
+from repro.fabric.fabric import FpgaFabric
+from repro.fabric.icap import IcapResult
+from repro.noc.topology import Coord
+from repro.soc.chip import Chip
+
+
+class ReplicationManager:
+    """Spawns and scales a replica group as softcores on the fabric.
+
+    Unlike :func:`repro.bft.build_group` (which places replicas
+    instantly — fine for protocol experiments), the manager performs each
+    spawn through the ICAP, so replicas come online one partial
+    reconfiguration at a time and experiments see real elasticity
+    latency.
+    """
+
+    def __init__(
+        self,
+        chip: Chip,
+        fabric: FpgaFabric,
+        diversity: DiversityManager,
+        principal: str = "replication-manager",
+    ) -> None:
+        self.chip = chip
+        self.fabric = fabric
+        self.diversity = diversity
+        self.principal = principal
+        fabric.icap.grant(principal)
+        self.group: Optional[ReplicaGroup] = None
+        self.spawn_completions: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    def deploy_group(
+        self,
+        config: GroupConfig,
+        keystore: Optional[KeyStore] = None,
+        safety: Optional[SafetyRecorder] = None,
+        on_all_ready: Optional[Callable[[ReplicaGroup], None]] = None,
+    ) -> ReplicaGroup:
+        """Build a group whose replicas come online via fabric spawns.
+
+        Returns the group immediately; replicas join the chip as their
+        bitstreams commit.  ``on_all_ready`` fires when the last replica
+        is up.
+        """
+        placement = config.placement or self.fabric.free_regions()
+        family = FAMILIES[config.protocol]
+        n = family.replicas_for(config.f)
+        if len(placement) < n:
+            raise ValueError(f"need {n} free regions, have {len(placement)}")
+        group = ReplicaGroup.__new__(ReplicaGroup)  # defer normal placement
+        self._init_group_shell(group, config, placement[:n], keystore, safety)
+        assignment = self.diversity.assign(group.context.members)
+        remaining = set(group.context.members)
+
+        def make_ready_callback(name: str):
+            def ready(node) -> None:
+                self.spawn_completions[name] = self.chip.sim.now
+                remaining.discard(name)
+                start = getattr(node, "start", None)
+                if callable(start):
+                    start()
+                if not remaining and on_all_ready is not None:
+                    on_all_ready(group)
+
+            return ready
+
+        for name in group.context.members:
+            replica = self._make_replica(group, name)
+            group.replicas[name] = replica
+            result = self.fabric.spawn(
+                self.principal,
+                replica,
+                assignment[name],
+                group.placement[name],
+                on_ready=make_ready_callback(name),
+            )
+            if result != IcapResult.OK:
+                raise RuntimeError(f"spawn of {name} rejected: {result}")
+        self.group = group
+        return group
+
+    def _init_group_shell(
+        self,
+        group: ReplicaGroup,
+        config: GroupConfig,
+        placement: List[Coord],
+        keystore: Optional[KeyStore],
+        safety: Optional[SafetyRecorder],
+    ) -> None:
+        from repro.bft.replica import GroupContext
+
+        family = FAMILIES[config.protocol]
+        n = family.replicas_for(config.f)
+        member_names = [f"{config.group_id}-r{i}" for i in range(n)]
+        group.chip = self.chip
+        group.config = config
+        group.keystore = keystore or KeyStore()
+        group.safety = safety or SafetyRecorder()
+        group.protocol = config.protocol
+        group.placement = dict(zip(member_names, placement))
+        group.context = GroupContext(
+            group_id=config.group_id,
+            members=member_names,
+            f=config.f,
+            app_factory=config.app_factory,
+            keystore=group.keystore,
+            safety=group.safety,
+            metrics=self.chip.metrics,
+        )
+        group.replicas = {}
+        group.clients = []
+
+    def _make_replica(self, group: ReplicaGroup, name: str) -> BaseReplica:
+        family = FAMILIES[group.config.protocol]
+        if group.config.protocol_config is not None:
+            return family.replica_cls(name, group.context, group.config.protocol_config)
+        return family.replica_cls(name, group.context)
+
+    # ------------------------------------------------------------------
+    # Elastic scaling (§II.D: "scaling out/in the system when f may change")
+    # ------------------------------------------------------------------
+    def scale_out(
+        self, on_ready: Optional[Callable[[BaseReplica], None]] = None
+    ) -> Optional[str]:
+        """Add one replica to the group (raises effective f when the
+        protocol's size function allows it).  Returns the new name."""
+        group = self._require_group()
+        free = self.fabric.free_regions()
+        if not free:
+            return None
+        index = len(group.context.members)
+        name = f"{group.config.group_id}-r{index}"
+        group.context.members.append(name)
+        group.placement[name] = free[0]
+        replica = self._make_replica(group, name)
+        group.replicas[name] = replica
+        donor = group._most_advanced_state()
+        variant = self.diversity.assign(group.context.members)[name]
+
+        def ready(node) -> None:
+            if donor is not None:
+                node.import_state(donor)
+            self.spawn_completions[name] = self.chip.sim.now
+            if on_ready is not None:
+                on_ready(node)
+
+        self.fabric.spawn(self.principal, replica, variant, free[0], on_ready=ready)
+        self._reconfigure_clients(group)
+        return name
+
+    def scale_in(self) -> Optional[str]:
+        """Remove the highest-index replica.  Returns its name."""
+        group = self._require_group()
+        family = FAMILIES[group.protocol]
+        minimum = family.replicas_for(group.config.f)
+        if len(group.context.members) <= minimum:
+            return None
+        name = group.context.members.pop()
+        coord = group.placement.pop(name)
+        removed = group.replicas.pop(name, None)
+        if removed is not None:
+            removed.shutdown()
+        if self.chip.has_node(name):
+            self.fabric.despawn(coord)
+        self.diversity.assignment.pop(name, None)
+        self._reconfigure_clients(group)
+        return name
+
+    def _reconfigure_clients(self, group: ReplicaGroup) -> None:
+        for client in group.clients:
+            client.configure(group.members, group.reply_quorum)
+
+    def _require_group(self) -> ReplicaGroup:
+        if self.group is None:
+            raise RuntimeError("no group deployed yet")
+        return self.group

@@ -1,0 +1,129 @@
+"""HMAC computation, verification, and MAC-vector authenticators."""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from typing import Any, Callable, Dict, Iterable, Mapping
+
+PairKeyFn = Callable[[str, str], bytes]
+"""A function ``(a, b) -> key``; both ``KeyStore.pair_key`` and the
+restricted ``NodeKeys.pair_key`` satisfy this signature."""
+
+MAC_LENGTH = 16
+"""We truncate HMAC-SHA256 to 16 bytes, as BFT implementations commonly do;
+the simulation only needs unforgeability, not 256-bit margins."""
+
+
+class MacError(ValueError):
+    """Raised when a MAC fails verification in a context that must not proceed."""
+
+
+def canonical_bytes(payload: Any) -> bytes:
+    """Serialize a payload deterministically for MAC computation.
+
+    Supports the JSON-ish types protocol messages are built from: None,
+    bool, int, float, str, bytes, and (nested) tuples/lists/dicts.  Dicts
+    are serialized in sorted key order so logically equal messages always
+    produce equal MACs.
+    """
+    out = bytearray()
+    _encode(payload, out)
+    return bytes(out)
+
+
+def _encode(value: Any, out: bytearray) -> None:
+    if value is None:
+        out += b"N"
+    elif isinstance(value, bool):
+        out += b"T" if value else b"F"
+    elif isinstance(value, int):
+        encoded = str(value).encode("ascii")
+        out += b"i" + str(len(encoded)).encode("ascii") + b":" + encoded
+    elif isinstance(value, float):
+        encoded = repr(value).encode("ascii")
+        out += b"f" + str(len(encoded)).encode("ascii") + b":" + encoded
+    elif isinstance(value, str):
+        encoded = value.encode("utf-8")
+        out += b"s" + str(len(encoded)).encode("ascii") + b":" + encoded
+    elif isinstance(value, bytes):
+        out += b"b" + str(len(value)).encode("ascii") + b":" + value
+    elif isinstance(value, (tuple, list)):
+        out += b"l" + str(len(value)).encode("ascii") + b":"
+        for item in value:
+            _encode(item, out)
+    elif isinstance(value, Mapping):
+        keys = sorted(value)
+        out += b"d" + str(len(keys)).encode("ascii") + b":"
+        for key in keys:
+            if not isinstance(key, str):
+                raise TypeError(f"MAC payload dict keys must be str, got {type(key).__name__}")
+            _encode(key, out)
+            _encode(value[key], out)
+    else:
+        raise TypeError(f"cannot canonicalize {type(value).__name__} for MAC")
+
+
+def compute_mac(key: bytes, payload: Any) -> bytes:
+    """HMAC-SHA256 (truncated) over the canonical serialization of payload."""
+    return hmac.new(key, canonical_bytes(payload), hashlib.sha256).digest()[:MAC_LENGTH]
+
+
+def verify_mac(key: bytes, payload: Any, mac: bytes) -> bool:
+    """Constant-time comparison of the expected MAC against ``mac``."""
+    return hmac.compare_digest(compute_mac(key, payload), mac)
+
+
+def digest(payload: Any) -> bytes:
+    """Plain SHA256 digest of the canonical serialization (request digests)."""
+    return hashlib.sha256(canonical_bytes(payload)).digest()
+
+
+class Authenticator:
+    """A MAC vector: one MAC per intended recipient, as in PBFT.
+
+    The sender computes ``{recipient: HMAC(k_sr, payload)}`` over all
+    recipients; each recipient verifies only its own entry.  A Byzantine
+    sender *can* produce an inconsistent authenticator (valid for some
+    recipients, garbage for others) — exactly the attack PBFT's view
+    change must cope with, and one of our fault strategies exercises it.
+    """
+
+    def __init__(self, sender: str, macs: Dict[str, bytes]) -> None:
+        self.sender = sender
+        self.macs = macs
+
+    @classmethod
+    def create(
+        cls,
+        sender: str,
+        recipients: Iterable[str],
+        payload: Any,
+        pair_key: "PairKeyFn",
+    ) -> "Authenticator":
+        """Compute the full MAC vector for ``payload``.
+
+        ``pair_key(a, b)`` returns the symmetric key for the pair; senders
+        use their restricted :class:`~repro.crypto.keys.NodeKeys` view.
+        """
+        macs = {
+            recipient: compute_mac(pair_key(sender, recipient), payload)
+            for recipient in recipients
+            if recipient != sender
+        }
+        return cls(sender, macs)
+
+    def verify(self, recipient: str, payload: Any, pair_key: "PairKeyFn") -> bool:
+        """Check the entry addressed to ``recipient``; absent entries fail."""
+        mac = self.macs.get(recipient)
+        if mac is None:
+            return False
+        return verify_mac(pair_key(self.sender, recipient), payload, mac)
+
+    @property
+    def size_bytes(self) -> int:
+        """Wire size of the MAC vector (for message-cost accounting)."""
+        return sum(len(m) for m in self.macs.values())
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Authenticator from={self.sender} n={len(self.macs)}>"

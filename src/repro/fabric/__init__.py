@@ -1,0 +1,35 @@
+"""FPGA fabric model: reconfigurable regions, bitstreams, ICAP (§II.E).
+
+The paper's Hard Custom Logic Fabric (HCLF): an FPGA grid where softcores
+and logic blocks are spawned, rejuvenated, relocated, and adapted at
+runtime through *internal, partial, dynamic* reconfiguration:
+
+* **internal** — reconfiguration is driven from within the platform via a
+  configuration access port (:class:`~repro.fabric.icap.IcapPort`) with
+  access controls;
+* **partial**  — bound to one :class:`~repro.fabric.region.ReconfigurableRegion`
+  (frame) while the rest of the fabric keeps running;
+* **dynamic**  — regions reconfigure while others execute; only the
+  target region blocks, and the single ICAP serializes concurrent writes.
+
+Bitstreams come from a validated :class:`~repro.fabric.bitstream.BitstreamStore`
+(golden-image checksums); writing an invalid or tampered bitstream is
+rejected at the port — and experiment E7 shows why that check must be
+*consensual* rather than trusted to one kernel.
+"""
+
+from repro.fabric.bitstream import Bitstream, BitstreamStore
+from repro.fabric.fabric import FpgaFabric, FabricConfig
+from repro.fabric.icap import IcapPort, IcapResult
+from repro.fabric.region import ReconfigurableRegion, RegionState
+
+__all__ = [
+    "Bitstream",
+    "BitstreamStore",
+    "FabricConfig",
+    "FpgaFabric",
+    "IcapPort",
+    "IcapResult",
+    "ReconfigurableRegion",
+    "RegionState",
+]

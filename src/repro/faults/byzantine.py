@@ -1,0 +1,200 @@
+"""Byzantine behaviour strategies for compromised nodes.
+
+A compromised node keeps running its protocol code, but its traffic passes
+through adversarial filters (see :class:`repro.soc.node.Node`).  Strategies
+are protocol-agnostic: they manipulate outbound messages by duck-typing a
+few conventional attribute names (``digest``, ``seq``, ``view``) that all
+our protocol messages use.  This models the strongest adversary our crypto
+layer permits — it can lie in any field of its own messages and equivocate
+per destination, but cannot forge other nodes' MACs or its own hybrid's
+certificates.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.rng import RngStream
+    from repro.soc.node import Node
+
+
+def _tamper(message: Any, salt: int) -> Any:
+    """Return a per-salt tampered copy of a protocol message.
+
+    Dataclass messages get their ``digest`` xored (if bytes) or their
+    ``seq``/``view`` shifted; non-dataclasses are returned unchanged (the
+    strategy then degrades to a no-op, which is safe-side for the attack).
+    """
+    if not dataclasses.is_dataclass(message):
+        return message
+    field_names = {f.name for f in dataclasses.fields(message)}
+    changes = {}
+    # Prefer corrupting the digest (the most protocol-relevant lie), then
+    # fall back to shifting sequence/view numbers.
+    if "digest" in field_names:
+        value = getattr(message, "digest")
+        if isinstance(value, bytes) and value:
+            changes["digest"] = bytes([value[0] ^ (0x5A + salt % 7 + 1)]) + value[1:]
+    if not changes:
+        for name in ("seq", "view"):
+            if name in field_names and isinstance(getattr(message, name), int):
+                changes[name] = getattr(message, name) + 1 + (salt % 3)
+                break
+    if not changes:
+        return message
+    try:
+        return dataclasses.replace(message, **changes)
+    except (TypeError, ValueError):
+        return message
+
+
+class ByzantineStrategy:
+    """Base class: installs filters on a node when activated."""
+
+    name = "byzantine"
+
+    def __init__(self, rng: "RngStream") -> None:
+        self.rng = rng
+        self.node: Optional["Node"] = None
+        self.actions = 0
+
+    def activate(self, node: "Node") -> None:
+        """Compromise the node and install this strategy's filters."""
+        self.node = node
+        node.compromise()
+        self.install(node)
+
+    def install(self, node: "Node") -> None:
+        """Subclass hook: add the outbound/inbound filters."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover
+        target = self.node.name if self.node else "-"
+        return f"<{type(self).__name__} on {target}>"
+
+
+class SilentStrategy(ByzantineStrategy):
+    """Fail-silent: drop *all* outbound traffic (crash-like, undetectable
+    from the message content)."""
+
+    name = "silent"
+
+    def install(self, node: "Node") -> None:
+        def drop_all(dst: str, message: Any) -> Optional[Any]:
+            self.actions += 1
+            return None
+
+        node.add_outbound_filter(drop_all)
+
+
+class DropStrategy(ByzantineStrategy):
+    """Probabilistically drop outbound messages (lossy/selective mute)."""
+
+    name = "drop"
+
+    def __init__(self, rng: "RngStream", drop_probability: float = 0.5) -> None:
+        super().__init__(rng)
+        if not 0 <= drop_probability <= 1:
+            raise ValueError(f"drop probability must be in [0,1], got {drop_probability}")
+        self.drop_probability = drop_probability
+
+    def install(self, node: "Node") -> None:
+        def maybe_drop(dst: str, message: Any) -> Optional[Any]:
+            if self.rng.bernoulli(self.drop_probability):
+                self.actions += 1
+                return None
+            return message
+
+        node.add_outbound_filter(maybe_drop)
+
+
+class CorruptStrategy(ByzantineStrategy):
+    """Tamper with outbound message fields (same lie to everyone)."""
+
+    name = "corrupt"
+
+    def install(self, node: "Node") -> None:
+        def corrupt(dst: str, message: Any) -> Optional[Any]:
+            self.actions += 1
+            return _tamper(message, salt=0)
+
+        node.add_outbound_filter(corrupt)
+
+
+class EquivocateStrategy(ByzantineStrategy):
+    """Send *different* lies to different destinations.
+
+    This is the attack hybrids neutralize: with a USIG each statement is
+    bound to a unique counter value, so per-destination variants of "the
+    same" message become detectable.  Without hybrids (plain PBFT), only
+    quorum intersection across 3f+1 replicas masks it.
+    """
+
+    name = "equivocate"
+
+    def install(self, node: "Node") -> None:
+        salts: dict = {}
+
+        def equivocate(dst: str, message: Any) -> Optional[Any]:
+            salt = salts.setdefault(dst, len(salts))
+            if salt == 0:
+                return message  # first destination gets the truth
+            self.actions += 1
+            return _tamper(message, salt=salt)
+
+        node.add_outbound_filter(equivocate)
+
+
+class DelayStrategy(ByzantineStrategy):
+    """Withhold messages and release them late (performance attack).
+
+    Implemented by re-sending a copy after ``delay`` and dropping the
+    original; bounded-delay attacks degrade latency without violating
+    safety, which severity detectors (E5) must notice.
+    """
+
+    name = "delay"
+
+    def __init__(self, rng: "RngStream", delay: float = 500.0) -> None:
+        super().__init__(rng)
+        if delay <= 0:
+            raise ValueError(f"delay must be positive, got {delay}")
+        self.delay = delay
+
+    def install(self, node: "Node") -> None:
+        releasing: set = set()  # ids of messages being re-sent post-delay
+
+        def delay_filter(dst: str, message: Any) -> Optional[Any]:
+            if id(message) in releasing:
+                releasing.discard(id(message))
+                return message
+            self.actions += 1
+            node.sim.schedule(self.delay, self._release, node, dst, message, releasing)
+            return None
+
+        node.add_outbound_filter(delay_filter)
+
+    def _release(self, node: "Node", dst: str, message: Any, releasing: set) -> None:
+        if node.state.value == "crashed":
+            return
+        releasing.add(id(message))
+        node.send(dst, message)
+
+
+_STRATEGIES = {
+    "silent": SilentStrategy,
+    "drop": DropStrategy,
+    "corrupt": CorruptStrategy,
+    "equivocate": EquivocateStrategy,
+    "delay": DelayStrategy,
+}
+
+
+def make_strategy(name: str, rng: "RngStream", **kwargs: Any) -> ByzantineStrategy:
+    """Factory for strategies by name (see ``_STRATEGIES`` keys)."""
+    cls = _STRATEGIES.get(name)
+    if cls is None:
+        raise ValueError(f"unknown Byzantine strategy {name!r}; expected one of {sorted(_STRATEGIES)}")
+    return cls(rng, **kwargs)

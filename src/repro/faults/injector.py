@@ -1,0 +1,125 @@
+"""Fault-campaign driver: scheduled and stochastic injection.
+
+The injector is the experiments' single entry point for benign faults:
+node crashes, tile crashes, NoC link failures, and transient bitflips into
+hybrid counter registers (the E6 campaign).  All stochastic choices come
+from named RNG streams, so campaigns are reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, TYPE_CHECKING
+
+from repro.noc.topology import Coord
+from repro.sim.timers import PeriodicTimer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hybrids.usig import Usig
+    from repro.sim.simulator import Simulator
+    from repro.soc.chip import Chip
+
+
+class FaultInjector:
+    """Schedules fault events against a chip and its hybrids."""
+
+    def __init__(self, sim: "Simulator", chip: "Chip", rng_name: str = "faults.injector") -> None:
+        self.sim = sim
+        self.chip = chip
+        self._rng = sim.rng.stream(rng_name)
+        self.injected_crashes = 0
+        self.injected_bitflips = 0
+        self.injected_link_faults = 0
+        self._timers: List[PeriodicTimer] = []
+
+    # ------------------------------------------------------------------
+    # Scheduled (deterministic) faults
+    # ------------------------------------------------------------------
+    def crash_node_at(self, name: str, time: float) -> None:
+        """Crash a named node at an absolute time."""
+        self.sim.schedule_at(time, self._crash_node, name)
+
+    def crash_tile_at(self, coord: Coord, time: float) -> None:
+        """Physically crash a tile at an absolute time."""
+        self.sim.schedule_at(time, self._crash_tile, coord)
+
+    def fail_link_at(self, a: Coord, b: Coord, time: float) -> None:
+        """Hard-fail a NoC link at an absolute time."""
+        self.sim.schedule_at(time, self._fail_link, a, b)
+
+    def repair_link_at(self, a: Coord, b: Coord, time: float) -> None:
+        """Repair a NoC link at an absolute time."""
+        self.sim.schedule_at(time, self.chip.noc.repair_link, a, b)
+
+    # ------------------------------------------------------------------
+    # Stochastic campaigns
+    # ------------------------------------------------------------------
+    def bitflip_campaign(
+        self,
+        usig: "Usig",
+        rate_per_bit: float,
+        check_period: float = 1000.0,
+        until: Optional[float] = None,
+    ) -> PeriodicTimer:
+        """Poisson bitflips into a USIG's counter register.
+
+        ``rate_per_bit`` is the per-physical-bit flip probability per time
+        unit (SEU rate); each period we draw the number of flips from the
+        corresponding Poisson and place them uniformly over physical bits.
+        Bigger codewords (ECC/TMR) naturally absorb more raw flips.
+        """
+        if rate_per_bit < 0:
+            raise ValueError("rate_per_bit must be non-negative")
+
+        def flip_round() -> None:
+            if until is not None and self.sim.now > until:
+                timer.stop()
+                return
+            mean = rate_per_bit * usig.physical_bits * check_period
+            flips = self._rng.poisson(mean)
+            for _ in range(flips):
+                bit = self._rng.randint(0, usig.physical_bits - 1)
+                usig.inject_bitflip(bit)
+                self.injected_bitflips += 1
+
+        timer = PeriodicTimer(self.sim, check_period, flip_round)
+        self._timers.append(timer)
+        return timer
+
+    def random_link_failures(
+        self, rate: float, check_period: float = 5000.0, repair_after: Optional[float] = None
+    ) -> PeriodicTimer:
+        """Stochastic link failures at ``rate`` per link per time unit."""
+        links = sorted(self.chip.noc.links)
+
+        def fail_round() -> None:
+            for (a, b) in links:
+                if self._rng.bernoulli(rate * check_period):
+                    self._fail_link(a, b)
+                    if repair_after is not None:
+                        self.sim.schedule(repair_after, self.chip.noc.repair_link, a, b)
+
+        timer = PeriodicTimer(self.sim, check_period, fail_round)
+        self._timers.append(timer)
+        return timer
+
+    def stop_all(self) -> None:
+        """Stop every stochastic campaign."""
+        for timer in self._timers:
+            timer.stop()
+        self._timers.clear()
+
+    # ------------------------------------------------------------------
+    def _crash_node(self, name: str) -> None:
+        if self.chip.has_node(name):
+            self.chip.node(name).crash()
+            self.injected_crashes += 1
+
+    def _crash_tile(self, coord: Coord) -> None:
+        tile = self.chip.tiles[coord]
+        if tile.state.value != "crashed":
+            tile.crash()
+            self.injected_crashes += 1
+
+    def _fail_link(self, a: Coord, b: Coord) -> None:
+        self.chip.noc.fail_link(a, b)
+        self.injected_link_faults += 1

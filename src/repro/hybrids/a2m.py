@@ -1,0 +1,123 @@
+"""A2M: Attested Append-only Memory (Chun et al., SOSP'07).
+
+A2M offers trusted *logs*: ``append`` binds a value to the next sequence
+number of a named log and returns an attestation; ``lookup`` and ``end``
+return attested views of committed entries.  Because the log is
+append-only and attested, a compromised host cannot present different
+histories to different observers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.crypto.keys import KeyStore
+from repro.crypto.mac import compute_mac, digest as payload_digest, verify_mac
+
+
+@dataclass(frozen=True)
+class A2MAttestation:
+    """Attestation of one log entry: (device, log, seq, entry digest, MAC)."""
+
+    device_id: str
+    log_id: str
+    sequence: int
+    entry_digest: bytes
+    mac: bytes
+
+    @property
+    def size_bytes(self) -> int:
+        """Wire size for message-cost accounting."""
+        return 4 + 4 + 8 + len(self.entry_digest) + len(self.mac)
+
+
+class A2M:
+    """One attested append-only memory device with multiple named logs."""
+
+    def __init__(self, device_id: str, keystore: KeyStore, capacity_per_log: int = 4096) -> None:
+        if capacity_per_log < 1:
+            raise ValueError("log capacity must be >= 1")
+        self.device_id = device_id
+        self._secret = keystore.secret_for(device_id)
+        self.capacity_per_log = capacity_per_log
+        self._logs: Dict[str, List[bytes]] = {}
+        self._totals: Dict[str, int] = {}
+
+    def append(self, log_id: str, value: object) -> A2MAttestation:
+        """Append a value to a log; returns its attestation.
+
+        The log stores digests (as the hardware would), bounded by
+        ``capacity_per_log`` with truncate-from-front semantics mirroring
+        A2M's ``truncate`` operation driven implicitly by capacity.
+        """
+        log = self._logs.setdefault(log_id, [])
+        entry = payload_digest(value)
+        log.append(entry)
+        self._totals[log_id] = self._totals.get(log_id, 0) + 1
+        if len(log) > self.capacity_per_log:
+            del log[0 : len(log) - self.capacity_per_log]
+        sequence = self._totals[log_id]
+        return self._attest(log_id, sequence, entry)
+
+    def lookup(self, log_id: str, sequence: int) -> Optional[A2MAttestation]:
+        """Attested read of entry ``sequence`` (1-based), or None if absent."""
+        log = self._logs.get(log_id)
+        if log is None:
+            return None
+        base = self._base_sequence(log_id)
+        index = sequence - base - 1
+        if not 0 <= index < len(log):
+            return None
+        return self._attest(log_id, sequence, log[index])
+
+    def end(self, log_id: str) -> Optional[A2MAttestation]:
+        """Attested view of the most recent entry, or None for empty logs."""
+        log = self._logs.get(log_id)
+        if not log:
+            return None
+        sequence = self._base_sequence(log_id) + len(log)
+        return self._attest(log_id, sequence, log[-1])
+
+    def _base_sequence(self, log_id: str) -> int:
+        # Sequence numbers keep counting across truncation; the base is the
+        # total ever appended minus the retained suffix.
+        appended = self._totals.get(log_id, 0)
+        retained = len(self._logs.get(log_id, []))
+        return appended - retained
+
+    def _attest(self, log_id: str, sequence: int, entry: bytes) -> A2MAttestation:
+        mac = compute_mac(self._secret, (self.device_id, log_id, sequence, entry))
+        return A2MAttestation(self.device_id, log_id, sequence, entry, mac)
+
+    def append_count(self, log_id: str) -> int:
+        """Total entries ever appended to a log."""
+        return self._totals.get(log_id, 0)
+
+
+class A2MVerifier:
+    """Verification half for A2M attestations."""
+
+    def __init__(self, keystore: KeyStore) -> None:
+        self._keystore = keystore
+
+    def verify(self, attestation: A2MAttestation) -> bool:
+        """Check the attestation's HMAC."""
+        secret = self._keystore.secret_for(attestation.device_id)
+        return verify_mac(
+            secret,
+            (
+                attestation.device_id,
+                attestation.log_id,
+                attestation.sequence,
+                attestation.entry_digest,
+            ),
+            attestation.mac,
+        )
+
+    def matches(self, attestation: A2MAttestation, value: object) -> bool:
+        """True if the attestation is valid *and* covers ``value``."""
+        return (
+            self.verify(attestation)
+            and attestation.entry_digest == payload_digest(value)
+        )

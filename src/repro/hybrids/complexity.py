@@ -1,0 +1,114 @@
+"""Gate-equivalent complexity estimates for hybrid design points (E6).
+
+The paper (§III) frames hybridization as a complexity trade-off: a circuit
+should be just complex enough to provide its guarantee robustly — plain
+registers are minimal but fragile, ECC adds "extra bits and the logic
+required for correction", and past some bound "software implementations
+become preferable and hybridization amounts to providing an isolated
+core".  To make that claim measurable we estimate each design point in
+gate equivalents (GE, 2-input NAND units), using standard-cell rules of
+thumb from the synthesis literature:
+
+* D flip-flop          ≈ 6 GE
+* 2-input XOR          ≈ 2.5 GE
+* majority voter/bit   ≈ 5 GE (2xAND + OR variants)
+* 64-bit incrementer   ≈ 64 x 3 GE (half-adder chain)
+* HMAC-SHA256 core     ≈ 15,000 GE (compact iterative implementations
+  report 11-22 kGE; we take a middle value)
+* minimal RV32I core   ≈ 35,000 GE (e.g. SERV-class serial cores are far
+  smaller, picoRV32-class ~25-40 kGE; we take a representative mid value,
+  and add instruction/data SRAM mapped at 1 GE/bit x 16 KiB)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+GE_FLIPFLOP = 6.0
+GE_XOR = 2.5
+GE_VOTER_PER_BIT = 5.0
+GE_INCREMENTER_PER_BIT = 3.0
+GE_HMAC_CORE = 15_000.0
+GE_SOFTCORE_LOGIC = 35_000.0
+GE_SRAM_PER_BIT = 1.0
+SOFTCORE_MEMORY_BITS = 16 * 1024 * 8  # 16 KiB of program/data memory
+
+
+@dataclass(frozen=True)
+class GateComplexity:
+    """A complexity estimate broken into storage and logic."""
+
+    component: str
+    storage_ge: float
+    logic_ge: float
+
+    @property
+    def total_ge(self) -> float:
+        """Total gate-equivalents."""
+        return self.storage_ge + self.logic_ge
+
+
+def register_complexity(kind: str, width: int) -> GateComplexity:
+    """Complexity of one register of ``width`` data bits in a family.
+
+    plain: width flip-flops.
+    ecc:   (width + r + 1) flip-flops plus encode/decode XOR trees —
+           roughly one XOR per covered position per parity bit on each of
+           the encode and decode paths.
+    tmr:   3x flip-flops plus a per-bit majority voter.
+    """
+    if kind == "plain":
+        return GateComplexity(f"plain[{width}]", width * GE_FLIPFLOP, 0.0)
+    if kind == "ecc":
+        from repro.hybrids.registers import _parity_bit_count
+
+        r = _parity_bit_count(width)
+        stored_bits = width + r + 1
+        # Each parity bit covers about half the codeword; encode + decode.
+        xor_count = 2 * (r + 1) * (stored_bits / 2)
+        return GateComplexity(
+            f"ecc[{width}+{r}+1]", stored_bits * GE_FLIPFLOP, xor_count * GE_XOR
+        )
+    if kind == "tmr":
+        return GateComplexity(
+            f"tmr[3x{width}]", 3 * width * GE_FLIPFLOP, width * GE_VOTER_PER_BIT
+        )
+    raise ValueError(f"unknown register kind {kind!r}")
+
+
+def usig_complexity(register_kind: str, counter_width: int = 64) -> GateComplexity:
+    """Complexity of a USIG built on the given counter register family.
+
+    USIG = counter register (+protection) + incrementer + HMAC core +
+    two 256-bit constant registers (secret key, replica id/padding).
+    """
+    counter = register_complexity(register_kind, counter_width)
+    constants_ge = 2 * 256 * GE_FLIPFLOP
+    logic = (
+        counter.logic_ge
+        + counter_width * GE_INCREMENTER_PER_BIT
+        + GE_HMAC_CORE
+    )
+    return GateComplexity(
+        f"usig/{register_kind}", counter.storage_ge + constants_ge, logic
+    )
+
+
+def softcore_complexity() -> GateComplexity:
+    """Complexity of realizing the hybrid as software on an isolated core."""
+    return GateComplexity(
+        "softcore", SOFTCORE_MEMORY_BITS * GE_SRAM_PER_BIT, GE_SOFTCORE_LOGIC
+    )
+
+
+def estimate_complexity(design: str, counter_width: int = 64) -> GateComplexity:
+    """Estimate a named design point.
+
+    ``design`` ∈ {"usig-plain", "usig-ecc", "usig-tmr", "softcore"}.
+    """
+    if design == "softcore":
+        return softcore_complexity()
+    prefix = "usig-"
+    if design.startswith(prefix):
+        return usig_complexity(design[len(prefix):], counter_width)
+    raise ValueError(f"unknown design {design!r}")

@@ -1,0 +1,191 @@
+"""Razor-style timing-error detection (paper §II.A).
+
+"Razor integrates detection capabilities, originally for timing faults in
+sequential logic, but also for power instability and side channels, and
+reinjects stored state into the pipeline for re-execution.  Albeit
+functionally transparent, users may observe timing differences and
+anomalies caused by them."
+
+This module reproduces that mechanism at the level the paper discusses
+it: a pipeline stage protected by a shadow latch, running at a *fixed
+clock*.  Scaling the supply voltage down cuts dynamic energy
+quadratically but pushes the critical path into the timing margin,
+raising the fault probability; Razor detects a fault with some coverage
+and re-executes (a visible timing anomaly), while uncovered faults escape
+as silent corruptions — the detector-coverage term that appears in the
+passive-replication reliability model
+(:func:`repro.analysis.reliability.standby`).
+
+The voltage→(delay, fault-rate) mapping is the standard alpha-power-law
+shape: delay rises as Vdd approaches the threshold voltage, while timing
+slack (and hence fault probability under a fixed clock) collapses.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.sim.rng import RngStream
+
+V_NOMINAL = 1.0
+V_THRESHOLD = 0.35
+
+
+@dataclass
+class RazorConfig:
+    """One operating point of a Razor-protected stage.
+
+    ``vdd`` is the supply voltage relative to nominal (1.0); the clock is
+    fixed at the period that gives 10% slack at nominal voltage, so
+    undervolting eats directly into the margin.  ``coverage`` is the
+    probability the shadow latch catches a timing fault;
+    ``reexec_penalty`` is the pipeline-flush cost in stage-delays.
+    """
+
+    vdd: float = 1.0
+    coverage: float = 0.98
+    reexec_penalty: float = 2.0
+
+    def __post_init__(self) -> None:
+        if not V_THRESHOLD < self.vdd <= 1.5:
+            raise ValueError(f"vdd must be in ({V_THRESHOLD}, 1.5], got {self.vdd}")
+        if not 0.0 <= self.coverage <= 1.0:
+            raise ValueError("coverage must be in [0, 1]")
+        if self.reexec_penalty < 0:
+            raise ValueError("re-execution penalty must be >= 0")
+
+
+def stage_delay(vdd: float, alpha: float = 1.4) -> float:
+    """Critical-path delay at ``vdd``, normalized to 1.0 at nominal.
+
+    Alpha-power law: delay ∝ Vdd / (Vdd - Vt)^alpha.
+    """
+    if vdd <= V_THRESHOLD:
+        raise ValueError(f"vdd must exceed the threshold voltage {V_THRESHOLD}")
+    nominal = V_NOMINAL / (V_NOMINAL - V_THRESHOLD) ** alpha
+    return (vdd / (vdd - V_THRESHOLD) ** alpha) / nominal
+
+
+def timing_fault_probability(vdd: float, slack_fraction: float = 0.3) -> float:
+    """P(the critical path misses the clock edge) at ``vdd``.
+
+    The clock period is fixed at ``(1 + slack_fraction)`` of the nominal
+    delay.  Within-die delay variation is modelled as lognormal-ish: the
+    fault probability rises smoothly once the mean path delay approaches
+    the period, saturating at 1.
+    """
+    period = 1.0 + slack_fraction
+    mean_delay = stage_delay(vdd)
+    margin = period - mean_delay
+    if margin <= 0:
+        return 1.0
+    # ~6% sigma of within-die variation: P(delay > period).
+    sigma = 0.06 * mean_delay
+    z = margin / sigma
+    return 0.5 * math.erfc(z / math.sqrt(2.0))
+
+
+@dataclass
+class RazorStats:
+    """Outcome counters for a run of operations.
+
+    Razor runs at a *fixed clock*: undervolting does not speed anything
+    up — it cuts energy (E per op ∝ Vdd²) at the price of re-executions
+    (time + energy) and, past the coverage, silent corruptions.
+    """
+
+    operations: int = 0
+    detected_faults: int = 0
+    silent_corruptions: int = 0
+    total_delay: float = 0.0
+    total_energy: float = 0.0
+
+    @property
+    def energy_per_correct_op(self) -> float:
+        """The Razor figure of merit: energy divided by correct results."""
+        correct = self.operations - self.silent_corruptions
+        if correct <= 0:
+            return float("inf")
+        return self.total_energy / correct
+
+    @property
+    def mean_delay(self) -> float:
+        """Average per-operation latency in clock periods (>= 1)."""
+        if self.operations == 0:
+            return 0.0
+        return self.total_delay / self.operations
+
+
+class RazorStage:
+    """A Razor-protected pipeline stage executing abstract operations."""
+
+    def __init__(self, config: Optional[RazorConfig] = None, rng: Optional[RngStream] = None) -> None:
+        self.config = config or RazorConfig()
+        self.rng = rng or RngStream(0, "razor")
+        self.stats = RazorStats()
+        self._period = 1.0  # fixed clock: one period per (clean) operation
+        self._energy = self.config.vdd ** 2  # dynamic energy per operation
+        self._p_fault = timing_fault_probability(self.config.vdd)
+
+    @property
+    def fault_probability(self) -> float:
+        """Per-operation timing-fault probability at this operating point."""
+        return self._p_fault
+
+    def execute(self) -> Tuple[float, bool]:
+        """Run one operation.
+
+        Returns ``(delay, corrupted)``: the time the operation took
+        (including any re-execution) and whether its result is silently
+        corrupt (an undetected timing fault).
+        """
+        self.stats.operations += 1
+        delay = self._period
+        energy = self._energy
+        corrupted = False
+        if self.rng.bernoulli(self._p_fault):
+            if self.rng.bernoulli(self.config.coverage):
+                # Detected: re-execute — functionally transparent, but the
+                # "timing difference" the paper mentions is real, and the
+                # re-execution burns extra cycles and energy.
+                self.stats.detected_faults += 1
+                delay += self.config.reexec_penalty * self._period
+                energy += self.config.reexec_penalty * self._energy
+            else:
+                self.stats.silent_corruptions += 1
+                corrupted = True
+        self.stats.total_delay += delay
+        self.stats.total_energy += energy
+        return delay, corrupted
+
+    def run(self, operations: int) -> RazorStats:
+        """Execute a batch and return the accumulated stats."""
+        for _ in range(operations):
+            self.execute()
+        return self.stats
+
+
+def sweep_voltage(
+    voltages, operations: int = 20_000, coverage: float = 0.98, seed: int = 0
+):
+    """Evaluate operating points at a fixed clock.
+
+    Returns ``[(vdd, p_fault, energy_per_correct_op, mean_delay, silent)]``
+    — the classic Razor curve: energy per operation falls quadratically as
+    Vdd drops, until re-executions (and, past the shadow latch's coverage,
+    silent corruptions) dominate; the minimum sits *below* the worst-case
+    voltage margin, which is Razor's entire point.
+    """
+    out = []
+    for i, vdd in enumerate(voltages):
+        stage = RazorStage(
+            RazorConfig(vdd=vdd, coverage=coverage), RngStream(seed, f"razor.{i}")
+        )
+        stats = stage.run(operations)
+        out.append(
+            (vdd, stage.fault_probability, stats.energy_per_correct_op,
+             stats.mean_delay, stats.silent_corruptions)
+        )
+    return out

@@ -1,0 +1,92 @@
+"""TrInc: a trusted incrementer (Levin et al., NSDI'09).
+
+TrInc generalizes the USIG: the caller *chooses* the new counter value,
+which must be >= the current one, and receives an attestation binding
+``(old_counter, new_counter, payload)``.  Choosing ``new == old`` yields a
+non-advancing attestation (useful for reads); gaps are allowed.  Like the
+USIG it prevents equivocation: no two different payloads can ever be bound
+to the same (old, new) interval twice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.keys import KeyStore
+from repro.crypto.mac import compute_mac, verify_mac
+from repro.hybrids.registers import Register, RegisterError, make_register
+
+
+@dataclass(frozen=True)
+class TrIncAttestation:
+    """Attestation of an increment: (device, old, new, HMAC over payload)."""
+
+    device_id: str
+    old_counter: int
+    new_counter: int
+    mac: bytes
+
+    @property
+    def size_bytes(self) -> int:
+        """Wire size for message-cost accounting."""
+        return 4 + 8 + 8 + len(self.mac)
+
+
+class TrIncError(Exception):
+    """Raised on monotonicity violations or corrupt internal state."""
+
+
+class TrInc:
+    """One trusted-incrementer device.
+
+    The counter register family is pluggable like the USIG's, so the same
+    E6 bitflip experiments apply.
+    """
+
+    def __init__(self, device_id: str, keystore: KeyStore, register_kind: str = "ecc") -> None:
+        self.device_id = device_id
+        self._secret = keystore.secret_for(device_id)
+        self.counter_register: Register = make_register(register_kind, 64, 0)
+        self.halted = False
+
+    def attest(self, new_counter: int, payload: bytes) -> TrIncAttestation:
+        """Advance (or hold) the counter and attest the interval + payload.
+
+        Raises :class:`TrIncError` if ``new_counter`` is below the stored
+        counter — the hybrid refuses to go backwards.
+        """
+        if self.halted:
+            raise TrIncError(f"TrInc {self.device_id} is halted")
+        try:
+            old = self.counter_register.read()
+        except RegisterError as exc:
+            self.halted = True
+            raise TrIncError(f"TrInc {self.device_id} counter uncorrectable") from exc
+        if new_counter < old:
+            raise TrIncError(
+                f"TrInc {self.device_id}: counter must not regress ({new_counter} < {old})"
+            )
+        self.counter_register.write(new_counter)
+        mac = compute_mac(self._secret, (self.device_id, old, new_counter, payload))
+        return TrIncAttestation(self.device_id, old, new_counter, mac)
+
+
+class TrIncVerifier:
+    """Verification half, inside each node's trusted perimeter."""
+
+    def __init__(self, keystore: KeyStore) -> None:
+        self._keystore = keystore
+
+    def verify(self, attestation: TrIncAttestation, payload: bytes) -> bool:
+        """Check the attestation's HMAC binding."""
+        secret = self._keystore.secret_for(attestation.device_id)
+        return verify_mac(
+            secret,
+            (
+                attestation.device_id,
+                attestation.old_counter,
+                attestation.new_counter,
+                payload,
+            ),
+            attestation.mac,
+        )

@@ -1,0 +1,34 @@
+"""Metrics collection and reporting.
+
+Every experiment in this reproduction reports through this package so that
+benches print uniform tables.  The design follows the usual triad:
+
+* :class:`~repro.metrics.collectors.Counter` — monotonically increasing
+  event counts,
+* :class:`~repro.metrics.collectors.Gauge` — last-value-wins instantaneous
+  readings,
+* :class:`~repro.metrics.collectors.Histogram` — latency-style
+  distributions with percentile queries,
+* :class:`~repro.metrics.collectors.TimeSeries` — (time, value) samples for
+  plotting phase behaviour,
+* :class:`~repro.metrics.registry.MetricsRegistry` — a namespace of the
+  above, one per simulation,
+* :class:`~repro.metrics.tables.Table` — fixed-width table rendering used
+  by the benchmark harness to print the rows each experiment defines.
+"""
+
+from repro.metrics.collectors import Counter, Gauge, Histogram, TimeSeries
+from repro.metrics.registry import MetricsRegistry
+from repro.metrics.tables import Table
+from repro.metrics.tracing import ProtocolTracer, TraceRecord
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "ProtocolTracer",
+    "Table",
+    "TimeSeries",
+    "TraceRecord",
+]

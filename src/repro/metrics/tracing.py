@@ -1,0 +1,140 @@
+"""Protocol tracing: observe a replica group's message flow.
+
+A :class:`ProtocolTracer` installs non-destructive message filters on a
+group's replicas (and optionally its clients) and records every send and
+delivery with timestamps and message types.  Renderers turn the record
+stream into the two artifacts protocol debugging actually needs:
+
+* :meth:`ProtocolTracer.sequence` — a text sequence diagram
+  (``t=1234  g-r0 -> g-r1  MbPrepare``),
+* :meth:`ProtocolTracer.summary` — message counts per (type, direction).
+
+Caveat: :meth:`repro.soc.node.Node.recover` clears all filters (it must —
+they are also how Byzantine strategies attach), so call
+:meth:`ProtocolTracer.reattach` after recovering a traced node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One observed message event."""
+
+    time: float
+    kind: str  # "send" or "recv"
+    node: str  # the instrumented node
+    peer: str  # destination (send) or sender (recv)
+    message_type: str
+
+
+class ProtocolTracer:
+    """Records message traffic of an instrumented set of nodes."""
+
+    def __init__(self, sim, max_records: int = 100_000) -> None:
+        if max_records < 1:
+            raise ValueError("max_records must be >= 1")
+        self.sim = sim
+        self.max_records = max_records
+        self.records: List[TraceRecord] = []
+        self.dropped_records = 0
+        self._nodes: List[Any] = []
+
+    # ------------------------------------------------------------------
+    # Attachment
+    # ------------------------------------------------------------------
+    def attach_node(self, node) -> None:
+        """Instrument one node's sends and deliveries."""
+        self._nodes.append(node)
+        self._install(node)
+
+    def attach_group(self, group, include_clients: bool = False) -> None:
+        """Instrument every replica of a group (and optionally clients)."""
+        for replica in group.replicas.values():
+            self.attach_node(replica)
+        if include_clients:
+            for client in group.clients:
+                self.attach_node(client)
+
+    def reattach(self) -> None:
+        """Re-install filters (after ``recover()`` wiped them)."""
+        for node in self._nodes:
+            self._install(node)
+
+    def _install(self, node) -> None:
+        name = node.name
+
+        def trace_out(dst: str, message: Any) -> Any:
+            self._record("send", name, dst, message)
+            return message
+
+        def trace_in(sender: str, message: Any) -> Any:
+            self._record("recv", name, sender, message)
+            return message
+
+        node.add_outbound_filter(trace_out)
+        node.add_inbound_filter(trace_in)
+
+    def _record(self, kind: str, node: str, peer: str, message: Any) -> None:
+        if len(self.records) >= self.max_records:
+            self.dropped_records += 1
+            return
+        self.records.append(
+            TraceRecord(self.sim.now, kind, node, peer, type(message).__name__)
+        )
+
+    # ------------------------------------------------------------------
+    # Renderers
+    # ------------------------------------------------------------------
+    def summary(self) -> Dict[Tuple[str, str], int]:
+        """Counts per (message type, direction)."""
+        out: Dict[Tuple[str, str], int] = {}
+        for record in self.records:
+            key = (record.message_type, record.kind)
+            out[key] = out.get(key, 0) + 1
+        return out
+
+    def sequence(
+        self,
+        limit: int = 50,
+        start: float = 0.0,
+        end: Optional[float] = None,
+        message_types: Optional[List[str]] = None,
+    ) -> str:
+        """A text sequence diagram of sends in a time window."""
+        lines = []
+        for record in self.records:
+            if record.kind != "send":
+                continue
+            if record.time < start or (end is not None and record.time >= end):
+                continue
+            if message_types is not None and record.message_type not in message_types:
+                continue
+            lines.append(
+                f"t={record.time:<12.1f} {record.node:>10} -> {record.peer:<10} "
+                f"{record.message_type}"
+            )
+            if len(lines) >= limit:
+                lines.append(f"... (truncated at {limit} lines)")
+                break
+        return "\n".join(lines)
+
+    def counts_by_node(self) -> Dict[str, int]:
+        """Messages sent per instrumented node."""
+        out: Dict[str, int] = {}
+        for record in self.records:
+            if record.kind == "send":
+                out[record.node] = out.get(record.node, 0) + 1
+        return out
+
+    def window(self, start: float, end: float) -> List[TraceRecord]:
+        """Records in [start, end)."""
+        return [r for r in self.records if start <= r.time < end]
+
+    def clear(self) -> None:
+        """Drop all recorded events (between measurement phases)."""
+        self.records.clear()
+        self.dropped_records = 0

@@ -1,0 +1,34 @@
+"""Network-on-Chip model: 2D mesh, XY routing, contention, link faults.
+
+The paper's arguments about on-chip replication cost (message complexity of
+3f+1 vs 2f+1 protocols, §III) and spatial relocation (§II.C) hinge on the
+interconnect: replicas exchange protocol messages over the NoC, and hop
+counts/contention determine latency.  This package provides:
+
+* :class:`~repro.noc.topology.MeshTopology` — 2D mesh with dimension-order
+  (XY) routing, the dominant topology in manycore SoCs,
+* :class:`~repro.noc.packet.Packet` — a routed message with flit-level size
+  accounting,
+* :class:`~repro.noc.router.Router` and :class:`~repro.noc.link.Link` —
+  per-hop latency, output-port contention, and fault states,
+* :class:`~repro.noc.network.NocNetwork` — the facade nodes use to send
+  payloads and register delivery handlers.
+"""
+
+from repro.noc.link import Link, LinkState
+from repro.noc.network import NocNetwork, NocConfig
+from repro.noc.packet import FLIT_BYTES, Packet
+from repro.noc.router import Router
+from repro.noc.topology import Coord, MeshTopology
+
+__all__ = [
+    "Coord",
+    "FLIT_BYTES",
+    "Link",
+    "LinkState",
+    "MeshTopology",
+    "NocConfig",
+    "NocNetwork",
+    "Packet",
+    "Router",
+]

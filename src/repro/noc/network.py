@@ -1,0 +1,216 @@
+"""The NoC facade: endpoint registration, sending, hop-by-hop traversal."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.metrics import MetricsRegistry
+from repro.noc.link import Link, LinkState
+from repro.noc.packet import Packet
+from repro.noc.router import Router
+from repro.noc.topology import Coord, MeshTopology
+
+DeliveryHandler = Callable[[Packet], None]
+
+
+@dataclass
+class NocConfig:
+    """Tunable parameters of the interconnect.
+
+    Defaults approximate a conservative manycore NoC: 1-cycle switch,
+    1-cycle link traversal, 16-byte flits at one flit/cycle.  Times are in
+    cycles; protocol layers convert to their own unit once.
+    """
+
+    link_latency: float = 1.0
+    link_cycle_time: float = 1.0
+    switch_latency: float = 1.0
+    adaptive_routing: bool = False
+    drop_corrupted_silently: bool = False
+
+
+class NocNetwork:
+    """A mesh NoC carrying opaque payloads between tiles.
+
+    Endpoints (tiles/cores) register a delivery handler for their
+    coordinate; :meth:`send` injects a packet which traverses the XY route
+    hop by hop with contention and fault checks, then is delivered.
+
+    Fault interface: ``fail_link``, ``degrade_link``, ``repair_link``,
+    ``fail_router``, ``repair_router`` — driven by :mod:`repro.faults`.
+    """
+
+    def __init__(
+        self,
+        sim: "Any",
+        topology: MeshTopology,
+        config: Optional[NocConfig] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.sim = sim
+        self.topology = topology
+        self.config = config or NocConfig()
+        self.metrics = metrics or MetricsRegistry()
+        self.routers: Dict[Coord, Router] = {
+            coord: Router(sim, coord, self.config.switch_latency)
+            for coord in topology.coords()
+        }
+        self.links: Dict[Tuple[Coord, Coord], Link] = {
+            (a, b): Link(sim, a, b, self.config.link_latency, self.config.link_cycle_time)
+            for a, b in topology.links()
+        }
+        self._handlers: Dict[Coord, DeliveryHandler] = {}
+        self._next_packet_id = 0
+        self._delivered = self.metrics.counter("noc.delivered")
+        self._dropped = self.metrics.counter("noc.dropped")
+        self._flit_hops = self.metrics.counter("noc.flit_hops")
+        self._latency = self.metrics.histogram("noc.latency")
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+    def attach(self, coord: Coord, handler: DeliveryHandler) -> None:
+        """Register the delivery handler for a tile (replaces any previous)."""
+        self.topology.require(coord)
+        self._handlers[coord] = handler
+
+    def detach(self, coord: Coord) -> None:
+        """Remove a tile's handler; packets for it will be dropped."""
+        self._handlers.pop(coord, None)
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def send(self, src: Coord, dst: Coord, payload: Any, size_bytes: int = 64) -> Packet:
+        """Inject a packet; returns it so callers can trace its fate."""
+        self.topology.require(src)
+        self.topology.require(dst)
+        packet = Packet(
+            packet_id=self._next_packet_id,
+            src=src,
+            dst=dst,
+            payload=payload,
+            size_bytes=size_bytes,
+            injected_at=self.sim.now,
+        )
+        self._next_packet_id += 1
+        packet.path.append(src)
+        if src == dst:
+            # Local loopback: skip the fabric, pay only switch latency.
+            delay = self.routers[src].switch()
+            self.sim.schedule(delay, self._deliver, packet)
+            return packet
+        route = self._route(src, dst)
+        if route is None:
+            self._drop(packet, "no route (failed links)")
+            return packet
+        self.sim.call_soon(self._hop, packet, route, 0)
+        return packet
+
+    def multicast(
+        self, src: Coord, dsts: List[Coord], payload: Any, size_bytes: int = 64
+    ) -> List[Packet]:
+        """Send the same payload to several destinations (replicated unicast,
+        as real NoCs without multicast trees do)."""
+        return [self.send(src, dst, payload, size_bytes) for dst in dsts]
+
+    # ------------------------------------------------------------------
+    # Faults
+    # ------------------------------------------------------------------
+    def fail_link(self, a: Coord, b: Coord) -> None:
+        """Hard-fail both directions of the link between adjacent tiles."""
+        self._link(a, b).fail()
+        self._link(b, a).fail()
+
+    def degrade_link(self, a: Coord, b: Coord) -> None:
+        """Put both directions of a link into corrupting mode."""
+        self._link(a, b).degrade()
+        self._link(b, a).degrade()
+
+    def repair_link(self, a: Coord, b: Coord) -> None:
+        """Repair both directions of a link."""
+        self._link(a, b).repair()
+        self._link(b, a).repair()
+
+    def fail_router(self, coord: Coord) -> None:
+        """Hard-fail a tile's router."""
+        self.routers[coord].fail()
+
+    def repair_router(self, coord: Coord) -> None:
+        """Repair a tile's router."""
+        self.routers[coord].repair()
+
+    def failed_links(self) -> "frozenset[Tuple[Coord, Coord]]":
+        """The set of currently DOWN directed links."""
+        return frozenset(k for k, l in self.links.items() if l.state == LinkState.DOWN)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _link(self, a: Coord, b: Coord) -> Link:
+        link = self.links.get((a, b))
+        if link is None:
+            raise ValueError(f"no link {a}->{b}: tiles are not adjacent")
+        return link
+
+    def _route(self, src: Coord, dst: Coord) -> Optional[List[Coord]]:
+        if not self.config.adaptive_routing:
+            return self.topology.xy_route(src, dst)
+        blocked = self.failed_links()
+        if not blocked:
+            return self.topology.xy_route(src, dst)
+        try:
+            return self.topology.route_avoiding(src, dst, blocked)
+        except ValueError:
+            return None
+
+    def _hop(self, packet: Packet, route: List[Coord], index: int) -> None:
+        """Move the packet across link route[index] -> route[index+1]."""
+        here = route[index]
+        router = self.routers[here]
+        if router.failed:
+            self._drop(packet, f"router {here} failed")
+            return
+        if here == packet.dst:
+            self._deliver(packet)
+            return
+        nxt = route[index + 1]
+        link = self.links[(here, nxt)]
+        if link.state == LinkState.DOWN:
+            if self.config.adaptive_routing:
+                reroute = self._route(here, packet.dst)
+                if reroute is not None and len(reroute) > 1:
+                    self.sim.call_soon(self._hop, packet, reroute, 0)
+                    return
+            self._drop(packet, f"link {here}->{nxt} down")
+            return
+        if link.state == LinkState.CORRUPTING:
+            packet.corrupted = True
+        switch_delay = router.switch()
+        arrival = link.reserve(packet.flits, self.sim.now + switch_delay)
+        packet.hops += 1
+        packet.path.append(nxt)
+        self.sim.schedule_at(arrival, self._hop, packet, route, index + 1)
+
+    def _deliver(self, packet: Packet) -> None:
+        if packet.corrupted and self.config.drop_corrupted_silently:
+            self._drop(packet, "corrupted (end-to-end check)")
+            return
+        handler = self._handlers.get(packet.dst)
+        if handler is None:
+            self._drop(packet, f"no endpoint at {packet.dst}")
+            return
+        packet.delivered_at = self.sim.now
+        self._delivered.inc()
+        self._flit_hops.inc(packet.flit_hops)
+        self._latency.observe(packet.delivered_at - packet.injected_at)
+        handler(packet)
+
+    def _drop(self, packet: Packet, reason: str) -> None:
+        packet.dropped = True
+        packet.drop_reason = reason
+        self._dropped.inc()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<NocNetwork {self.topology.width}x{self.topology.height}>"

@@ -1,0 +1,33 @@
+"""Resilient reconfiguration: consensual privilege change (paper §II.E).
+
+"Privilege change must remain a trusted operation executed *consensually*
+and enforced by a trusted-trustworthy component" (citing Gouveia et al.,
+Computers & Security 2022).  Here the privileged operation is writing the
+FPGA configuration memory:
+
+* :class:`~repro.recon.consensual.VotingGate` — the trusted-trustworthy
+  hybrid in front of the ICAP: executes a write only when a quorum of
+  kernel replicas has cryptographically endorsed exactly that
+  (region, bitstream) pair in the current epoch.
+* :class:`~repro.recon.kernel.KernelReplica` — a replicated
+  reconfiguration kernel: validates proposals against its golden store
+  and issues endorsement votes; compromised kernels endorse anything.
+* :class:`~repro.recon.controller.ReconfigCoordinator` — drives proposals
+  over the NoC: broadcast to kernels, collect votes, submit to the gate.
+
+The single-writer baseline for E7 is the plain
+:class:`~repro.fabric.icap.IcapPort` with one almighty kernel on its ACL
+— whoever compromises that kernel owns the fabric.
+"""
+
+from repro.recon.consensual import PrivilegeVote, VotingGate, WriteProposal
+from repro.recon.controller import ReconfigCoordinator
+from repro.recon.kernel import KernelReplica
+
+__all__ = [
+    "KernelReplica",
+    "PrivilegeVote",
+    "ReconfigCoordinator",
+    "VotingGate",
+    "WriteProposal",
+]

@@ -1,0 +1,149 @@
+"""The voting gate: a trusted-trustworthy hybrid guarding the ICAP."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Set
+
+from repro.crypto.keys import KeyStore
+from repro.crypto.mac import compute_mac, verify_mac
+from repro.fabric.bitstream import Bitstream
+from repro.fabric.icap import IcapPort, IcapResult
+from repro.fabric.region import ReconfigurableRegion
+
+
+@dataclass(frozen=True)
+class WriteProposal:
+    """A proposed configuration write: what, where, when (epoch)."""
+
+    region_id: str
+    bitstream: Bitstream
+    epoch: int
+
+    def vote_payload(self) -> tuple:
+        """The tuple a vote's MAC covers — binds region, image, and epoch."""
+        return (
+            self.region_id,
+            self.bitstream.variant,
+            self.bitstream.payload_digest,
+            self.epoch,
+        )
+
+
+@dataclass(frozen=True)
+class PrivilegeVote:
+    """One kernel replica's endorsement of a proposal."""
+
+    voter: str
+    region_id: str
+    epoch: int
+    mac: bytes
+
+    @property
+    def size_bytes(self) -> int:
+        """Wire size of a vote."""
+        return 4 + 4 + 8 + len(self.mac)
+
+
+def make_vote(voter: str, proposal: WriteProposal, keystore: KeyStore) -> PrivilegeVote:
+    """Endorse a proposal (runs inside the voter's trusted perimeter)."""
+    mac = compute_mac(keystore.secret_for(voter), proposal.vote_payload())
+    return PrivilegeVote(voter, proposal.region_id, proposal.epoch, mac)
+
+
+class VotingGate:
+    """The consensual-privilege-change hybrid at the configuration port.
+
+    Small enough to be verified (vote check + counter + forward), the
+    gate holds the only ACL entry on the ICAP.  A write goes through iff
+
+    * the proposal's epoch is the gate's current epoch (no replays),
+    * >= ``quorum`` *distinct registered voters* produced valid MACs over
+      exactly this proposal, and
+    * the bitstream validates against the golden store (the gate, not the
+      kernel, performs validation — a compromised kernel cannot bypass it).
+
+    Every accepted write bumps the epoch, so each decision is one-shot.
+    """
+
+    def __init__(
+        self,
+        icap: IcapPort,
+        keystore: KeyStore,
+        voters: Iterable[str],
+        quorum: int,
+        gate_principal: str = "voting-gate",
+    ) -> None:
+        voters = list(voters)
+        if quorum < 1 or quorum > len(voters):
+            raise ValueError(f"quorum {quorum} impossible with {len(voters)} voters")
+        self.icap = icap
+        self._keystore = keystore
+        self.voters: Set[str] = set(voters)
+        self.quorum = quorum
+        self.gate_principal = gate_principal
+        self.epoch = 0
+        self.accepted = 0
+        self.rejected_quorum = 0
+        self.rejected_epoch = 0
+        self.rejected_invalid = 0
+        icap.grant(gate_principal)
+
+    def submit(
+        self,
+        proposal: WriteProposal,
+        votes: List[PrivilegeVote],
+        region: ReconfigurableRegion,
+        on_done: Optional[Callable[[IcapResult], None]] = None,
+    ) -> IcapResult:
+        """Attempt a consensual write.
+
+        Returns the synchronous verdict; ``on_done`` is always invoked
+        exactly once (asynchronously) with the final result.
+        """
+        verdict = self._check(proposal, votes, region)
+        if verdict is not None:
+            if on_done is not None:
+                self.icap.sim.call_soon(on_done, verdict)
+            return verdict
+        self.epoch += 1
+        self.accepted += 1
+        return self.icap.write(self.gate_principal, region, proposal.bitstream, on_done)
+
+    def _check(
+        self,
+        proposal: WriteProposal,
+        votes: List[PrivilegeVote],
+        region: ReconfigurableRegion,
+    ) -> Optional[IcapResult]:
+        """Gate-side checks; None means the write may proceed."""
+        if proposal.epoch != self.epoch:
+            self.rejected_epoch += 1
+            return IcapResult.DENIED_ACL
+        if region.region_id != proposal.region_id:
+            self.rejected_invalid += 1
+            return IcapResult.DENIED_ACL
+        valid_voters = self._count_valid(proposal, votes)
+        if len(valid_voters) < self.quorum:
+            self.rejected_quorum += 1
+            return IcapResult.DENIED_ACL
+        # Validation happens inside the gate regardless of kernel opinion.
+        if not self.icap.store.validate(proposal.bitstream):
+            self.rejected_invalid += 1
+            return IcapResult.INVALID_BITSTREAM
+        return None
+
+    def _count_valid(
+        self, proposal: WriteProposal, votes: List[PrivilegeVote]
+    ) -> Set[str]:
+        payload = proposal.vote_payload()
+        valid: Set[str] = set()
+        for vote in votes:
+            if vote.voter not in self.voters:
+                continue
+            if vote.region_id != proposal.region_id or vote.epoch != proposal.epoch:
+                continue
+            secret = self._keystore.secret_for(vote.voter)
+            if verify_mac(secret, payload, vote.mac):
+                valid.add(vote.voter)
+        return valid

@@ -1,0 +1,82 @@
+"""The reconfiguration coordinator: drives proposals over the NoC."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.fabric.icap import IcapResult
+from repro.fabric.region import ReconfigurableRegion
+from repro.recon.consensual import PrivilegeVote, VotingGate, WriteProposal
+from repro.recon.kernel import VoteRequest, VoteResponse
+from repro.soc.chip import is_corrupted
+from repro.soc.node import Node
+
+
+class ReconfigCoordinator(Node):
+    """Collects kernel votes for a proposal and submits them to the gate.
+
+    The coordinator is *untrusted*: it merely shuttles bytes.  A
+    compromised coordinator can withhold proposals (denial of service)
+    but cannot forge votes or bypass the gate.
+    """
+
+    def __init__(self, name: str, gate: VotingGate, kernels: List[str]) -> None:
+        super().__init__(name)
+        self.gate = gate
+        self.kernels = list(kernels)
+        self._pending: Dict[int, _PendingProposal] = {}
+        self.submitted = 0
+
+    def propose(
+        self,
+        proposal: WriteProposal,
+        region: ReconfigurableRegion,
+        on_done: Optional[Callable[[IcapResult], None]] = None,
+    ) -> None:
+        """Start a vote round for ``proposal``."""
+        pending = _PendingProposal(proposal, region, on_done)
+        self._pending[proposal.epoch] = pending
+        request = VoteRequest(proposal, self.name)
+        self.broadcast(self.kernels, request, request.wire_size())
+
+    def on_message(self, sender: str, message: Any) -> None:
+        if is_corrupted(message):
+            return
+        if not isinstance(message, VoteResponse):
+            return
+        if sender != message.voter or sender not in self.kernels:
+            return
+        pending = self._pending.get(message.proposal_epoch)
+        if pending is None or pending.submitted:
+            return
+        if message.vote is not None:
+            pending.votes.append(message.vote)
+        else:
+            pending.refusals += 1
+        if len(pending.votes) >= self.gate.quorum:
+            pending.submitted = True
+            self.submitted += 1
+            # The gate reports the final result through on_done itself.
+            self.gate.submit(pending.proposal, pending.votes, pending.region, pending.on_done)
+        elif pending.refusals > len(self.kernels) - self.gate.quorum:
+            # Quorum unreachable: report denial.
+            pending.submitted = True
+            if pending.on_done is not None:
+                pending.on_done(IcapResult.DENIED_ACL)
+
+
+class _PendingProposal:
+    """Vote-collection state for one proposal."""
+
+    def __init__(
+        self,
+        proposal: WriteProposal,
+        region: ReconfigurableRegion,
+        on_done: Optional[Callable[[IcapResult], None]],
+    ) -> None:
+        self.proposal = proposal
+        self.region = region
+        self.on_done = on_done
+        self.votes: List[PrivilegeVote] = []
+        self.refusals = 0
+        self.submitted = False

@@ -1,0 +1,76 @@
+"""Replicated reconfiguration kernels: the voters of the consensual gate."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.fabric.bitstream import BitstreamStore
+from repro.recon.consensual import PrivilegeVote, WriteProposal, make_vote
+from repro.soc.chip import is_corrupted
+from repro.soc.node import Node
+
+
+@dataclass(frozen=True)
+class VoteRequest:
+    """Coordinator asks a kernel to consider a proposal."""
+
+    proposal: WriteProposal
+    coordinator: str
+
+    def wire_size(self) -> int:
+        return 64
+
+
+@dataclass(frozen=True)
+class VoteResponse:
+    """A kernel's answer: an endorsement vote or a refusal."""
+
+    proposal_epoch: int
+    region_id: str
+    vote: Optional[PrivilegeVote]
+    voter: str
+
+    def wire_size(self) -> int:
+        return 32 + (self.vote.size_bytes if self.vote else 0)
+
+
+class KernelReplica(Node):
+    """One replica of the reconfiguration kernel.
+
+    Correct kernels endorse a proposal only when the bitstream validates
+    against their local golden store ("validating that a correct
+    bitstream is written [is a] task that can be executed by the
+    responsible kernel or possibly even kernel replicas", §II.E).
+
+    A *compromised* kernel (``state == COMPROMISED``) endorses everything
+    — including forged bitstreams — modelling an attacker who owns the
+    kernel software.  Its vote MAC is still genuine (the attacker holds
+    the kernel's identity), which is precisely why a quorum is needed.
+    """
+
+    def __init__(self, name: str, store: BitstreamStore, keystore) -> None:
+        super().__init__(name)
+        self.store = store
+        self.keystore = keystore
+        self.votes_cast = 0
+        self.votes_refused = 0
+
+    def on_message(self, sender: str, message: Any) -> None:
+        if is_corrupted(message):
+            return
+        if not isinstance(message, VoteRequest):
+            return
+        response = self._consider(message.proposal)
+        self.send(sender, response, response.wire_size())
+
+    def _consider(self, proposal: WriteProposal) -> VoteResponse:
+        endorse = self.store.validate(proposal.bitstream)
+        if self.state.value == "compromised":
+            endorse = True  # the adversary endorses anything
+        if not endorse:
+            self.votes_refused += 1
+            return VoteResponse(proposal.epoch, proposal.region_id, None, self.name)
+        self.votes_cast += 1
+        vote = make_vote(self.name, proposal, self.keystore)
+        return VoteResponse(proposal.epoch, proposal.region_id, vote, self.name)

@@ -1,0 +1,162 @@
+"""Generator-based simulation processes.
+
+A process is a Python generator that yields either
+
+* a ``float`` — sleep for that many time units, or
+* a :class:`Condition` — suspend until the condition is triggered.
+
+Processes make sequential behaviour (a client issuing requests in a closed
+loop, an attacker probing replicas one by one) far more readable than
+callback chains.  The kernel stays callback-based; processes are sugar on
+top.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List, Optional, TYPE_CHECKING
+
+from repro.sim.events import EventCancelled
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.simulator import Simulator
+
+ProcessGenerator = Generator[Any, Any, None]
+
+
+class Condition:
+    """A waitable, one-shot-per-trigger condition variable.
+
+    Processes ``yield`` a Condition to suspend; :meth:`trigger` resumes all
+    current waiters (passing an optional value back into the generator).
+    A Condition can be triggered repeatedly; each trigger wakes the waiters
+    registered since the previous trigger.
+    """
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._waiters: List["Process"] = []
+        self.trigger_count = 0
+
+    def _add_waiter(self, process: "Process") -> None:
+        self._waiters.append(process)
+
+    def _remove_waiter(self, process: "Process") -> None:
+        if process in self._waiters:
+            self._waiters.remove(process)
+
+    def trigger(self, value: Any = None) -> int:
+        """Wake all waiting processes, sending ``value`` into each.
+
+        Returns the number of processes woken.
+        """
+        self.trigger_count += 1
+        waiters, self._waiters = self._waiters, []
+        for process in waiters:
+            process._resume(value)
+        return len(waiters)
+
+    @property
+    def waiter_count(self) -> int:
+        """Number of processes currently suspended on this condition."""
+        return len(self._waiters)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Condition {self.name!r} waiters={len(self._waiters)}>"
+
+
+class Process:
+    """A running generator coroutine bound to a simulator.
+
+    Create via ``Process(sim, generator_fn(...))`` or the convenience
+    :func:`spawn`.  The process starts at the current simulation instant.
+    """
+
+    def __init__(self, sim: "Simulator", generator: ProcessGenerator, name: str = "") -> None:
+        self.sim = sim
+        self.name = name or getattr(generator, "__name__", "process")
+        self._generator = generator
+        self._alive = True
+        self._waiting_on: Optional[Condition] = None
+        self._pending_event = sim.call_soon(self._resume, None)
+
+    @property
+    def alive(self) -> bool:
+        """True until the generator returns, raises, or is killed."""
+        return self._alive
+
+    def kill(self) -> None:
+        """Terminate the process.
+
+        If it is sleeping, the pending wakeup is cancelled; if it is waiting
+        on a condition it is deregistered; the generator is closed so its
+        ``finally`` blocks run.
+        """
+        if not self._alive:
+            return
+        self._alive = False
+        if self._pending_event is not None:
+            self._pending_event.cancel()
+            self._pending_event = None
+        if self._waiting_on is not None:
+            self._waiting_on._remove_waiter(self)
+            self._waiting_on = None
+        self._generator.close()
+
+    def interrupt(self, error: Optional[BaseException] = None) -> None:
+        """Throw into the process at its current suspension point.
+
+        Used by fault injectors to model crashes observed from within a
+        process.  Default exception is :class:`EventCancelled`.
+        """
+        if not self._alive:
+            return
+        if self._pending_event is not None:
+            self._pending_event.cancel()
+            self._pending_event = None
+        if self._waiting_on is not None:
+            self._waiting_on._remove_waiter(self)
+            self._waiting_on = None
+        try:
+            yielded = self._generator.throw(error or EventCancelled())
+        except StopIteration:
+            self._alive = False
+            return
+        except EventCancelled:
+            self._alive = False
+            return
+        self._handle_yield(yielded)
+
+    # ------------------------------------------------------------------
+    def _resume(self, value: Any) -> None:
+        if not self._alive:
+            return
+        self._pending_event = None
+        self._waiting_on = None
+        try:
+            yielded = self._generator.send(value)
+        except StopIteration:
+            self._alive = False
+            return
+        self._handle_yield(yielded)
+
+    def _handle_yield(self, yielded: Any) -> None:
+        if isinstance(yielded, Condition):
+            self._waiting_on = yielded
+            yielded._add_waiter(self)
+        elif isinstance(yielded, (int, float)):
+            if yielded < 0:
+                raise ValueError(f"process {self.name!r} yielded negative delay {yielded}")
+            self._pending_event = self.sim.schedule(float(yielded), self._resume, None)
+        else:
+            raise TypeError(
+                f"process {self.name!r} yielded {type(yielded).__name__}; "
+                "expected a delay (float) or a Condition"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Process {self.name!r} alive={self._alive}>"
+
+
+def spawn(sim: "Simulator", generator: ProcessGenerator, name: str = "") -> Process:
+    """Convenience wrapper: start a generator as a simulation process."""
+    return Process(sim, generator, name=name)

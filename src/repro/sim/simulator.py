@@ -1,0 +1,175 @@
+"""The discrete-event simulator: clock, event queue, and scheduling API."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional
+
+from repro.sim.events import ScheduledEvent
+from repro.sim.rng import RngRegistry
+
+SimTime = float
+"""Simulated time.  Units are abstract; the SoC layer interprets them as
+nanoseconds and protocol layers as microseconds — what matters is that a
+single experiment uses one consistent unit."""
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel misuse (scheduling in the past, running twice...)."""
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    The simulator owns the virtual clock and an event heap.  Components
+    schedule callbacks with :meth:`schedule` (relative delay) or
+    :meth:`schedule_at` (absolute time) and the kernel fires them in
+    deterministic ``(time, priority, seq)`` order.
+
+    Parameters
+    ----------
+    seed:
+        Master seed for the :class:`~repro.sim.rng.RngRegistry`.  All
+        randomness in a simulation must be drawn through ``sim.rng`` so
+        that runs are reproducible.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._now: SimTime = 0.0
+        self._heap: List[ScheduledEvent] = []
+        self._seq = 0
+        self._running = False
+        self._stopped = False
+        self.rng = RngRegistry(seed)
+        self.seed = seed
+        self._trace_hooks: List[Callable[[ScheduledEvent], None]] = []
+        self.events_fired = 0
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> SimTime:
+        """Current simulated time."""
+        return self._now
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        delay: SimTime,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+    ) -> ScheduledEvent:
+        """Schedule ``callback(*args)`` to run ``delay`` time units from now.
+
+        ``delay`` must be non-negative.  A zero delay schedules the callback
+        for the current instant, after all events already scheduled for this
+        instant at the same priority.
+        """
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        return self.schedule_at(self._now + delay, callback, *args, priority=priority)
+
+    def schedule_at(
+        self,
+        time: SimTime,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+    ) -> ScheduledEvent:
+        """Schedule ``callback(*args)`` at absolute simulated ``time``."""
+        if time < self._now:
+            raise SimulationError(f"cannot schedule in the past: {time} < {self._now}")
+        event = ScheduledEvent(time, priority, self._seq, callback, args)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def call_soon(self, callback: Callable[..., Any], *args: Any) -> ScheduledEvent:
+        """Schedule a callback at the current instant (after pending same-time events)."""
+        return self.schedule(0.0, callback, *args)
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[SimTime] = None, max_events: Optional[int] = None) -> SimTime:
+        """Run the event loop.
+
+        Parameters
+        ----------
+        until:
+            Stop once the clock would pass this time.  Events scheduled at
+            exactly ``until`` are executed.  When None, run until the queue
+            drains or :meth:`stop` is called.
+        max_events:
+            Safety valve: abort after firing this many events.
+
+        Returns the simulated time at which the loop stopped.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (re-entrant run())")
+        self._running = True
+        self._stopped = False
+        fired = 0
+        try:
+            while self._heap and not self._stopped:
+                event = self._heap[0]
+                if event.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until is not None and event.time > until:
+                    break
+                heapq.heappop(self._heap)
+                self._now = event.time
+                event._fire()
+                self.events_fired += 1
+                fired += 1
+                if self._trace_hooks:
+                    for hook in self._trace_hooks:
+                        hook(event)
+                if max_events is not None and fired >= max_events:
+                    break
+        finally:
+            self._running = False
+        if until is not None and not self._stopped and self._now < until:
+            # Advance the clock to the requested horizon even if the queue
+            # drained early, so periodic measurement windows stay aligned.
+            self._now = until
+        return self._now
+
+    def step(self) -> bool:
+        """Fire exactly one pending event.  Returns False if the queue is empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event._fire()
+            self.events_fired += 1
+            return True
+        return False
+
+    def stop(self) -> None:
+        """Stop the event loop after the currently executing event returns."""
+        self._stopped = True
+
+    def pending_count(self) -> int:
+        """Number of not-yet-cancelled events still in the queue."""
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    def peek_next_time(self) -> Optional[SimTime]:
+        """Time of the next pending event, or None if the queue is empty."""
+        for event in sorted(self._heap):
+            if not event.cancelled:
+                return event.time
+        return None
+
+    def add_trace_hook(self, hook: Callable[[ScheduledEvent], None]) -> None:
+        """Register a hook called after every fired event (for debugging/metrics)."""
+        self._trace_hooks.append(hook)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Simulator t={self._now} pending={len(self._heap)} seed={self.seed}>"

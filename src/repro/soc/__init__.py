@@ -1,0 +1,30 @@
+"""Manycore System-on-Chip model: tiles, cores/nodes, chip assembly.
+
+This is the substrate the paper's Fig. 1 calls the "multicore system on
+chip" layer: a mesh of tiles, each hosting a processing element (a hard
+core or an FPGA-spawned softcore) with a network interface onto the NoC.
+
+* :class:`~repro.soc.tile.Tile` — one mesh position: health state, hosted
+  node, power/fault domain.
+* :class:`~repro.soc.node.Node` — a protocol participant running on a
+  tile: named endpoint, message send/receive with per-message processing
+  and crypto cost accounting, crash/Byzantine state.
+* :class:`~repro.soc.chip.Chip` — assembles topology, NoC, tiles, and the
+  name registry; the object experiments construct first.
+"""
+
+from repro.soc.chip import Chip, ChipConfig, is_corrupted
+from repro.soc.costs import CostModel
+from repro.soc.node import Node, NodeState
+from repro.soc.tile import Tile, TileState
+
+__all__ = [
+    "Chip",
+    "ChipConfig",
+    "CostModel",
+    "Node",
+    "NodeState",
+    "Tile",
+    "TileState",
+    "is_corrupted",
+]

@@ -1,0 +1,188 @@
+"""Nodes: named protocol participants running on SoC tiles."""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Callable, List, Optional, TYPE_CHECKING
+
+from repro.noc.packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.soc.chip import Chip
+
+# An outbound filter sees (dst_name, message) and returns a possibly
+# modified message, or None to drop the send.  Byzantine strategies from
+# repro.faults install these to equivocate/corrupt/delay without the node
+# class needing to know attack details.
+OutboundFilter = Callable[[str, Any], Optional[Any]]
+InboundFilter = Callable[[str, Any], Optional[Any]]
+
+
+class NodeState(enum.Enum):
+    """Logical health of a node (orthogonal to its tile's physical state).
+
+    OK          — executing its protocol faithfully.
+    CRASHED     — stopped; drops all traffic until recovered.
+    COMPROMISED — controlled by the adversary; still *runs*, but its
+                  behaviour is filtered through the installed Byzantine
+                  strategy.  It keeps only its own keys.
+    """
+
+    OK = "ok"
+    CRASHED = "crashed"
+    COMPROMISED = "compromised"
+
+
+class Node:
+    """A named endpoint on the chip: the base class for replicas/clients.
+
+    Subclasses override :meth:`on_message`.  The node charges processing
+    time for every handled message on a serialized virtual core (one
+    message handled at a time), so protocol latency reflects compute as
+    well as NoC transfer.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.state = NodeState.OK
+        self.chip: Optional["Chip"] = None
+        self._busy_until = 0.0
+        self.messages_sent = 0
+        self.messages_received = 0
+        self.bytes_sent = 0
+        self._outbound_filters: List[OutboundFilter] = []
+        self._inbound_filters: List[InboundFilter] = []
+
+    # ------------------------------------------------------------------
+    # Wiring (called by Chip)
+    # ------------------------------------------------------------------
+    def attach_to(self, chip: "Chip") -> None:
+        """Bind this node to a chip.  Called by :meth:`Chip.place_node`."""
+        self.chip = chip
+
+    @property
+    def sim(self):
+        """The simulator, via the chip."""
+        assert self.chip is not None, f"node {self.name!r} not placed on a chip"
+        return self.chip.sim
+
+    @property
+    def coord(self):
+        """Current tile coordinate (nodes can be relocated)."""
+        assert self.chip is not None
+        return self.chip.coord_of(self.name)
+
+    @property
+    def costs(self):
+        """The chip-wide cost model."""
+        assert self.chip is not None
+        return self.chip.costs
+
+    # ------------------------------------------------------------------
+    # Health
+    # ------------------------------------------------------------------
+    @property
+    def is_correct(self) -> bool:
+        """True if the node is neither crashed nor compromised."""
+        return self.state == NodeState.OK
+
+    def crash(self) -> None:
+        """Stop the node.  In-flight handler work is abandoned."""
+        if self.state != NodeState.COMPROMISED:
+            self.state = NodeState.CRASHED
+        self.on_crash()
+
+    def recover(self) -> None:
+        """Restart the node with protocol state reset by the subclass."""
+        self.state = NodeState.OK
+        self._busy_until = 0.0
+        self._outbound_filters.clear()
+        self._inbound_filters.clear()
+        self.on_recover()
+
+    def compromise(self) -> None:
+        """Hand the node to the adversary (Byzantine strategies filter I/O)."""
+        self.state = NodeState.COMPROMISED
+        self.on_compromise()
+
+    def add_outbound_filter(self, flt: OutboundFilter) -> None:
+        """Install an adversarial outbound filter (see module docstring)."""
+        self._outbound_filters.append(flt)
+
+    def add_inbound_filter(self, flt: InboundFilter) -> None:
+        """Install an adversarial inbound filter."""
+        self._inbound_filters.append(flt)
+
+    # Subclass hooks ----------------------------------------------------
+    def on_crash(self) -> None:
+        """Subclass hook: invoked when the node crashes."""
+
+    def on_recover(self) -> None:
+        """Subclass hook: reset protocol state after recovery."""
+
+    def on_compromise(self) -> None:
+        """Subclass hook: invoked when the node is compromised."""
+
+    def on_message(self, sender: str, message: Any) -> None:
+        """Subclass hook: handle a delivered protocol message."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Messaging
+    # ------------------------------------------------------------------
+    def send(self, dst: str, message: Any, size_bytes: int = 64) -> Optional[Packet]:
+        """Send a message to a named node over the NoC.
+
+        Returns the packet, or None if the node is crashed or an
+        adversarial filter dropped the send.
+        """
+        if self.state == NodeState.CRASHED or self.chip is None:
+            return None
+        for flt in self._outbound_filters:
+            filtered = flt(dst, message)
+            if filtered is None:
+                return None
+            message = filtered
+        self.messages_sent += 1
+        self.bytes_sent += size_bytes
+        return self.chip.transmit(self.name, dst, message, size_bytes)
+
+    def broadcast(self, dsts: List[str], message: Any, size_bytes: int = 64) -> None:
+        """Send the same message to several nodes (self is skipped)."""
+        for dst in dsts:
+            if dst != self.name:
+                self.send(dst, message, size_bytes)
+
+    def charge(self, duration: float) -> float:
+        """Serialize ``duration`` of compute on this node's core.
+
+        Returns the delay from *now* until the work completes; callers
+        schedule continuations after that delay.
+        """
+        if duration < 0:
+            raise ValueError(f"negative charge duration {duration}")
+        now = self.sim.now
+        start = max(now, self._busy_until)
+        self._busy_until = start + duration
+        return self._busy_until - now
+
+    def deliver(self, sender: str, message: Any) -> None:
+        """Entry point from the chip: queue handling of a received message."""
+        if self.state == NodeState.CRASHED:
+            return
+        for flt in self._inbound_filters:
+            filtered = flt(sender, message)
+            if filtered is None:
+                return
+            message = filtered
+        self.messages_received += 1
+        delay = self.charge(self.costs.handle_message)
+        self.sim.schedule(delay, self._handle_if_alive, sender, message)
+
+    def _handle_if_alive(self, sender: str, message: Any) -> None:
+        if self.state == NodeState.CRASHED:
+            return
+        self.on_message(sender, message)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<{type(self).__name__} {self.name!r} {self.state.value}>"

@@ -1,0 +1,25 @@
+"""Workload generators and threat scenarios for experiments and examples.
+
+* :mod:`~repro.workloads.generators` — operation factories for the
+  closed-loop clients: uniform/skewed KV mixes, counter increments,
+  and a deterministic CPS sensor stream.
+* :mod:`~repro.workloads.scenarios` — phased threat scenarios (calm →
+  attack → calm) used by the adaptation experiment (E5).
+"""
+
+from repro.workloads.generators import (
+    control_sensor_ops,
+    counter_ops,
+    kv_skewed_ops,
+    kv_uniform_ops,
+)
+from repro.workloads.scenarios import AttackPhase, ThreatScenario
+
+__all__ = [
+    "AttackPhase",
+    "ThreatScenario",
+    "control_sensor_ops",
+    "counter_ops",
+    "kv_skewed_ops",
+    "kv_uniform_ops",
+]

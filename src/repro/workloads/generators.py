@@ -1,0 +1,88 @@
+"""Operation factories for closed-loop clients.
+
+Each factory returns an ``op_factory(i) -> op`` suitable for
+:class:`repro.bft.client.ClientConfig`.  Factories are deterministic in
+``i`` (plus an explicit seed where distributions are involved) so the
+same workload can be replayed against different protocols.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Any, Callable, List
+
+OpFactory = Callable[[int], Any]
+
+
+def kv_uniform_ops(keys: int = 64, write_ratio: float = 0.5) -> OpFactory:
+    """Uniform key choice, deterministic write/read interleave."""
+    if keys < 1:
+        raise ValueError("need at least one key")
+    if not 0 <= write_ratio <= 1:
+        raise ValueError("write ratio must be in [0, 1]")
+    period = 100
+    writes_per_period = round(write_ratio * period)
+
+    def factory(i: int) -> Any:
+        key = f"k{i % keys}"
+        if (i * 37) % period < writes_per_period:
+            return ("put", key, i)
+        return ("get", key)
+
+    return factory
+
+
+def kv_skewed_ops(keys: int = 64, zipf_s: float = 1.1, seed: int = 0) -> OpFactory:
+    """Zipf-skewed key popularity (hot keys), 50/50 read-write.
+
+    The key sequence is pre-drawn from a seeded RNG so the factory stays
+    a pure function of ``i``.
+    """
+    if keys < 1:
+        raise ValueError("need at least one key")
+    if zipf_s <= 0:
+        raise ValueError("zipf exponent must be positive")
+    rng = random.Random(seed)
+    weights = [1.0 / (rank + 1) ** zipf_s for rank in range(keys)]
+    total = sum(weights)
+    probabilities = [w / total for w in weights]
+    table: List[int] = rng.choices(range(keys), weights=probabilities, k=65536)
+
+    def factory(i: int) -> Any:
+        key = f"k{table[i % len(table)]}"
+        if i % 2 == 0:
+            return ("put", key, i)
+        return ("get", key)
+
+    return factory
+
+
+def counter_ops(step: int = 1) -> OpFactory:
+    """Pure increment stream for :class:`repro.bft.app.CounterApp`."""
+
+    def factory(i: int) -> Any:
+        return ("add", step)
+
+    return factory
+
+
+def control_sensor_ops(
+    period_ops: int = 50, amplitude: float = 10.0, noise: float = 0.5, seed: int = 0
+) -> OpFactory:
+    """A CPS sensor stream: sinusoidal plant output plus seeded noise.
+
+    Drives :class:`repro.bft.app.ControlLoopApp` — the replicated control
+    law computes actuator commands from these readings.
+    """
+    if period_ops < 1:
+        raise ValueError("period must be >= 1 operations")
+    rng = random.Random(seed)
+    noise_table = [rng.gauss(0.0, noise) for _ in range(8192)]
+
+    def factory(i: int) -> Any:
+        reading = amplitude * math.sin(2 * math.pi * i / period_ops)
+        reading += noise_table[i % len(noise_table)]
+        return ("sense", round(reading, 6))
+
+    return factory

@@ -1,0 +1,26 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import Simulator
+from repro.soc import Chip, ChipConfig
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    """A fresh simulator with a fixed seed."""
+    return Simulator(seed=1234)
+
+
+@pytest.fixture
+def chip(sim: Simulator) -> Chip:
+    """A 4x4 chip on the fixture simulator."""
+    return Chip(sim, ChipConfig(width=4, height=4))
+
+
+@pytest.fixture
+def big_chip(sim: Simulator) -> Chip:
+    """A 6x6 chip for group-sized tests."""
+    return Chip(sim, ChipConfig(width=6, height=6))

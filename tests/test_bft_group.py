@@ -1,0 +1,162 @@
+"""Tests for group construction, protocol switching, and elastic scaling."""
+
+import pytest
+
+from repro.bft import ClientConfig, ClientNode, GroupConfig, build_group
+from repro.bft.group import FAMILIES
+from repro.core import DiversityManager, ReplicationManager, VariantLibrary
+from repro.fabric import FpgaFabric
+from repro.sim import Simulator
+from repro.soc import Chip, ChipConfig
+
+
+def test_build_group_places_replicas(big_chip):
+    group = build_group(big_chip, GroupConfig(protocol="pbft", f=1))
+    assert len(group.members) == 4
+    assert all(big_chip.has_node(m) for m in group.members)
+    assert group.reply_quorum == 2
+
+
+def test_unknown_protocol_rejected():
+    with pytest.raises(ValueError):
+        GroupConfig(protocol="raft9000")
+
+
+def test_insufficient_tiles_rejected():
+    sim = Simulator(seed=1)
+    chip = Chip(sim, ChipConfig(width=1, height=2))
+    with pytest.raises(ValueError):
+        build_group(chip, GroupConfig(protocol="pbft", f=1))
+
+
+def test_reply_quorums_per_family():
+    assert FAMILIES["pbft"].reply_quorum_for(2) == 3
+    assert FAMILIES["minbft"].reply_quorum_for(2) == 3
+    assert FAMILIES["cft"].reply_quorum_for(2) == 1
+    assert FAMILIES["passive"].reply_quorum_for(2) == 1
+
+
+def test_switch_protocol_preserves_state(big_chip):
+    sim = big_chip.sim
+    group = build_group(big_chip, GroupConfig(protocol="cft", f=1))
+    client = ClientNode("c0", ClientConfig(think_time=50, max_requests=30))
+    group.attach_client(client)
+    client.start()
+    sim.run(until=200_000)
+    assert client.completed == 30
+    executed_before = max(r.last_executed for r in group.replicas.values())
+
+    group.switch_protocol("minbft")
+    assert group.protocol == "minbft"
+    assert len(group.members) == 3
+    for replica in group.replicas.values():
+        assert replica.last_executed == executed_before  # state carried
+
+    client.config.max_requests = 60
+    client._rid = 30
+    client.running = True
+    client._issue_next()
+    sim.run(until=600_000)
+    assert client.completed == 60
+    assert group.safety.is_safe
+
+
+def test_switch_grows_group_for_pbft(big_chip):
+    group = build_group(big_chip, GroupConfig(protocol="minbft", f=1))
+    group.switch_protocol("pbft")
+    assert len(group.members) == 4
+    assert all(big_chip.has_node(m) for m in group.members)
+
+
+def test_switch_shrinks_group_for_cft(big_chip):
+    group = build_group(big_chip, GroupConfig(protocol="pbft", f=1))
+    group.switch_protocol("cft")
+    assert len(group.members) == 3
+    # The surplus tile is free again.
+    assert len(big_chip.free_tiles()) == 36 - 3
+
+
+def test_switch_reconfigures_clients(big_chip):
+    group = build_group(big_chip, GroupConfig(protocol="pbft", f=1))
+    client = ClientNode("c0")
+    group.attach_client(client)
+    assert client.reply_quorum == 2
+    group.switch_protocol("cft")
+    assert client.reply_quorum == 1
+    assert client.replicas == group.members
+
+
+def test_switch_counts_metric(big_chip):
+    group = build_group(big_chip, GroupConfig(protocol="cft", f=1, group_id="gX"))
+    group.switch_protocol("minbft")
+    assert big_chip.metrics.counter("gX.protocol_switches").value == 1
+
+
+# ----------------------------------------------------------------------
+# ReplicationManager: fabric-spawned groups and elasticity
+# ----------------------------------------------------------------------
+def make_managed(seed=1, protocol="minbft", f=1, n_variants=4):
+    sim = Simulator(seed=seed)
+    chip = Chip(sim, ChipConfig(width=6, height=6))
+    fabric = FpgaFabric(sim, chip)
+    library = VariantLibrary.generate("svc", n_variants, 2)
+    fabric.register_variants("svc", library.names())
+    diversity = DiversityManager(library)
+    manager = ReplicationManager(chip, fabric, diversity)
+    group = manager.deploy_group(GroupConfig(protocol=protocol, f=f, group_id="m"))
+    return sim, chip, fabric, manager, group
+
+
+def test_deploy_group_spawns_via_icap():
+    sim, chip, fabric, manager, group = make_managed()
+    assert not any(chip.has_node(m) for m in group.members)  # still spawning
+    sim.run(until=50_000)
+    assert all(chip.has_node(m) for m in group.members)
+    assert fabric.spawn_count == 3
+    # Spawn completions are serialized by the single ICAP.
+    times = sorted(manager.spawn_completions.values())
+    assert times[0] < times[1] < times[2]
+
+
+def test_deployed_group_serves_clients():
+    sim, chip, fabric, manager, group = make_managed()
+    sim.run(until=50_000)
+    client = ClientNode("c0", ClientConfig(think_time=50, max_requests=20))
+    group.attach_client(client)
+    client.start()
+    sim.run(until=500_000)
+    assert client.completed == 20
+    assert group.safety.is_safe
+
+
+def test_diversity_assignment_spreads_variants():
+    sim, chip, fabric, manager, group = make_managed(n_variants=4)
+    sim.run(until=50_000)
+    variants = {fabric.variant_at(chip.coord_of(m)) for m in group.members}
+    assert len(variants) == 3  # 3 replicas, all distinct
+
+
+def test_scale_out_adds_replica():
+    sim, chip, fabric, manager, group = make_managed()
+    sim.run(until=50_000)
+    name = manager.scale_out()
+    assert name == "m-r3"
+    sim.run(until=100_000)
+    assert chip.has_node("m-r3")
+    assert len(group.members) == 4
+
+
+def test_scale_in_removes_surplus():
+    sim, chip, fabric, manager, group = make_managed()
+    sim.run(until=50_000)
+    manager.scale_out()
+    sim.run(until=100_000)
+    removed = manager.scale_in()
+    assert removed == "m-r3"
+    assert not chip.has_node("m-r3")
+
+
+def test_scale_in_respects_protocol_minimum():
+    sim, chip, fabric, manager, group = make_managed()
+    sim.run(until=50_000)
+    assert manager.scale_in() is None  # already at minimum (2f+1 = 3)

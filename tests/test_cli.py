@@ -1,0 +1,34 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_info_runs(capsys):
+    assert main(["info"]) == 0
+    out = capsys.readouterr().out
+    assert "repro" in out and "bft" in out
+
+
+def test_experiments_lists_all(capsys):
+    assert main(["experiments"]) == 0
+    out = capsys.readouterr().out
+    for exp_id in ["E1", "E12", "A1", "A2"]:
+        assert exp_id in out
+
+
+def test_demo_runs_and_is_safe(capsys):
+    assert main(["demo", "--duration", "100000", "--seed", "7"]) == 0
+    out = capsys.readouterr().out
+    assert "SAFE" in out
+
+
+def test_demo_protocol_choice_validated():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["demo", "--protocol", "raft9000"])
+
+
+def test_missing_command_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

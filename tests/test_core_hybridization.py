@@ -1,0 +1,62 @@
+"""Tests for the hybridization advisor (the §III middle-ground rule)."""
+
+import pytest
+
+from repro.core import HybridizationAdvisor
+
+
+def test_failure_probability_ordering():
+    """At moderate flip rates: plain >> tmr/ecc; ecc comparable to softcore."""
+    advisor = HybridizationAdvisor(flip_probability_per_bit=1e-6)
+    p_plain = advisor.failure_probability("usig-plain")
+    p_ecc = advisor.failure_probability("usig-ecc")
+    p_tmr = advisor.failure_probability("usig-tmr")
+    assert p_plain > p_ecc
+    assert p_plain > p_tmr
+    assert advisor.failure_probability("softcore") == pytest.approx(p_ecc)
+
+
+def test_zero_flip_rate_never_fails():
+    advisor = HybridizationAdvisor(flip_probability_per_bit=0.0)
+    for design in ["usig-plain", "usig-ecc", "usig-tmr", "softcore"]:
+        assert advisor.failure_probability(design) == 0.0
+
+
+def test_recommend_picks_cheapest_meeting_target():
+    # Benign environment: plain registers suffice.
+    benign = HybridizationAdvisor(flip_probability_per_bit=1e-15)
+    assert benign.recommend(1e-6).design == "usig-plain"
+    # Harsh environment: plain melts, a protected register is needed —
+    # but never the softcore (the middle ground).
+    harsh = HybridizationAdvisor(flip_probability_per_bit=1e-7)
+    choice = harsh.recommend(1e-3)
+    assert choice is not None
+    assert choice.design in ("usig-ecc", "usig-tmr")
+
+
+def test_recommend_none_when_nothing_meets_target():
+    brutal = HybridizationAdvisor(flip_probability_per_bit=0.01)
+    assert brutal.recommend(1e-12) is None
+
+
+def test_evaluate_sorted_by_complexity():
+    advisor = HybridizationAdvisor(flip_probability_per_bit=1e-6)
+    designs = advisor.evaluate()
+    complexities = [r.complexity.total_ge for r in designs]
+    assert complexities == sorted(complexities)
+    assert designs[-1].design == "softcore"
+
+
+def test_mission_failure_grows_with_intervals():
+    short = HybridizationAdvisor(1e-6, scrub_intervals_per_mission=10)
+    long = HybridizationAdvisor(1e-6, scrub_intervals_per_mission=10_000)
+    assert long.failure_probability("usig-ecc") > short.failure_probability("usig-ecc")
+
+
+def test_advisor_validation():
+    with pytest.raises(ValueError):
+        HybridizationAdvisor(flip_probability_per_bit=1.5)
+    with pytest.raises(ValueError):
+        HybridizationAdvisor(1e-6, scrub_intervals_per_mission=0)
+    with pytest.raises(ValueError):
+        HybridizationAdvisor(1e-6).failure_probability("usig-raid")

@@ -1,0 +1,134 @@
+"""Tests for the rejuvenation scheduler (proactive, diverse, relocating)."""
+
+import pytest
+
+from repro.bft import ClientConfig, ClientNode, GroupConfig, build_group
+from repro.core import (
+    DiversityManager,
+    RejuvenationPolicy,
+    RejuvenationScheduler,
+    VariantLibrary,
+)
+from repro.core.replication import ReplicationManager
+from repro.fabric import FpgaFabric
+from repro.sim import Simulator
+from repro.soc import Chip, ChipConfig
+
+
+def deployed_system(seed=1, policy=None, n_variants=5):
+    sim = Simulator(seed=seed)
+    chip = Chip(sim, ChipConfig(width=6, height=6))
+    fabric = FpgaFabric(sim, chip)
+    library = VariantLibrary.generate("svc", n_variants, 2)
+    fabric.register_variants("svc", library.names())
+    diversity = DiversityManager(library)
+    manager = ReplicationManager(chip, fabric, diversity)
+    group = manager.deploy_group(GroupConfig(protocol="minbft", f=1, group_id="g"))
+    sim.run(until=30_000)  # let spawns finish
+    scheduler = RejuvenationScheduler(group, fabric, diversity, policy)
+    return sim, chip, fabric, diversity, group, scheduler
+
+
+def test_policy_validation():
+    with pytest.raises(ValueError):
+        RejuvenationPolicy(period=0)
+
+
+def test_round_robin_rejuvenation():
+    sim, chip, fabric, diversity, group, scheduler = deployed_system(
+        policy=RejuvenationPolicy(period=20_000, diversify=False, relocate=False)
+    )
+    scheduler.start()
+    sim.run(until=sim.now + 130_000)
+    assert scheduler.passes == 6  # two full cycles over 3 replicas
+    assert scheduler.failures == 0
+
+
+def test_diversify_changes_variant():
+    sim, chip, fabric, diversity, group, scheduler = deployed_system(
+        policy=RejuvenationPolicy(period=20_000, diversify=True, relocate=False)
+    )
+    before = dict(diversity.assignment)
+    scheduler.start()
+    sim.run(until=sim.now + 25_000)
+    name = group.members[0]
+    assert diversity.variant_of(name) != before[name]
+    assert fabric.variant_at(chip.coord_of(name)) == diversity.variant_of(name)
+
+
+def test_relocate_moves_to_distant_tile():
+    sim, chip, fabric, diversity, group, scheduler = deployed_system(
+        policy=RejuvenationPolicy(period=20_000, diversify=False, relocate=True)
+    )
+    name = group.members[0]
+    before = chip.coord_of(name)
+    scheduler.start()
+    sim.run(until=sim.now + 25_000)
+    after = chip.coord_of(name)
+    assert after != before
+    assert group.placement[name] == after
+
+
+def test_restart_in_place_keeps_location():
+    sim, chip, fabric, diversity, group, scheduler = deployed_system(
+        policy=RejuvenationPolicy(period=20_000, diversify=False, relocate=False)
+    )
+    name = group.members[0]
+    before = chip.coord_of(name)
+    scheduler.start()
+    sim.run(until=sim.now + 25_000)
+    assert chip.coord_of(name) == before
+    assert scheduler.passes == 1
+
+
+def test_rejuvenation_keeps_service_safe_and_live():
+    sim, chip, fabric, diversity, group, scheduler = deployed_system(
+        policy=RejuvenationPolicy(period=30_000, diversify=True, relocate=True)
+    )
+    client = ClientNode("c0", ClientConfig(think_time=100, timeout=15_000))
+    group.attach_client(client)
+    client.start()
+    scheduler.start()
+    sim.run(until=sim.now + 800_000)
+    assert group.safety.is_safe
+    assert client.completed > 200
+    assert scheduler.passes >= 20
+
+
+def test_rejuvenate_now_reactive_entry():
+    sim, chip, fabric, diversity, group, scheduler = deployed_system()
+    name = group.members[1]
+    group.replicas[name].compromise()
+    assert scheduler.rejuvenate_now(name)
+    sim.run(until=sim.now + 10_000)
+    assert group.replicas[name].is_correct
+    assert scheduler.passes == 1
+
+
+def test_rejuvenation_clears_compromise_via_schedule():
+    sim, chip, fabric, diversity, group, scheduler = deployed_system(
+        policy=RejuvenationPolicy(period=10_000)
+    )
+    group.replicas[group.members[0]].compromise()
+    scheduler.start()
+    # Three ticks (one per replica), ending before a fourth pass starts.
+    sim.run(until=sim.now + 35_000)
+    assert all(r.is_correct for r in group.replicas.values())
+
+
+def test_on_rejuvenated_hook_fires():
+    sim, chip, fabric, diversity, group, scheduler = deployed_system(
+        policy=RejuvenationPolicy(period=10_000)
+    )
+    seen = []
+    scheduler.on_rejuvenated = seen.append
+    scheduler.start()
+    sim.run(until=sim.now + 35_000)
+    assert seen == [group.members[0], group.members[1], group.members[2]]
+
+
+def test_cycle_time():
+    sim, chip, fabric, diversity, group, scheduler = deployed_system(
+        policy=RejuvenationPolicy(period=10_000)
+    )
+    assert scheduler.cycle_time == 30_000

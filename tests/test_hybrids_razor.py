@@ -1,0 +1,106 @@
+"""Tests for the Razor timing-error detection model."""
+
+import pytest
+
+from repro.hybrids.razor import (
+    RazorConfig,
+    RazorStage,
+    stage_delay,
+    sweep_voltage,
+    timing_fault_probability,
+)
+from repro.sim import RngStream
+
+
+# ----------------------------------------------------------------------
+# Physics helpers
+# ----------------------------------------------------------------------
+def test_stage_delay_normalized_at_nominal():
+    assert stage_delay(1.0) == pytest.approx(1.0)
+
+
+def test_stage_delay_rises_as_vdd_falls():
+    delays = [stage_delay(v) for v in (1.0, 0.9, 0.8, 0.7, 0.6)]
+    assert delays == sorted(delays)
+
+
+def test_stage_delay_rejects_subthreshold():
+    with pytest.raises(ValueError):
+        stage_delay(0.3)
+
+
+def test_fault_probability_monotone_in_vdd():
+    ps = [timing_fault_probability(v) for v in (1.0, 0.95, 0.9, 0.85, 0.8)]
+    assert ps == sorted(ps)
+    assert ps[0] < 1e-5
+    assert ps[-1] == 1.0
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        RazorConfig(vdd=0.2)
+    with pytest.raises(ValueError):
+        RazorConfig(coverage=1.5)
+    with pytest.raises(ValueError):
+        RazorConfig(reexec_penalty=-1)
+
+
+# ----------------------------------------------------------------------
+# Stage behaviour
+# ----------------------------------------------------------------------
+def test_nominal_voltage_is_clean():
+    stage = RazorStage(RazorConfig(vdd=1.0), RngStream(1, "t"))
+    stats = stage.run(5_000)
+    assert stats.silent_corruptions == 0
+    assert stats.detected_faults <= 2  # ~3e-7 probability
+    assert stats.mean_delay == pytest.approx(1.0, rel=1e-3)
+    assert stats.energy_per_correct_op == pytest.approx(1.0, rel=1e-3)
+
+
+def test_undervolting_detects_and_reexecutes():
+    stage = RazorStage(RazorConfig(vdd=0.85, coverage=1.0), RngStream(2, "t"))
+    stats = stage.run(10_000)
+    assert stats.detected_faults > 100
+    assert stats.silent_corruptions == 0  # full coverage
+    assert stats.mean_delay > 1.05  # the visible "timing differences"
+
+
+def test_partial_coverage_leaks_silent_corruptions():
+    stage = RazorStage(RazorConfig(vdd=0.85, coverage=0.9), RngStream(3, "t"))
+    stats = stage.run(10_000)
+    assert stats.silent_corruptions > 0
+    # Roughly 10% of faults escape.
+    total_faults = stats.detected_faults + stats.silent_corruptions
+    assert 0.03 < stats.silent_corruptions / total_faults < 0.25
+
+
+def test_zero_coverage_detects_nothing():
+    stage = RazorStage(RazorConfig(vdd=0.85, coverage=0.0), RngStream(4, "t"))
+    stats = stage.run(5_000)
+    assert stats.detected_faults == 0
+    assert stats.silent_corruptions > 50
+
+
+def test_execute_reports_corruption_flag():
+    stage = RazorStage(RazorConfig(vdd=0.8, coverage=0.0), RngStream(5, "t"))
+    flags = [stage.execute()[1] for _ in range(100)]
+    assert any(flags)  # at vdd=0.8 every op faults, none detected
+
+
+# ----------------------------------------------------------------------
+# The Razor curve
+# ----------------------------------------------------------------------
+def test_energy_curve_has_interior_minimum():
+    voltages = [1.0, 0.95, 0.9, 0.85, 0.8]
+    sweep = sweep_voltage(voltages, operations=20_000)
+    energies = [row[2] for row in sweep]
+    best = energies.index(min(energies))
+    assert 0 < best < len(voltages) - 1  # strictly inside the sweep
+    assert min(energies) < 0.9  # > 10% energy saved vs worst-case margin
+    assert energies[-1] > energies[best]  # overshooting undervolt loses
+
+
+def test_sweep_deterministic_per_seed():
+    a = sweep_voltage([1.0, 0.9], operations=2_000, seed=7)
+    b = sweep_voltage([1.0, 0.9], operations=2_000, seed=7)
+    assert a == b

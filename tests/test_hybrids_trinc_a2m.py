@@ -1,0 +1,152 @@
+"""Unit tests for TrInc and A2M hybrids, plus the complexity model."""
+
+import pytest
+
+from repro.crypto import KeyStore
+from repro.hybrids import A2M, TrInc, estimate_complexity
+from repro.hybrids.a2m import A2MVerifier
+from repro.hybrids.complexity import register_complexity, usig_complexity
+from repro.hybrids.trinc import TrIncError, TrIncVerifier
+
+
+@pytest.fixture
+def keystore():
+    return KeyStore()
+
+
+# ----------------------------------------------------------------------
+# TrInc
+# ----------------------------------------------------------------------
+def test_trinc_attest_advances(keystore):
+    trinc = TrInc("d0", keystore)
+    att = trinc.attest(5, b"payload")
+    assert att.old_counter == 0 and att.new_counter == 5
+
+
+def test_trinc_non_advancing_attestation(keystore):
+    trinc = TrInc("d0", keystore)
+    trinc.attest(5, b"a")
+    att = trinc.attest(5, b"b")
+    assert att.old_counter == 5 and att.new_counter == 5
+
+
+def test_trinc_refuses_regression(keystore):
+    trinc = TrInc("d0", keystore)
+    trinc.attest(10, b"a")
+    with pytest.raises(TrIncError):
+        trinc.attest(9, b"b")
+
+
+def test_trinc_attestation_verifies(keystore):
+    trinc = TrInc("d0", keystore)
+    verifier = TrIncVerifier(keystore)
+    att = trinc.attest(3, b"payload")
+    assert verifier.verify(att, b"payload")
+    assert not verifier.verify(att, b"other")
+
+
+def test_trinc_forged_interval_fails(keystore):
+    import dataclasses
+
+    trinc = TrInc("d0", keystore)
+    verifier = TrIncVerifier(keystore)
+    att = trinc.attest(3, b"p")
+    forged = dataclasses.replace(att, new_counter=99)
+    assert not verifier.verify(forged, b"p")
+
+
+# ----------------------------------------------------------------------
+# A2M
+# ----------------------------------------------------------------------
+def test_a2m_append_sequences(keystore):
+    a2m = A2M("d0", keystore)
+    atts = [a2m.append("log", {"op": i}) for i in range(5)]
+    assert [a.sequence for a in atts] == [1, 2, 3, 4, 5]
+
+
+def test_a2m_lookup_and_end(keystore):
+    a2m = A2M("d0", keystore)
+    for i in range(3):
+        a2m.append("log", i)
+    middle = a2m.lookup("log", 2)
+    assert middle is not None and middle.sequence == 2
+    assert a2m.end("log").sequence == 3
+    assert a2m.lookup("log", 99) is None
+    assert a2m.end("empty") is None
+
+
+def test_a2m_attestations_verify_and_bind_value(keystore):
+    a2m = A2M("d0", keystore)
+    verifier = A2MVerifier(keystore)
+    att = a2m.append("log", {"op": "put"})
+    assert verifier.verify(att)
+    assert verifier.matches(att, {"op": "put"})
+    assert not verifier.matches(att, {"op": "del"})
+
+
+def test_a2m_capacity_truncates_but_keeps_sequences(keystore):
+    a2m = A2M("d0", keystore, capacity_per_log=3)
+    for i in range(10):
+        a2m.append("log", i)
+    assert a2m.lookup("log", 5) is None  # truncated away
+    assert a2m.lookup("log", 9) is not None  # retained suffix
+    assert a2m.end("log").sequence == 10
+    assert a2m.append_count("log") == 10
+
+
+def test_a2m_separate_logs_independent(keystore):
+    a2m = A2M("d0", keystore)
+    a2m.append("a", 1)
+    att = a2m.append("b", 1)
+    assert att.sequence == 1
+
+
+def test_a2m_forged_sequence_fails(keystore):
+    import dataclasses
+
+    a2m = A2M("d0", keystore)
+    verifier = A2MVerifier(keystore)
+    att = a2m.append("log", 1)
+    forged = dataclasses.replace(att, sequence=42)
+    assert not verifier.verify(forged)
+
+
+def test_a2m_rejects_bad_capacity(keystore):
+    with pytest.raises(ValueError):
+        A2M("d0", keystore, capacity_per_log=0)
+
+
+# ----------------------------------------------------------------------
+# Complexity model
+# ----------------------------------------------------------------------
+def test_complexity_ordering_matches_paper_story():
+    plain = estimate_complexity("usig-plain").total_ge
+    tmr = estimate_complexity("usig-tmr").total_ge
+    ecc = estimate_complexity("usig-ecc").total_ge
+    softcore = estimate_complexity("softcore").total_ge
+    assert plain < tmr
+    assert plain < ecc
+    assert max(tmr, ecc) < softcore  # the middle ground exists
+
+
+def test_register_complexity_components():
+    plain = register_complexity("plain", 64)
+    assert plain.logic_ge == 0
+    ecc = register_complexity("ecc", 64)
+    assert ecc.storage_ge > plain.storage_ge
+    assert ecc.logic_ge > 0
+    tmr = register_complexity("tmr", 64)
+    assert tmr.storage_ge == 3 * plain.storage_ge
+
+
+def test_unknown_design_rejected():
+    with pytest.raises(ValueError):
+        estimate_complexity("usig-raid")
+    with pytest.raises(ValueError):
+        register_complexity("raid", 8)
+
+
+def test_usig_complexity_includes_hmac_core():
+    from repro.hybrids.complexity import GE_HMAC_CORE
+
+    assert usig_complexity("plain").logic_ge >= GE_HMAC_CORE

@@ -1,0 +1,200 @@
+"""Cross-module integration scenarios: the paper's storylines end-to-end."""
+
+import pytest
+
+from repro.bft import ClientConfig, ClientNode, GroupConfig, build_group
+from repro.core import (
+    DiversityManager,
+    RejuvenationPolicy,
+    RejuvenationScheduler,
+    VariantLibrary,
+)
+from repro.core.replication import ReplicationManager
+from repro.fabric import FpgaFabric
+from repro.faults import AgingModel, AptAttacker, AptConfig, DormantTrojan, WeibullParams
+from repro.sim import Simulator
+from repro.soc import Chip, ChipConfig
+
+
+def fabric_system(seed=1, protocol="minbft", f=1, n_variants=5, width=6, height=6):
+    sim = Simulator(seed=seed)
+    chip = Chip(sim, ChipConfig(width=width, height=height))
+    fabric = FpgaFabric(sim, chip)
+    library = VariantLibrary.generate("svc", n_variants, 3)
+    fabric.register_variants("svc", library.names())
+    diversity = DiversityManager(library)
+    manager = ReplicationManager(chip, fabric, diversity)
+    group = manager.deploy_group(GroupConfig(protocol=protocol, f=f, group_id="g"))
+    sim.run(until=30_000)
+    return sim, chip, fabric, diversity, manager, group
+
+
+def attach_apt(sim, group, diversity, mean_effort, reuse=0.05):
+    def compromise(name):
+        if name in group.replicas:
+            group.replicas[name].compromise()
+
+    attacker = AptAttacker(
+        sim,
+        targets=lambda: list(group.members),
+        variant_of=diversity.variant_of,
+        compromise=compromise,
+        config=AptConfig(mean_effort=mean_effort, reuse_factor=reuse),
+    )
+    return attacker
+
+
+# ----------------------------------------------------------------------
+# §II.C storyline: rejuvenation defeats the APT
+# ----------------------------------------------------------------------
+def test_apt_overwhelms_static_system():
+    sim, chip, fabric, diversity, manager, group = fabric_system(seed=11)
+    attacker = attach_apt(sim, group, diversity, mean_effort=40_000)
+    attacker.start()
+    sim.run(until=1_000_000)
+    # No rejuvenation: eventually more than f=1 replicas are compromised.
+    assert attacker.compromised_count > 1
+
+
+def test_diverse_rejuvenation_contains_apt():
+    """Rejuvenation keeps the attacker's foothold strictly smaller than a
+    static deployment's over the same horizon and attacker strength."""
+    from repro.sim import PeriodicTimer
+
+    def run(with_rejuvenation, seed=11):
+        sim, chip, fabric, diversity, manager, group = fabric_system(seed=seed)
+        attacker = attach_apt(sim, group, diversity, mean_effort=150_000, reuse=0.3)
+        if with_rejuvenation:
+            scheduler = RejuvenationScheduler(
+                group,
+                fabric,
+                diversity,
+                RejuvenationPolicy(period=10_000, diversify=True, relocate=True),
+                on_rejuvenated=attacker.notify_rejuvenated,
+            )
+            scheduler.start()
+        attacker.start()
+        exposure = [0.0]  # time-weighted count of windows with > f compromised
+        max_seen = [0]
+
+        def sample():
+            max_seen[0] = max(max_seen[0], attacker.compromised_count)
+            if attacker.compromised_count > group.f:
+                exposure[0] += 5_000
+
+        PeriodicTimer(sim, 5_000, sample)
+        sim.run(until=1_000_000)
+        return max_seen[0], exposure[0]
+
+    static_max, static_exposure = run(with_rejuvenation=False)
+    rejuv_max, rejuv_exposure = run(with_rejuvenation=True)
+    assert static_max == 3  # the whole group eventually falls
+    assert rejuv_max < static_max
+    assert rejuv_exposure < static_exposure / 5  # far less time beyond f
+
+
+# ----------------------------------------------------------------------
+# §II.C storyline: relocation escapes fabric trojans
+# ----------------------------------------------------------------------
+def test_trojan_under_static_replica_compromises_it():
+    sim, chip, fabric, diversity, manager, group = fabric_system(seed=12)
+    victim = group.members[0]
+    DormantTrojan(sim, chip, chip.coord_of(victim), trigger_time=sim.now + 50_000)
+    sim.run(until=200_000)
+    assert not group.replicas[victim].is_correct
+
+
+def test_relocating_rejuvenation_limits_trojan_exposure():
+    """With trojans under every initial replica tile, a static deployment
+    is fully compromised; relocating rejuvenation keeps the group healing
+    (compromise is transient, bounded by one rejuvenation cycle)."""
+    from repro.sim import PeriodicTimer
+
+    def run(with_relocation, seed=12):
+        sim, chip, fabric, diversity, manager, group = fabric_system(seed=seed)
+        for member in group.members:
+            DormantTrojan(sim, chip, chip.coord_of(member), trigger_time=sim.now + 50_000)
+        if with_relocation:
+            scheduler = RejuvenationScheduler(
+                group,
+                fabric,
+                diversity,
+                RejuvenationPolicy(period=10_000, diversify=False, relocate=True),
+            )
+            scheduler.start()
+        exposure = [0.0]
+
+        def sample():
+            bad = sum(1 for r in group.replicas.values() if not r.is_correct)
+            if bad > group.f:
+                exposure[0] += 5_000
+
+        PeriodicTimer(sim, 5_000, sample)
+        sim.run(until=400_000)
+        return exposure[0]
+
+    static_exposure = run(with_relocation=False)
+    mobile_exposure = run(with_relocation=True)
+    assert static_exposure > 300_000  # all three trojans hold forever
+    assert mobile_exposure < static_exposure / 3
+
+
+# ----------------------------------------------------------------------
+# Aging + repair (rejuvenation as the repair process)
+# ----------------------------------------------------------------------
+def test_aging_crashes_service_without_repair():
+    sim, chip, fabric, diversity, manager, group = fabric_system(seed=13)
+    aging = AgingModel(sim, chip, WeibullParams(scale=300_000, shape=3.0))
+    aging.start()
+    client = ClientNode("c0", ClientConfig(think_time=200, timeout=15_000))
+    group.attach_client(client)
+    client.start()
+    sim.run(until=1_500_000)
+    # By several characteristic lives, most tiles are dead.
+    dead = sum(1 for t in chip.tiles.values() if t.state.value == "crashed")
+    assert dead > chip.topology.size // 2
+
+
+def test_aging_with_refresh_keeps_replica_tiles_alive():
+    sim, chip, fabric, diversity, manager, group = fabric_system(seed=13)
+    aging = AgingModel(sim, chip, WeibullParams(scale=300_000, shape=3.0))
+    aging.start()
+    # Refresh replica tiles on every rejuvenation pass (repair = reconfig).
+    scheduler = RejuvenationScheduler(
+        group,
+        fabric,
+        diversity,
+        RejuvenationPolicy(period=20_000, diversify=False, relocate=False),
+        on_rejuvenated=lambda name: aging.refresh(chip.coord_of(name)),
+    )
+    scheduler.start()
+    sim.run(until=1_200_000)
+    for member in group.members:
+        assert chip.tiles[chip.coord_of(member)].state.value != "crashed"
+
+
+# ----------------------------------------------------------------------
+# Full-stack smoke: everything at once
+# ----------------------------------------------------------------------
+def test_kitchen_sink_remains_safe():
+    sim, chip, fabric, diversity, manager, group = fabric_system(seed=14, width=7, height=7)
+    client = ClientNode("c0", ClientConfig(think_time=150, timeout=15_000))
+    group.attach_client(client)
+    client.start()
+    attacker = attach_apt(sim, group, diversity, mean_effort=120_000)
+    scheduler = RejuvenationScheduler(
+        group,
+        fabric,
+        diversity,
+        RejuvenationPolicy(period=15_000, diversify=True, relocate=True),
+        on_rejuvenated=attacker.notify_rejuvenated,
+    )
+    attacker.start()
+    scheduler.start()
+    DormantTrojan(sim, chip, chip.coord_of(group.members[1]), trigger_time=100_000)
+    sim.run(until=800_000)
+    assert group.safety.is_safe
+    # Under APT + trojan + aggressive (15k-period) rejuvenation the group
+    # spends much of its time failing over and re-syncing; the claim under
+    # this much concurrent adversity is safety plus *some* progress.
+    assert client.completed > 50

@@ -1,0 +1,201 @@
+"""Unit tests for metric collectors, registry, and table rendering."""
+
+import pytest
+
+from repro.metrics import Counter, Gauge, Histogram, MetricsRegistry, Table, TimeSeries
+from repro.metrics.tables import format_rate, geometric_mean
+
+
+# ----------------------------------------------------------------------
+# Counter / Gauge
+# ----------------------------------------------------------------------
+def test_counter_increments():
+    counter = Counter("c")
+    counter.inc()
+    counter.inc(5)
+    assert counter.value == 6
+
+
+def test_counter_rejects_negative():
+    with pytest.raises(ValueError):
+        Counter("c").inc(-1)
+
+
+def test_counter_reset():
+    counter = Counter("c")
+    counter.inc(9)
+    counter.reset()
+    assert counter.value == 0
+
+
+def test_gauge_set_and_add():
+    gauge = Gauge("g", initial=10)
+    gauge.set(3.5)
+    gauge.add(-1.5)
+    assert gauge.value == 2.0
+
+
+# ----------------------------------------------------------------------
+# Histogram
+# ----------------------------------------------------------------------
+def test_histogram_mean_and_count():
+    hist = Histogram("h")
+    for value in [1, 2, 3, 4]:
+        hist.observe(value)
+    assert hist.count == 4
+    assert hist.mean() == 2.5
+
+
+def test_histogram_percentiles():
+    hist = Histogram("h")
+    for value in range(1, 101):
+        hist.observe(value)
+    assert hist.percentile(50) == 50
+    assert hist.percentile(95) == 95
+    assert hist.percentile(100) == 100
+    assert hist.percentile(0) == 1
+
+
+def test_histogram_percentile_unsorted_input():
+    hist = Histogram("h")
+    for value in [5, 1, 9, 3, 7]:
+        hist.observe(value)
+    assert hist.percentile(100) == 9
+    assert hist.min() == 1 and hist.max() == 9
+
+
+def test_histogram_empty_is_zero():
+    hist = Histogram("h")
+    assert hist.mean() == 0.0
+    assert hist.percentile(99) == 0.0
+    assert hist.stddev() == 0.0
+
+
+def test_histogram_percentile_range_check():
+    with pytest.raises(ValueError):
+        Histogram("h").percentile(101)
+
+
+def test_histogram_stddev():
+    hist = Histogram("h")
+    for value in [2, 4, 4, 4, 5, 5, 7, 9]:
+        hist.observe(value)
+    assert abs(hist.stddev() - 2.0) < 1e-9
+
+
+def test_histogram_summary_keys():
+    hist = Histogram("h")
+    hist.observe(1.0)
+    summary = hist.summary()
+    assert set(summary) == {"count", "mean", "p50", "p95", "p99", "max"}
+
+
+def test_histogram_reset():
+    hist = Histogram("h")
+    hist.observe(1)
+    hist.reset()
+    assert hist.count == 0
+
+
+# ----------------------------------------------------------------------
+# TimeSeries
+# ----------------------------------------------------------------------
+def test_timeseries_records_and_windows():
+    series = TimeSeries("t")
+    for t in range(10):
+        series.record(float(t), t * 10.0)
+    assert series.count == 10
+    assert series.window(3, 6) == [(3.0, 30.0), (4.0, 40.0), (5.0, 50.0)]
+    assert series.mean_over(0, 10) == 45.0
+    assert series.mean_over(100, 200) is None
+    assert series.last() == (9.0, 90.0)
+
+
+def test_timeseries_rejects_time_regression():
+    series = TimeSeries("t")
+    series.record(5, 1)
+    with pytest.raises(ValueError):
+        series.record(4, 1)
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+def test_registry_caches_by_name():
+    registry = MetricsRegistry()
+    assert registry.counter("a") is registry.counter("a")
+
+
+def test_registry_type_conflict_rejected():
+    registry = MetricsRegistry()
+    registry.counter("x")
+    with pytest.raises(TypeError):
+        registry.histogram("x")
+
+
+def test_registry_snapshot_and_reset():
+    registry = MetricsRegistry()
+    registry.counter("c").inc(3)
+    registry.gauge("g").set(7)
+    registry.histogram("h").observe(4)
+    snapshot = registry.snapshot()
+    assert snapshot["c"] == 3 and snapshot["g"] == 7 and snapshot["h.mean"] == 4
+    registry.reset_counters()
+    assert registry.counter("c").value == 0
+    assert registry.gauge("g").value == 7  # gauges survive reset
+
+
+def test_registry_contains_and_items():
+    registry = MetricsRegistry()
+    registry.counter("b")
+    registry.counter("a")
+    assert "a" in registry and "z" not in registry
+    assert [name for name, _ in registry.items()] == ["a", "b"]
+
+
+# ----------------------------------------------------------------------
+# Table
+# ----------------------------------------------------------------------
+def test_table_renders_header_and_rows():
+    table = Table("E0", ["name", "value"], title="demo")
+    table.add_row(["alpha", 1])
+    table.add_row(["beta", 2.5])
+    text = table.render()
+    assert "[E0] demo" in text
+    assert "alpha" in text and "beta" in text and "2.5" in text
+
+
+def test_table_rejects_wrong_row_width():
+    table = Table("E0", ["a", "b"])
+    with pytest.raises(ValueError):
+        table.add_row([1])
+
+
+def test_table_column_extraction():
+    table = Table("E0", ["a", "b"])
+    table.add_row([1, "x"])
+    table.add_row([2, "y"])
+    assert table.column("b") == ["x", "y"]
+
+
+def test_table_requires_columns():
+    with pytest.raises(ValueError):
+        Table("E0", [])
+
+
+def test_table_float_formatting():
+    table = Table("E0", ["v"])
+    table.add_row([0.000001234])
+    table.add_row([12345678.0])
+    table.add_row([True])
+    values = table.column("v")
+    assert "e" in values[0] and "e" in values[1]
+    assert values[2] == "yes"
+
+
+def test_format_rate_and_geomean():
+    assert format_rate(10, 4) == 2.5
+    assert format_rate(10, 0, default=-1) == -1
+    assert abs(geometric_mean([2, 8]) - 4.0) < 1e-9
+    assert geometric_mean([]) is None
+    assert geometric_mean([1, 0]) is None

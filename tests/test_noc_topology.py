@@ -1,0 +1,107 @@
+"""Unit tests for the 2D mesh topology and XY routing."""
+
+import pytest
+
+from repro.noc import Coord, MeshTopology
+
+
+def test_mesh_size_and_contains():
+    mesh = MeshTopology(4, 3)
+    assert mesh.size == 12
+    assert mesh.contains(Coord(3, 2))
+    assert not mesh.contains(Coord(4, 0))
+    assert not mesh.contains(Coord(0, -1))
+
+
+def test_mesh_rejects_degenerate_dimensions():
+    with pytest.raises(ValueError):
+        MeshTopology(0, 3)
+
+
+def test_index_coord_roundtrip():
+    mesh = MeshTopology(5, 4)
+    for index in range(mesh.size):
+        assert mesh.index_of(mesh.coord_of(index)) == index
+
+
+def test_index_of_rejects_off_mesh():
+    mesh = MeshTopology(2, 2)
+    with pytest.raises(ValueError):
+        mesh.index_of(Coord(5, 5))
+    with pytest.raises(ValueError):
+        mesh.coord_of(99)
+
+
+def test_neighbours_corner_edge_center():
+    mesh = MeshTopology(3, 3)
+    assert len(mesh.neighbours(Coord(0, 0))) == 2
+    assert len(mesh.neighbours(Coord(1, 0))) == 3
+    assert len(mesh.neighbours(Coord(1, 1))) == 4
+
+
+def test_links_count_matches_mesh_structure():
+    mesh = MeshTopology(4, 4)
+    # Directed links: 2 * (horizontal + vertical edges)
+    expected = 2 * (3 * 4 + 3 * 4)
+    assert len(mesh.links()) == expected
+
+
+def test_xy_route_shape():
+    mesh = MeshTopology(5, 5)
+    route = mesh.xy_route(Coord(0, 0), Coord(3, 2))
+    assert route[0] == Coord(0, 0) and route[-1] == Coord(3, 2)
+    assert len(route) == 1 + Coord(0, 0).manhattan(Coord(3, 2))
+    # x corrected before y
+    assert route[1] == Coord(1, 0)
+    assert route[3] == Coord(3, 0)
+    assert route[4] == Coord(3, 1)
+
+
+def test_xy_route_self_is_singleton():
+    mesh = MeshTopology(3, 3)
+    assert mesh.xy_route(Coord(1, 1), Coord(1, 1)) == [Coord(1, 1)]
+
+
+def test_xy_route_westward_and_northward():
+    mesh = MeshTopology(4, 4)
+    route = mesh.xy_route(Coord(3, 3), Coord(0, 0))
+    assert route[0] == Coord(3, 3) and route[-1] == Coord(0, 0)
+    assert len(route) == 7
+
+
+def test_route_avoiding_blocked_link():
+    mesh = MeshTopology(3, 1)
+    blocked = frozenset({(Coord(0, 0), Coord(1, 0))})
+    with pytest.raises(ValueError):
+        mesh.route_avoiding(Coord(0, 0), Coord(2, 0), blocked)
+
+
+def test_route_avoiding_detours():
+    mesh = MeshTopology(3, 2)
+    blocked = frozenset({(Coord(0, 0), Coord(1, 0))})
+    route = mesh.route_avoiding(Coord(0, 0), Coord(2, 0), blocked)
+    assert route[0] == Coord(0, 0) and route[-1] == Coord(2, 0)
+    for a, b in zip(route, route[1:]):
+        assert (a, b) not in blocked
+        assert a.manhattan(b) == 1
+
+
+def test_route_avoiding_empty_blocked_is_shortest():
+    mesh = MeshTopology(4, 4)
+    route = mesh.route_avoiding(Coord(0, 0), Coord(3, 3), frozenset())
+    assert len(route) == 7
+
+
+def test_manhattan_distance():
+    assert Coord(0, 0).manhattan(Coord(3, 4)) == 7
+    assert Coord(2, 2).manhattan(Coord(2, 2)) == 0
+
+
+def test_center():
+    assert MeshTopology(5, 5).center() == Coord(2, 2)
+    assert MeshTopology(4, 4).center() == Coord(2, 2)
+
+
+def test_coords_row_major_order():
+    mesh = MeshTopology(2, 2)
+    assert list(mesh.coords()) == [Coord(0, 0), Coord(1, 0), Coord(0, 1), Coord(1, 1)]

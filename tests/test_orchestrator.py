@@ -1,0 +1,97 @@
+"""End-to-end tests for the ResilientSystem facade."""
+
+import pytest
+
+from repro.core import OrchestratorConfig, ResilientSystem
+from repro.core.rejuvenation import RejuvenationPolicy
+
+
+def test_system_boots_and_serves():
+    system = ResilientSystem(OrchestratorConfig(seed=1))
+    client = system.add_client("c0")
+    system.start()
+    system.run(300_000)
+    assert system.is_safe
+    assert system.completed_operations() > 50
+    assert "SAFE" in system.summary()
+
+
+def test_system_deterministic_per_seed():
+    def run(seed):
+        system = ResilientSystem(OrchestratorConfig(seed=seed))
+        system.add_client("c0")
+        system.start()
+        system.run(200_000)
+        return system.completed_operations()
+
+    assert run(5) == run(5)
+
+
+def test_rejuvenation_enabled_by_default():
+    system = ResilientSystem(OrchestratorConfig(seed=2))
+    system.add_client("c0")
+    system.start()
+    system.run(400_000)
+    assert system.rejuvenation is not None
+    assert system.rejuvenation.passes > 0
+    assert system.is_safe
+
+
+def test_rejuvenation_can_be_disabled():
+    system = ResilientSystem(OrchestratorConfig(seed=2, enable_rejuvenation=False))
+    assert system.rejuvenation is None
+
+
+def test_adaptation_integration():
+    system = ResilientSystem(
+        OrchestratorConfig(seed=3, protocol="cft", enable_adaptation=True,
+                           enable_rejuvenation=False)
+    )
+    client = system.add_client("c0")
+    system.start()
+    # Crash the CFT leader: the controller should move off CFT.
+    system.sim.schedule_at(system.sim.now + 50_000, system.group.crash, system.group.members[0])
+    system.run(900_000)
+    assert system.adaptation is not None
+    assert system.adaptation.switches
+    assert system.is_safe
+
+
+def test_multiple_clients():
+    system = ResilientSystem(OrchestratorConfig(seed=4))
+    for i in range(3):
+        system.add_client(f"c{i}")
+    system.start()
+    system.run(300_000)
+    assert all(c.completed > 20 for c in system.clients)
+    assert system.is_safe
+
+
+def test_pbft_orchestrated():
+    system = ResilientSystem(
+        OrchestratorConfig(seed=5, protocol="pbft", width=7, height=7,
+                           rejuvenation=RejuvenationPolicy(period=50_000))
+    )
+    system.add_client("c0")
+    system.start()
+    system.run(400_000)
+    assert system.is_safe
+    assert len(system.group.members) == 4
+    assert system.completed_operations() > 30
+
+
+def test_quickstart_detector_not_fooled_by_maintenance():
+    """With the default wiring, proactive rejuvenation must not drive the
+    severity detector off LOW (the maintenance-masking regression test)."""
+    from repro.core.rejuvenation import RejuvenationPolicy
+
+    system = ResilientSystem(
+        OrchestratorConfig(seed=42, rejuvenation=RejuvenationPolicy(period=40_000))
+    )
+    system.add_client("c0")
+    system.start()
+    system.run(600_000)
+    assert system.rejuvenation.passes > 8
+    assert system.detector.level.name == "LOW"
+    assert system.detector.suppressed_assessments > 0
+    assert system.is_safe

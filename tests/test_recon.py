@@ -1,0 +1,196 @@
+"""Tests for consensual reconfiguration (voting gate, kernels, coordinator)."""
+
+import pytest
+
+from repro.crypto import KeyStore
+from repro.fabric import Bitstream, FpgaFabric, IcapResult
+from repro.noc import Coord
+from repro.recon import (
+    KernelReplica,
+    PrivilegeVote,
+    ReconfigCoordinator,
+    VotingGate,
+    WriteProposal,
+)
+from repro.recon.consensual import make_vote
+from repro.sim import Simulator
+from repro.soc import Chip, ChipConfig
+
+
+@pytest.fixture
+def setup(chip):
+    fabric = FpgaFabric(chip.sim, chip)
+    fabric.register_variants("svc", ["vA", "vB"])
+    keystore = KeyStore()
+    kernels = []
+    for i in range(3):
+        kernel = KernelReplica(f"k{i}", fabric.store, keystore)
+        chip.place_node(kernel, chip.free_tiles()[0])
+        kernels.append(kernel)
+    gate = VotingGate(fabric.icap, keystore, [k.name for k in kernels], quorum=2)
+    coordinator = ReconfigCoordinator("coord", gate, [k.name for k in kernels])
+    chip.place_node(coordinator, chip.free_tiles()[0])
+    return chip, fabric, keystore, kernels, gate, coordinator
+
+
+def region_of(chip, fabric):
+    return fabric.region_at(chip.free_tiles()[0])
+
+
+# ----------------------------------------------------------------------
+# Gate-level checks (no NoC)
+# ----------------------------------------------------------------------
+def test_gate_accepts_quorum_of_valid_votes(setup):
+    chip, fabric, keystore, kernels, gate, _ = setup
+    region = region_of(chip, fabric)
+    proposal = WriteProposal(region.region_id, fabric.store.get("vA"), epoch=0)
+    votes = [make_vote("k0", proposal, keystore), make_vote("k1", proposal, keystore)]
+    assert gate.submit(proposal, votes, region) == IcapResult.OK
+    assert gate.accepted == 1
+    assert gate.epoch == 1
+
+
+def test_gate_rejects_insufficient_votes(setup):
+    chip, fabric, keystore, kernels, gate, _ = setup
+    region = region_of(chip, fabric)
+    proposal = WriteProposal(region.region_id, fabric.store.get("vA"), epoch=0)
+    votes = [make_vote("k0", proposal, keystore)]
+    assert gate.submit(proposal, votes, region) == IcapResult.DENIED_ACL
+    assert gate.rejected_quorum == 1
+
+
+def test_gate_rejects_duplicate_voter(setup):
+    chip, fabric, keystore, kernels, gate, _ = setup
+    region = region_of(chip, fabric)
+    proposal = WriteProposal(region.region_id, fabric.store.get("vA"), epoch=0)
+    votes = [make_vote("k0", proposal, keystore)] * 2  # same voter twice
+    assert gate.submit(proposal, votes, region) == IcapResult.DENIED_ACL
+
+
+def test_gate_rejects_unregistered_voter(setup):
+    chip, fabric, keystore, kernels, gate, _ = setup
+    region = region_of(chip, fabric)
+    proposal = WriteProposal(region.region_id, fabric.store.get("vA"), epoch=0)
+    votes = [
+        make_vote("k0", proposal, keystore),
+        make_vote("stranger", proposal, keystore),
+    ]
+    assert gate.submit(proposal, votes, region) == IcapResult.DENIED_ACL
+
+
+def test_gate_rejects_forged_vote_mac(setup):
+    chip, fabric, keystore, kernels, gate, _ = setup
+    region = region_of(chip, fabric)
+    proposal = WriteProposal(region.region_id, fabric.store.get("vA"), epoch=0)
+    good = make_vote("k0", proposal, keystore)
+    forged = PrivilegeVote("k1", proposal.region_id, 0, b"\x00" * 16)
+    assert gate.submit(proposal, [good, forged], region) == IcapResult.DENIED_ACL
+
+
+def test_gate_rejects_vote_for_other_proposal(setup):
+    chip, fabric, keystore, kernels, gate, _ = setup
+    region = region_of(chip, fabric)
+    wanted = WriteProposal(region.region_id, fabric.store.get("vA"), epoch=0)
+    other = WriteProposal(region.region_id, fabric.store.get("vB"), epoch=0)
+    votes = [make_vote("k0", other, keystore), make_vote("k1", other, keystore)]
+    assert gate.submit(wanted, votes, region) == IcapResult.DENIED_ACL
+
+
+def test_gate_rejects_stale_epoch_replay(setup):
+    chip, fabric, keystore, kernels, gate, _ = setup
+    region = region_of(chip, fabric)
+    proposal = WriteProposal(region.region_id, fabric.store.get("vA"), epoch=0)
+    votes = [make_vote("k0", proposal, keystore), make_vote("k1", proposal, keystore)]
+    assert gate.submit(proposal, votes, region) == IcapResult.OK
+    chip.sim.run()
+    # Replaying the same proposal+votes must fail: epoch moved on.
+    region2 = fabric.region_at(chip.free_tiles()[0])
+    assert gate.submit(proposal, votes, region2) == IcapResult.DENIED_ACL
+    assert gate.rejected_epoch == 1
+
+
+def test_gate_validates_bitstream_itself(setup):
+    chip, fabric, keystore, kernels, gate, _ = setup
+    region = region_of(chip, fabric)
+    forged_bs = Bitstream.forge("vA", "svc", "evil", 1024)
+    proposal = WriteProposal(region.region_id, forged_bs, epoch=0)
+    # Even with a full quorum of (compromised) endorsements...
+    votes = [make_vote(k.name, proposal, keystore) for k in kernels]
+    assert gate.submit(proposal, votes, region) == IcapResult.INVALID_BITSTREAM
+    assert gate.rejected_invalid == 1
+
+
+def test_gate_quorum_validation():
+    store = KeyStore()
+    sim = Simulator(seed=1)
+    chip = Chip(sim, ChipConfig(width=2, height=2))
+    fabric = FpgaFabric(sim, chip)
+    with pytest.raises(ValueError):
+        VotingGate(fabric.icap, store, ["a"], quorum=2)
+
+
+# ----------------------------------------------------------------------
+# End-to-end over the NoC
+# ----------------------------------------------------------------------
+def test_coordinator_drives_legit_write(setup):
+    chip, fabric, keystore, kernels, gate, coordinator = setup
+    region = region_of(chip, fabric)
+    results = []
+    proposal = WriteProposal(region.region_id, fabric.store.get("vA"), epoch=0)
+    coordinator.propose(proposal, region, on_done=results.append)
+    chip.sim.run(until=100_000)
+    assert results == [IcapResult.OK]
+    assert region.variant == "vA"
+
+
+def test_forged_write_blocked_with_f_compromised(setup):
+    chip, fabric, keystore, kernels, gate, coordinator = setup
+    kernels[0].compromise()  # f=1 of 3, quorum=2
+    region = region_of(chip, fabric)
+    forged = Bitstream.forge("vA", "svc", "evil", 1024)
+    results = []
+    coordinator.propose(
+        WriteProposal(region.region_id, forged, epoch=0), region, on_done=results.append
+    )
+    chip.sim.run(until=100_000)
+    assert results == [IcapResult.DENIED_ACL]
+    assert region.variant is None
+
+
+def test_forged_write_reaches_gate_with_quorum_compromised_but_validation_holds(setup):
+    """Even if >= quorum kernels are compromised, the gate's own golden-
+    store validation is the last line of defense for *forged* images."""
+    chip, fabric, keystore, kernels, gate, coordinator = setup
+    kernels[0].compromise()
+    kernels[1].compromise()
+    region = region_of(chip, fabric)
+    forged = Bitstream.forge("vA", "svc", "evil", 1024)
+    results = []
+    coordinator.propose(
+        WriteProposal(region.region_id, forged, epoch=0), region, on_done=results.append
+    )
+    chip.sim.run(until=100_000)
+    assert results == [IcapResult.INVALID_BITSTREAM]
+
+
+def test_single_writer_baseline_breached_when_kernel_compromised(setup):
+    """The E7 contrast: a single almighty kernel with validation disabled
+    (the compromised kernel controls the validation path) writes anything."""
+    chip, fabric, keystore, kernels, gate, coordinator = setup
+    fabric.icap.grant("k0")
+    fabric.icap.validate_writes = False  # the single writer owns the check
+    region = region_of(chip, fabric)
+    forged = Bitstream.forge("vA", "svc", "evil", 1024)
+    assert fabric.icap.write("k0", region, forged) == IcapResult.OK
+    chip.sim.run(until=100_000)
+    assert region.bitstream is forged  # malicious logic landed
+
+
+def test_correct_kernels_refuse_forged_bitstreams(setup):
+    chip, fabric, keystore, kernels, gate, coordinator = setup
+    region = region_of(chip, fabric)
+    forged = Bitstream.forge("vA", "svc", "evil", 1024)
+    coordinator.propose(WriteProposal(region.region_id, forged, epoch=0), region)
+    chip.sim.run(until=100_000)
+    assert all(k.votes_refused == 1 for k in kernels)
+    assert all(k.votes_cast == 0 for k in kernels)

@@ -1,0 +1,120 @@
+"""Additional consensual-reconfiguration scenarios: epochs, races, faults."""
+
+import pytest
+
+from repro.crypto import KeyStore
+from repro.fabric import Bitstream, FpgaFabric, IcapResult
+from repro.recon import KernelReplica, ReconfigCoordinator, VotingGate, WriteProposal
+from repro.recon.consensual import make_vote
+from repro.sim import Simulator
+from repro.soc import Chip, ChipConfig
+
+
+@pytest.fixture
+def stack(chip):
+    fabric = FpgaFabric(chip.sim, chip)
+    fabric.register_variants("svc", ["vA", "vB", "vC"])
+    keystore = KeyStore()
+    kernels = []
+    for i in range(3):
+        kernel = KernelReplica(f"k{i}", fabric.store, keystore)
+        chip.place_node(kernel, chip.free_tiles()[0])
+        kernels.append(kernel)
+    gate = VotingGate(fabric.icap, keystore, [k.name for k in kernels], quorum=2)
+    coordinator = ReconfigCoordinator("coord", gate, [k.name for k in kernels])
+    chip.place_node(coordinator, chip.free_tiles()[0])
+    return chip, fabric, keystore, kernels, gate, coordinator
+
+
+def test_sequential_updates_advance_epochs(stack):
+    chip, fabric, keystore, kernels, gate, coordinator = stack
+    sim = chip.sim
+    results = []
+    for i, variant in enumerate(["vA", "vB", "vC"]):
+        region = fabric.region_at(chip.free_tiles()[0])
+        coordinator.propose(
+            WriteProposal(region.region_id, fabric.store.get(variant), epoch=gate.epoch),
+            region,
+            on_done=results.append,
+        )
+        sim.run(until=sim.now + 50_000)
+    assert results == [IcapResult.OK] * 3
+    assert gate.epoch == 3
+    assert gate.accepted == 3
+
+
+def test_crashed_kernel_does_not_block_quorum(stack):
+    chip, fabric, keystore, kernels, gate, coordinator = stack
+    kernels[2].crash()  # 2 healthy kernels = quorum exactly
+    region = fabric.region_at(chip.free_tiles()[0])
+    results = []
+    coordinator.propose(
+        WriteProposal(region.region_id, fabric.store.get("vA"), epoch=0),
+        region,
+        on_done=results.append,
+    )
+    chip.sim.run(until=100_000)
+    assert results == [IcapResult.OK]
+
+
+def test_two_crashed_kernels_block_everything(stack):
+    """Liveness honestly degrades below quorum — including for legitimate
+    updates (availability is the price of 2-of-3 integrity)."""
+    chip, fabric, keystore, kernels, gate, coordinator = stack
+    kernels[1].crash()
+    kernels[2].crash()
+    region = fabric.region_at(chip.free_tiles()[0])
+    results = []
+    coordinator.propose(
+        WriteProposal(region.region_id, fabric.store.get("vA"), epoch=0),
+        region,
+        on_done=results.append,
+    )
+    chip.sim.run(until=200_000)
+    assert results == []  # stuck: neither accepted nor denied
+    assert gate.accepted == 0
+
+
+def test_votes_do_not_transfer_between_regions(stack):
+    chip, fabric, keystore, kernels, gate, coordinator = stack
+    region_a = fabric.region_at(chip.free_tiles()[0])
+    region_b = fabric.region_at(chip.free_tiles()[1])
+    proposal_a = WriteProposal(region_a.region_id, fabric.store.get("vA"), epoch=0)
+    votes_for_a = [make_vote("k0", proposal_a, keystore), make_vote("k1", proposal_a, keystore)]
+    # Replaying A's votes against region B must fail.
+    proposal_b = WriteProposal(region_b.region_id, fabric.store.get("vA"), epoch=0)
+    assert gate.submit(proposal_b, votes_for_a, region_b) == IcapResult.DENIED_ACL
+
+
+def test_gate_is_sole_icap_principal(stack):
+    chip, fabric, keystore, kernels, gate, coordinator = stack
+    # Kernels themselves hold no ICAP rights: direct writes are denied.
+    region = fabric.region_at(chip.free_tiles()[0])
+    assert fabric.icap.write("k0", region, fabric.store.get("vA")) == IcapResult.DENIED_ACL
+    assert fabric.icap.is_authorized(gate.gate_principal)
+
+
+def test_concurrent_proposals_one_epoch_wins(stack):
+    """Two coordinators racing the same epoch: exactly one write commits
+    (the gate's one-shot epoch makes the other a detectable loser)."""
+    chip, fabric, keystore, kernels, gate, coordinator = stack
+    second = ReconfigCoordinator("coord2", gate, [k.name for k in kernels])
+    chip.place_node(second, chip.free_tiles()[0])
+    region_a = fabric.region_at(chip.free_tiles()[1])
+    region_b = fabric.region_at(chip.free_tiles()[2])
+    outcomes = {}
+    coordinator.propose(
+        WriteProposal(region_a.region_id, fabric.store.get("vA"), epoch=0),
+        region_a,
+        on_done=lambda r: outcomes.setdefault("first", r),
+    )
+    second.propose(
+        WriteProposal(region_b.region_id, fabric.store.get("vB"), epoch=0),
+        region_b,
+        on_done=lambda r: outcomes.setdefault("second", r),
+    )
+    chip.sim.run(until=200_000)
+    verdicts = sorted(outcomes.values(), key=lambda r: r.value)
+    assert verdicts.count(IcapResult.OK) == 1
+    assert verdicts.count(IcapResult.DENIED_ACL) == 1
+    assert gate.accepted == 1

@@ -1,0 +1,164 @@
+"""Unit tests for generator-based processes and conditions."""
+
+import pytest
+
+from repro.sim import Condition, Simulator, spawn
+
+
+def test_process_sleeps_for_yielded_delays():
+    sim = Simulator()
+    times = []
+
+    def worker():
+        times.append(sim.now)
+        yield 10
+        times.append(sim.now)
+        yield 5
+        times.append(sim.now)
+
+    spawn(sim, worker())
+    sim.run()
+    assert times == [0, 10, 15]
+
+
+def test_process_alive_until_generator_returns():
+    sim = Simulator()
+
+    def worker():
+        yield 1
+
+    process = spawn(sim, worker())
+    assert process.alive
+    sim.run()
+    assert not process.alive
+
+
+def test_condition_wakes_waiters_with_value():
+    sim = Simulator()
+    cond = Condition("data")
+    got = []
+
+    def waiter():
+        value = yield cond
+        got.append((sim.now, value))
+
+    spawn(sim, waiter())
+    sim.schedule(25, cond.trigger, "payload")
+    sim.run()
+    assert got == [(25, "payload")]
+
+
+def test_condition_trigger_counts_waiters():
+    sim = Simulator()
+    cond = Condition()
+
+    def waiter():
+        yield cond
+
+    spawn(sim, waiter())
+    spawn(sim, waiter())
+    woken = []
+    sim.schedule(1, lambda: woken.append(cond.trigger()))
+    sim.run()
+    assert woken == [2]
+
+
+def test_condition_retriggers_wake_new_waiters_only():
+    sim = Simulator()
+    cond = Condition()
+    log = []
+
+    def waiter(tag):
+        yield cond
+        log.append(tag)
+
+    spawn(sim, waiter("first"))
+    sim.schedule(1, cond.trigger)
+    sim.schedule(2, lambda: spawn(sim, waiter("second")))
+    sim.schedule(3, cond.trigger)
+    sim.run()
+    assert log == ["first", "second"]
+
+
+def test_kill_stops_sleeping_process():
+    sim = Simulator()
+    reached = []
+
+    def worker():
+        yield 100
+        reached.append(True)
+
+    process = spawn(sim, worker())
+    sim.schedule(10, process.kill)
+    sim.run()
+    assert reached == []
+    assert not process.alive
+
+
+def test_kill_runs_finally_blocks():
+    sim = Simulator()
+    cleaned = []
+
+    def worker():
+        try:
+            yield 100
+        finally:
+            cleaned.append(True)
+
+    process = spawn(sim, worker())
+    sim.schedule(1, process.kill)
+    sim.run()
+    assert cleaned == [True]
+
+
+def test_kill_removes_condition_waiter():
+    sim = Simulator()
+    cond = Condition()
+
+    def worker():
+        yield cond
+
+    process = spawn(sim, worker())
+    sim.schedule(1, process.kill)
+    sim.schedule(2, cond.trigger)
+    sim.run()
+    assert cond.waiter_count == 0
+
+
+def test_bad_yield_type_raises():
+    sim = Simulator()
+
+    def worker():
+        yield "not a delay"
+
+    spawn(sim, worker())
+    with pytest.raises(TypeError):
+        sim.run()
+
+
+def test_negative_delay_yield_raises():
+    sim = Simulator()
+
+    def worker():
+        yield -5
+
+    spawn(sim, worker())
+    with pytest.raises(ValueError):
+        sim.run()
+
+
+def test_interrupt_throws_into_process():
+    sim = Simulator()
+    caught = []
+
+    def worker():
+        try:
+            yield 100
+        except Exception as exc:  # noqa: BLE001 - test captures anything
+            caught.append(type(exc).__name__)
+
+    process = spawn(sim, worker())
+    sim.schedule(10, process.interrupt)
+    sim.run()
+    assert caught == ["EventCancelled"]
+    assert not process.alive

@@ -1,0 +1,101 @@
+"""Unit tests for named, seeded RNG streams."""
+
+import pytest
+
+from repro.sim import RngRegistry, RngStream
+
+
+def test_same_seed_same_name_reproduces_sequence():
+    a = RngStream(42, "component")
+    b = RngStream(42, "component")
+    assert [a.random() for _ in range(20)] == [b.random() for _ in range(20)]
+
+
+def test_different_names_are_independent():
+    a = RngStream(42, "alpha")
+    b = RngStream(42, "beta")
+    assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+
+def test_different_seeds_differ():
+    a = RngStream(1, "x")
+    b = RngStream(2, "x")
+    assert a.random() != b.random()
+
+
+def test_stream_independent_of_creation_order():
+    reg1 = RngRegistry(7)
+    first_then_second = (reg1.stream("a").random(), reg1.stream("b").random())
+    reg2 = RngRegistry(7)
+    second_then_first = (reg2.stream("b").random(), reg2.stream("a").random())
+    assert first_then_second == (second_then_first[1], second_then_first[0])
+
+
+def test_registry_caches_streams():
+    reg = RngRegistry(0)
+    assert reg.stream("s") is reg.stream("s")
+    assert "s" in reg
+
+
+def test_exponential_mean_roughly_correct():
+    stream = RngStream(3, "exp")
+    draws = [stream.exponential(100.0) for _ in range(5000)]
+    mean = sum(draws) / len(draws)
+    assert 90 < mean < 110
+
+
+def test_exponential_rejects_nonpositive_mean():
+    with pytest.raises(ValueError):
+        RngStream(0, "x").exponential(0)
+
+
+def test_weibull_shape_one_is_exponential_like():
+    stream = RngStream(5, "wb")
+    draws = [stream.weibull(100.0, 1.0) for _ in range(5000)]
+    mean = sum(draws) / len(draws)
+    assert 90 < mean < 110
+
+
+def test_weibull_rejects_bad_params():
+    with pytest.raises(ValueError):
+        RngStream(0, "x").weibull(0, 2)
+    with pytest.raises(ValueError):
+        RngStream(0, "x").weibull(1, 0)
+
+
+def test_bernoulli_extremes():
+    stream = RngStream(9, "bern")
+    assert all(stream.bernoulli(1.0) for _ in range(50))
+    assert not any(stream.bernoulli(0.0) for _ in range(50))
+
+
+def test_poisson_zero_mean_is_zero():
+    assert RngStream(0, "p").poisson(0) == 0
+
+
+def test_poisson_mean_roughly_correct():
+    stream = RngStream(11, "poisson")
+    draws = [stream.poisson(4.0) for _ in range(3000)]
+    mean = sum(draws) / len(draws)
+    assert 3.7 < mean < 4.3
+
+
+def test_poisson_rejects_negative():
+    with pytest.raises(ValueError):
+        RngStream(0, "p").poisson(-1)
+
+
+def test_sample_and_choice_are_deterministic():
+    a = RngStream(13, "pick")
+    b = RngStream(13, "pick")
+    seq = list(range(100))
+    assert a.sample(seq, 10) == b.sample(seq, 10)
+    assert a.choice(seq) == b.choice(seq)
+
+
+def test_shuffle_is_permutation():
+    stream = RngStream(17, "shuffle")
+    items = list(range(50))
+    stream.shuffle(items)
+    assert sorted(items) == list(range(50))
+    assert items != list(range(50))

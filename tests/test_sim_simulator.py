@@ -1,0 +1,190 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.sim.simulator import SimulationError
+
+
+def test_clock_starts_at_zero():
+    assert Simulator().now == 0.0
+
+
+def test_schedule_and_run_fires_in_time_order():
+    sim = Simulator()
+    fired = []
+    sim.schedule(30, fired.append, "c")
+    sim.schedule(10, fired.append, "a")
+    sim.schedule(20, fired.append, "b")
+    sim.run()
+    assert fired == ["a", "b", "c"]
+    assert sim.now == 30
+
+
+def test_same_time_events_fire_in_insertion_order():
+    sim = Simulator()
+    fired = []
+    for tag in range(10):
+        sim.schedule(5.0, fired.append, tag)
+    sim.run()
+    assert fired == list(range(10))
+
+
+def test_priority_breaks_time_ties():
+    sim = Simulator()
+    fired = []
+    sim.schedule(5.0, fired.append, "low", priority=10)
+    sim.schedule(5.0, fired.append, "high", priority=-10)
+    sim.run()
+    assert fired == ["high", "low"]
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-1.0, lambda: None)
+
+
+def test_schedule_in_past_rejected():
+    sim = Simulator()
+    sim.schedule(10, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(5.0, lambda: None)
+
+
+def test_run_until_stops_clock_at_horizon():
+    sim = Simulator()
+    sim.schedule(100, lambda: None)
+    stopped_at = sim.run(until=50)
+    assert stopped_at == 50
+    assert sim.pending_count() == 1
+
+
+def test_event_at_exact_horizon_fires():
+    sim = Simulator()
+    fired = []
+    sim.schedule(50, fired.append, 1)
+    sim.run(until=50)
+    assert fired == [1]
+
+
+def test_run_advances_clock_to_horizon_when_queue_drains():
+    sim = Simulator()
+    sim.schedule(10, lambda: None)
+    sim.run(until=1000)
+    assert sim.now == 1000
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    fired = []
+    event = sim.schedule(10, fired.append, "x")
+    assert event.cancel()
+    sim.run()
+    assert fired == []
+    assert event.cancelled and not event.fired
+
+
+def test_cancel_after_fire_returns_false():
+    sim = Simulator()
+    event = sim.schedule(1, lambda: None)
+    sim.run()
+    assert event.fired
+    assert not event.cancel()
+
+
+def test_stop_halts_event_loop():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1, fired.append, 1)
+    sim.schedule(2, lambda: sim.stop())
+    sim.schedule(3, fired.append, 3)
+    sim.run()
+    assert fired == [1]
+    assert sim.pending_count() == 1
+
+
+def test_step_fires_exactly_one_event():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1, fired.append, 1)
+    sim.schedule(2, fired.append, 2)
+    assert sim.step()
+    assert fired == [1]
+    assert sim.step()
+    assert fired == [1, 2]
+    assert not sim.step()
+
+
+def test_events_scheduled_during_run_execute():
+    sim = Simulator()
+    fired = []
+
+    def chain(n):
+        fired.append(n)
+        if n < 5:
+            sim.schedule(1, chain, n + 1)
+
+    sim.schedule(0, chain, 0)
+    sim.run()
+    assert fired == [0, 1, 2, 3, 4, 5]
+    assert sim.now == 5
+
+
+def test_call_soon_executes_at_current_time():
+    sim = Simulator()
+    times = []
+    sim.schedule(10, lambda: sim.call_soon(lambda: times.append(sim.now)))
+    sim.run()
+    assert times == [10]
+
+
+def test_max_events_bounds_execution():
+    sim = Simulator()
+    counter = [0]
+
+    def loop():
+        counter[0] += 1
+        sim.schedule(1, loop)
+
+    sim.schedule(0, loop)
+    sim.run(max_events=10)
+    assert counter[0] == 10
+
+
+def test_reentrant_run_rejected():
+    sim = Simulator()
+
+    def inner():
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    sim.schedule(1, inner)
+    sim.run()
+
+
+def test_peek_next_time_skips_cancelled():
+    sim = Simulator()
+    first = sim.schedule(5, lambda: None)
+    sim.schedule(9, lambda: None)
+    first.cancel()
+    assert sim.peek_next_time() == 9
+
+
+def test_trace_hook_sees_every_fired_event():
+    sim = Simulator()
+    seen = []
+    sim.add_trace_hook(lambda e: seen.append(e.time))
+    sim.schedule(1, lambda: None)
+    sim.schedule(2, lambda: None)
+    sim.run()
+    assert seen == [1, 2]
+
+
+def test_events_fired_counter():
+    sim = Simulator()
+    for i in range(7):
+        sim.schedule(i, lambda: None)
+    sim.run()
+    assert sim.events_fired == 7

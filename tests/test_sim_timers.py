@@ -1,0 +1,116 @@
+"""Unit tests for periodic timers and restartable timeouts."""
+
+import pytest
+
+from repro.sim import PeriodicTimer, Simulator, Timeout
+
+
+def test_periodic_timer_fires_every_period():
+    sim = Simulator()
+    times = []
+    PeriodicTimer(sim, 10, lambda: times.append(sim.now))
+    sim.run(until=35)
+    assert times == [10, 20, 30]
+
+
+def test_periodic_timer_initial_delay():
+    sim = Simulator()
+    times = []
+    PeriodicTimer(sim, 10, lambda: times.append(sim.now), initial_delay=3)
+    sim.run(until=25)
+    assert times == [3, 13, 23]
+
+
+def test_periodic_timer_stop():
+    sim = Simulator()
+    times = []
+    timer = PeriodicTimer(sim, 10, lambda: times.append(sim.now))
+    sim.schedule(25, timer.stop)
+    sim.run(until=100)
+    assert times == [10, 20]
+    assert not timer.running
+
+
+def test_periodic_timer_stop_from_callback():
+    sim = Simulator()
+    count = [0]
+
+    def tick():
+        count[0] += 1
+        if count[0] == 3:
+            timer.stop()
+
+    timer = PeriodicTimer(sim, 5, tick)
+    sim.run(until=1000)
+    assert count[0] == 3
+
+
+def test_periodic_timer_reschedule_changes_period():
+    sim = Simulator()
+    times = []
+    timer = PeriodicTimer(sim, 10, lambda: times.append(sim.now))
+    sim.schedule(15, timer.reschedule, 50)
+    sim.run(until=130)
+    assert times == [10, 20, 70, 120]
+
+
+def test_periodic_timer_rejects_nonpositive_period():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        PeriodicTimer(sim, 0, lambda: None)
+
+
+def test_timer_jitter_stays_positive_and_near_period():
+    sim = Simulator(seed=7)
+    times = []
+    PeriodicTimer(sim, 100, lambda: times.append(sim.now), jitter=10)
+    sim.run(until=1000)
+    gaps = [b - a for a, b in zip(times, times[1:])]
+    assert all(80 <= g <= 120 for g in gaps)
+
+
+def test_timeout_fires_after_duration():
+    sim = Simulator()
+    fired = []
+    timeout = Timeout(sim, 50, lambda: fired.append(sim.now))
+    timeout.start()
+    sim.run()
+    assert fired == [50]
+    assert timeout.expired_count == 1
+
+
+def test_timeout_reset_pushes_deadline():
+    sim = Simulator()
+    fired = []
+    timeout = Timeout(sim, 50, lambda: fired.append(sim.now))
+    timeout.start()
+    sim.schedule(30, timeout.reset)
+    sim.run()
+    assert fired == [80]
+
+
+def test_timeout_cancel_prevents_firing():
+    sim = Simulator()
+    fired = []
+    timeout = Timeout(sim, 50, lambda: fired.append(sim.now))
+    timeout.start()
+    sim.schedule(10, timeout.cancel)
+    sim.run()
+    assert fired == []
+    assert not timeout.armed
+
+
+def test_timeout_armed_property():
+    sim = Simulator()
+    timeout = Timeout(sim, 50, lambda: None)
+    assert not timeout.armed
+    timeout.start()
+    assert timeout.armed
+    sim.run()
+    assert not timeout.armed
+
+
+def test_timeout_rejects_nonpositive_duration():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Timeout(sim, 0, lambda: None)

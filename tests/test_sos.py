@@ -1,0 +1,219 @@
+"""Tests for the networked systems-of-SoCs layer (repro.sos)."""
+
+import pytest
+
+from repro.bft import ClientConfig, ClientNode
+from repro.noc import Coord
+from repro.sim import Simulator
+from repro.soc import Chip, ChipConfig, Node
+from repro.sos import (
+    InterChipLink,
+    InterChipLinkConfig,
+    MultiChipSystem,
+    build_spanning_group,
+)
+
+
+class Echo(Node):
+    def __init__(self, name):
+        super().__init__(name)
+        self.received = []
+
+    def on_message(self, sender, message):
+        self.received.append((sender, message))
+
+
+def two_chip_system(seed=1):
+    sim = Simulator(seed=seed)
+    system = MultiChipSystem(sim)
+    system.add_chip("A", Chip(sim, ChipConfig(width=4, height=4)))
+    system.add_chip("B", Chip(sim, ChipConfig(width=4, height=4)))
+    system.connect("A", "B")
+    return sim, system
+
+
+# ----------------------------------------------------------------------
+# Link
+# ----------------------------------------------------------------------
+def test_link_config_validation():
+    with pytest.raises(ValueError):
+        InterChipLinkConfig(latency=-1)
+    with pytest.raises(ValueError):
+        InterChipLinkConfig(bytes_per_cycle=0)
+
+
+def test_link_transfer_time_scales_with_size():
+    sim = Simulator()
+    link = InterChipLink(sim, "A", "B", InterChipLinkConfig(latency=100, bytes_per_cycle=2))
+    assert link.transfer_time(200) == 100 + 100
+    assert link.transfer_time(2000) > link.transfer_time(200)
+
+
+def test_link_serializes_messages():
+    sim = Simulator()
+    link = InterChipLink(sim, "A", "B", InterChipLinkConfig(latency=0, bytes_per_cycle=1))
+    first = link.reserve(1000, now=0.0)
+    second = link.reserve(1000, now=0.0)
+    assert second == first + 1000
+
+
+# ----------------------------------------------------------------------
+# Cross-chip messaging
+# ----------------------------------------------------------------------
+def test_cross_chip_delivery():
+    sim, system = two_chip_system()
+    a, b = Echo("a"), Echo("b")
+    system.chips["A"].place_node(a, Coord(2, 2))
+    system.chips["B"].place_node(b, Coord(3, 3))
+    a.send("b", {"hello": 1}, size_bytes=64)
+    sim.run()
+    assert b.received == [("a", {"hello": 1})]
+
+
+def test_cross_chip_latency_exceeds_on_chip():
+    sim, system = two_chip_system()
+    a, b, local = Echo("a"), Echo("b"), Echo("local")
+    system.chips["A"].place_node(a, Coord(0, 0))
+    system.chips["A"].place_node(local, Coord(3, 3))
+    system.chips["B"].place_node(b, Coord(3, 3))
+    start = sim.now
+    a.send("local", "x", size_bytes=64)
+    sim.run()
+    local_time = local.received and sim.now - start
+    sim2, system2 = two_chip_system()
+    a2, b2 = Echo("a"), Echo("b")
+    system2.chips["A"].place_node(a2, Coord(0, 0))
+    system2.chips["B"].place_node(b2, Coord(3, 3))
+    a2.send("b", "x", size_bytes=64)
+    sim2.run()
+    remote_time = sim2.now
+    assert remote_time > local_time * 3
+
+
+def test_unknown_destination_dropped():
+    sim, system = two_chip_system()
+    a = Echo("a")
+    system.chips["A"].place_node(a, Coord(0, 0))
+    a.send("ghost", "x")
+    sim.run()
+    assert system.dropped_no_owner == 1
+
+
+def test_multi_hop_chip_routing():
+    sim = Simulator(seed=2)
+    system = MultiChipSystem(sim)
+    for name in ["A", "B", "C"]:
+        system.add_chip(name, Chip(sim, ChipConfig(width=3, height=3)))
+    system.connect("A", "B")
+    system.connect("B", "C")  # no direct A-C link
+    a, c = Echo("a"), Echo("c")
+    system.chips["A"].place_node(a, Coord(1, 1))
+    system.chips["C"].place_node(c, Coord(1, 1))
+    assert system.chip_route("A", "C") == ["A", "B", "C"]
+    a.send("c", "via-B", size_bytes=32)
+    sim.run()
+    assert c.received == [("a", "via-B")]
+
+
+def test_failed_link_blocks_and_reroutes():
+    sim = Simulator(seed=3)
+    system = MultiChipSystem(sim)
+    for name in ["A", "B", "C"]:
+        system.add_chip(name, Chip(sim, ChipConfig(width=3, height=3)))
+    system.connect("A", "B")
+    system.connect("B", "C")
+    system.connect("A", "C")
+    a, c = Echo("a"), Echo("c")
+    system.chips["A"].place_node(a, Coord(0, 0))
+    system.chips["C"].place_node(c, Coord(0, 0))
+    system.link("A", "C").fail()
+    system.link("C", "A").fail()
+    a.send("c", "detour", size_bytes=32)
+    sim.run()
+    assert c.received  # went A -> B -> C
+    assert system.link("A", "B").messages_carried == 1
+
+
+def test_duplicate_chip_rejected():
+    sim, system = two_chip_system()
+    with pytest.raises(ValueError):
+        system.add_chip("A", Chip(sim, ChipConfig(width=2, height=2)))
+
+
+def test_fail_chip_crashes_tiles_and_links():
+    sim, system = two_chip_system()
+    node = Echo("n")
+    system.chips["B"].place_node(node, Coord(1, 1))
+    system.fail_chip("B")
+    assert node.state.value == "crashed"
+    assert not system.link("A", "B").up
+    system.repair_chip("B")
+    assert system.link("A", "B").up
+
+
+# ----------------------------------------------------------------------
+# Spanning groups
+# ----------------------------------------------------------------------
+def spanning_setup(n_chips=3, protocol="minbft", f=1, seed=9):
+    sim = Simulator(seed=seed)
+    system = MultiChipSystem(sim)
+    names = [f"chip{i}" for i in range(n_chips)]
+    for name in names:
+        system.add_chip(name, Chip(sim, ChipConfig(width=4, height=4)))
+    for i, a in enumerate(names):
+        for b in names[i + 1:]:
+            system.connect(a, b)
+    group = build_spanning_group(system, protocol=protocol, f=f)
+    client = ClientNode("c0", ClientConfig(think_time=100, timeout=30_000))
+    group.attach_client(client, names[0])
+    return sim, system, group, client
+
+
+def test_spanning_group_round_robin_placement():
+    sim, system, group, client = spanning_setup()
+    assert group.home_chip == {
+        "span-r0": "chip0", "span-r1": "chip1", "span-r2": "chip2"
+    }
+    assert group.replicas_on("chip1") == ["span-r1"]
+
+
+def test_spanning_group_serves_clients():
+    sim, system, group, client = spanning_setup()
+    client.start()
+    sim.run(until=300_000)
+    assert client.completed > 100
+    assert group.safety.is_safe
+
+
+def test_spanning_group_survives_whole_chip_failure():
+    sim, system, group, client = spanning_setup()
+    client.start()
+    sim.run(until=150_000)
+    before = client.completed
+    system.fail_chip("chip1")  # hosts exactly one replica (= f)
+    sim.run(until=500_000)
+    assert client.completed > before + 100
+    assert group.safety.is_safe
+
+
+def test_spanning_group_stalls_beyond_f_chip_failures():
+    sim, system, group, client = spanning_setup()
+    client.start()
+    sim.run(until=150_000)
+    system.fail_chip("chip1")
+    system.fail_chip("chip2")  # two chips = two replicas > f
+    sim.run(until=250_000)
+    stalled_at = client.completed
+    sim.run(until=500_000)
+    assert client.completed == stalled_at  # no quorum, no progress
+    assert group.safety.is_safe  # but never unsafe
+
+
+def test_single_chip_group_dies_with_its_chip():
+    sim, system, group, client = spanning_setup(n_chips=1)
+    client.start()
+    sim.run(until=150_000)
+    system.fail_chip("chip0")
+    before = client.completed
+    sim.run(until=400_000)
+    assert client.completed == before

@@ -1,0 +1,85 @@
+"""Tests for the protocol tracer."""
+
+import pytest
+
+from repro.bft import ClientConfig, ClientNode, GroupConfig, build_group
+from repro.metrics import ProtocolTracer
+from repro.sim import Simulator
+from repro.soc import Chip, ChipConfig
+
+
+def traced_group(seed=1, include_clients=False):
+    sim = Simulator(seed=seed)
+    chip = Chip(sim, ChipConfig(width=5, height=5))
+    group = build_group(chip, GroupConfig(protocol="minbft", f=1, group_id="g"))
+    client = ClientNode("c0", ClientConfig(think_time=100, max_requests=20))
+    group.attach_client(client)
+    tracer = ProtocolTracer(sim)
+    tracer.attach_group(group, include_clients=include_clients)
+    client.start()
+    sim.run(until=300_000)
+    return sim, group, client, tracer
+
+
+def test_tracer_records_protocol_messages():
+    sim, group, client, tracer = traced_group()
+    assert client.completed == 20
+    summary = tracer.summary()
+    assert summary[("MbPrepare", "send")] >= 20
+    assert summary[("MbCommit", "send")] >= 20
+    assert summary[("MbPrepare", "recv")] >= 40  # two backups receive each
+
+
+def test_tracer_does_not_perturb_protocol():
+    baseline_sim, baseline_group, baseline_client, _ = traced_group(seed=3)
+    sim2 = Simulator(seed=3)
+    chip2 = Chip(sim2, ChipConfig(width=5, height=5))
+    group2 = build_group(chip2, GroupConfig(protocol="minbft", f=1, group_id="g"))
+    client2 = ClientNode("c0", ClientConfig(think_time=100, max_requests=20))
+    group2.attach_client(client2)
+    client2.start()
+    sim2.run(until=300_000)
+    assert baseline_client.latencies == client2.latencies
+
+
+def test_sequence_rendering_and_filtering():
+    sim, group, client, tracer = traced_group()
+    text = tracer.sequence(limit=10, message_types=["MbPrepare"])
+    lines = text.splitlines()
+    assert len(lines) == 11  # 10 + truncation marker
+    assert all("MbPrepare" in line for line in lines[:10])
+    assert "->" in lines[0]
+
+
+def test_counts_by_node_primary_dominates():
+    sim, group, client, tracer = traced_group()
+    counts = tracer.counts_by_node()
+    primary = group.members[0]
+    assert counts[primary] >= max(counts.values()) / 2
+
+
+def test_window_and_clear():
+    sim, group, client, tracer = traced_group()
+    some = tracer.window(0, 100_000)
+    assert some and all(0 <= r.time < 100_000 for r in some)
+    tracer.clear()
+    assert tracer.records == []
+
+
+def test_record_cap():
+    sim = Simulator(seed=1)
+    chip = Chip(sim, ChipConfig(width=5, height=5))
+    group = build_group(chip, GroupConfig(protocol="minbft", f=1, group_id="g"))
+    client = ClientNode("c0", ClientConfig(think_time=50))
+    group.attach_client(client)
+    tracer = ProtocolTracer(sim, max_records=100)
+    tracer.attach_group(group)
+    client.start()
+    sim.run(until=200_000)
+    assert len(tracer.records) == 100
+    assert tracer.dropped_records > 0
+
+
+def test_max_records_validated():
+    with pytest.raises(ValueError):
+        ProtocolTracer(Simulator(), max_records=0)
