@@ -1,0 +1,70 @@
+"""C1 — campaign engine: sweep-scale evaluation over the benches' substrate.
+
+Runs the built-in ``smoke`` campaign (2 protocols x 4 seeds) end to end
+through the engine — spec expansion, inline execution, JSONL store,
+cross-seed aggregation — and asserts the engine's contract rather than
+a paper claim:
+
+* every expanded trial completes and is recorded exactly once;
+* the aggregate groups are one per parameter point with full seed counts;
+* a second run over the same store executes nothing (resume semantics);
+* the protocol ordering agrees with E2/E8: CFT completes at least as
+  many ops as MinBFT (fewer protocol rounds), and both stay safe.
+"""
+
+import json
+
+from conftest import run_once
+
+from repro.campaign import CampaignExecutor, ResultStore, build_campaign, write_summary
+from repro.metrics import Table
+
+
+def experiment(tmp_root):
+    spec = build_campaign("smoke", base_overrides={"duration": 60_000.0})
+    store = ResultStore(tmp_root, spec).open()
+    stats = CampaignExecutor(spec, store).run()
+    summary = write_summary(store)
+    resume = CampaignExecutor(spec, ResultStore(tmp_root, spec).open()).run()
+
+    table = Table(
+        "C1",
+        ["protocol", "ops (mean)", "ops/s (mean)", "safe", "seeds"],
+        title=f"campaign engine smoke sweep ({stats.total_trials} trials)",
+    )
+    for group in summary["groups"]:
+        metrics = group["metrics"]
+        table.add_row(
+            [
+                group["params"]["protocol"],
+                metrics["ops"]["mean"],
+                metrics["ops_per_sec"]["mean"],
+                metrics["safe"]["mean"],
+                group["n_seeds"],
+            ]
+        )
+    table.print()
+    return stats, resume, summary
+
+
+def test_c1_campaign_smoke(benchmark, tmp_path):
+    stats, resume, summary = run_once(benchmark, lambda: experiment(tmp_path))
+
+    assert stats.succeeded == stats.total_trials == 8
+    assert stats.failed == 0
+    assert summary["n_trials_ok"] == 8
+
+    # Resume: nothing re-executes on a second invocation.
+    assert resume.skipped == 8
+    assert resume.executed_attempts == 0
+
+    by_protocol = {g["params"]["protocol"]: g for g in summary["groups"]}
+    assert set(by_protocol) == {"minbft", "cft"}
+    for group in summary["groups"]:
+        assert group["n_seeds"] == 4
+        assert group["metrics"]["safe"]["mean"] == 1.0
+    # Fewer protocol rounds -> CFT completes at least as many ops (E2/E8).
+    assert (
+        by_protocol["cft"]["metrics"]["ops"]["mean"]
+        >= by_protocol["minbft"]["metrics"]["ops"]["mean"]
+    )

@@ -1,0 +1,59 @@
+"""Experiment-campaign engine: declarative sweeps, parallel execution,
+resumable result store, seed-aggregated reporting.
+
+The paper's evaluation workload (and that of the related work it cites —
+seed sweeps over protocol, fault rate, and rejuvenation knobs) is a
+*campaign*: a grid of independent trials, each a deterministic simulation
+keyed by a derived seed.  This package turns the repo's one-shot benches
+into a sweep-scale platform:
+
+* :mod:`repro.campaign.spec` — declarative sweep definitions (grid/zip)
+  with stable per-trial IDs derived from the spec hash,
+* :mod:`repro.campaign.runners` — the registry of picklable trial
+  functions (throughput, rejuvenation-vs-APT, selftest),
+* :mod:`repro.campaign.executor` — a process-pool runner with per-trial
+  timeouts, bounded retries, and worker-crash recovery,
+* :mod:`repro.campaign.store` — an append-only JSONL result store that
+  makes interrupted campaigns resumable,
+* :mod:`repro.campaign.report` — mean/stddev/95% CI aggregation across
+  seeds, rendered through :class:`repro.metrics.Table` plus a
+  machine-readable ``summary.json``,
+* :mod:`repro.campaign.builtin` — ready-made campaign definitions for
+  ``python -m repro campaign run``.
+
+Quickstart::
+
+    from repro.campaign import CampaignSpec, CampaignExecutor, ResultStore
+
+    spec = CampaignSpec(
+        name="sweep", runner="throughput",
+        axes={"protocol": ["minbft", "pbft"]}, n_seeds=5,
+    )
+    store = ResultStore("campaigns", spec)
+    store.open()
+    CampaignExecutor(spec, store, workers=4).run()
+"""
+
+from repro.campaign.builtin import BUILTIN_CAMPAIGNS, build_campaign
+from repro.campaign.executor import CampaignExecutor, CampaignRunStats, TrialTimeout
+from repro.campaign.report import aggregate, render_report, write_summary
+from repro.campaign.runners import get_runner, register_runner
+from repro.campaign.spec import CampaignSpec, TrialSpec
+from repro.campaign.store import ResultStore, SpecMismatchError
+
+__all__ = [
+    "BUILTIN_CAMPAIGNS",
+    "CampaignExecutor",
+    "CampaignRunStats",
+    "CampaignSpec",
+    "ResultStore",
+    "SpecMismatchError",
+    "TrialSpec",
+    "TrialTimeout",
+    "aggregate",
+    "build_campaign",
+    "get_runner",
+    "register_runner",
+    "render_report",
+    "write_summary",
+]

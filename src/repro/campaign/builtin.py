@@ -1,0 +1,131 @@
+"""Ready-made campaign definitions for ``python -m repro campaign``.
+
+Three built-ins, graded by size:
+
+* ``throughput`` — the protocol suite × f × 5 seeds service-throughput
+  sweep (20 trials): the paper's SIII cost story at campaign scale.
+* ``rejuv-apt``  — four named rejuvenation policies × 5 seeds of the
+  §II.C survival race (20 trials): a ``zip``-mode example where each
+  policy is a hand-picked (period, diversify, relocate) tuple.
+* ``smoke``      — 2 protocols × 4 seeds with a short horizon (8 trials):
+  small enough for CI to run with 2 workers on every push.
+* ``scaling``    — 20 deliberately I/O-bound selftest trials used to
+  measure the executor's parallel speedup.  Simulation trials are
+  CPU-bound, so their speedup needs as many cores as workers; this
+  campaign's trials mostly wait, so overlap is visible even on a
+  single-core machine.
+
+Each definition is a factory so the CLI can override seed counts and base
+parameters without mutating shared state.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from repro.campaign.spec import CampaignSpec
+
+
+def _throughput(n_seeds: int = 5, campaign_seed: int = 0) -> CampaignSpec:
+    return CampaignSpec(
+        name="throughput",
+        runner="throughput",
+        mode="grid",
+        axes={
+            "protocol": ["minbft", "pbft", "cft", "passive"],
+            "f": [1],
+        },
+        base={"duration": 600_000.0, "n_clients": 2, "think_time": 100.0},
+        n_seeds=n_seeds,
+        campaign_seed=campaign_seed,
+        description="service throughput: protocol suite at f=1",
+    )
+
+
+def _rejuv_apt(n_seeds: int = 5, campaign_seed: int = 0) -> CampaignSpec:
+    return CampaignSpec(
+        name="rejuv-apt",
+        runner="rejuv_apt",
+        mode="zip",
+        axes={
+            "policy": ["none", "restart@40k", "diverse@40k", "diverse+relocate@10k"],
+            "period": [0, 40_000.0, 40_000.0, 10_000.0],
+            "diversify": [False, False, True, True],
+            "relocate": [False, False, False, True],
+        },
+        base={
+            "horizon": 600_000.0,
+            "mean_effort": 120_000.0,
+            "reuse_factor": 0.25,
+            "f": 1,
+        },
+        n_seeds=n_seeds,
+        campaign_seed=campaign_seed,
+        description="rejuvenation policy vs APT survival race",
+    )
+
+
+def _smoke(n_seeds: int = 4, campaign_seed: int = 0) -> CampaignSpec:
+    return CampaignSpec(
+        name="smoke",
+        runner="throughput",
+        mode="grid",
+        axes={"protocol": ["minbft", "cft"]},
+        base={"duration": 120_000.0, "n_clients": 1},
+        n_seeds=n_seeds,
+        campaign_seed=campaign_seed,
+        trial_timeout=120.0,
+        description="tiny CI smoke sweep (2 protocols x 4 seeds)",
+    )
+
+
+def _scaling(n_seeds: int = 4, campaign_seed: int = 0) -> CampaignSpec:
+    return CampaignSpec(
+        name="scaling",
+        runner="selftest",
+        mode="grid",
+        axes={"batch": [0, 1, 2, 3, 4]},
+        base={"sleep": 0.2, "draws": 1000},
+        n_seeds=n_seeds,
+        campaign_seed=campaign_seed,
+        trial_timeout=60.0,
+        description="executor speedup check: 20 I/O-bound trials",
+    )
+
+
+BUILTIN_CAMPAIGNS: Dict[str, Callable[..., CampaignSpec]] = {
+    "throughput": _throughput,
+    "rejuv-apt": _rejuv_apt,
+    "scaling": _scaling,
+    "smoke": _smoke,
+}
+
+
+def build_campaign(
+    name: str,
+    n_seeds: Optional[int] = None,
+    campaign_seed: Optional[int] = None,
+    base_overrides: Optional[Dict[str, Any]] = None,
+) -> CampaignSpec:
+    """Instantiate a built-in campaign, optionally overriding knobs.
+
+    ``base_overrides`` merges into the spec's fixed parameters (e.g.
+    ``{"duration": 60000}`` to shorten trials).  Overrides change the
+    spec hash, so an overridden run gets its own trial identities.
+    """
+    try:
+        factory = BUILTIN_CAMPAIGNS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown campaign {name!r}; available: "
+            f"{', '.join(sorted(BUILTIN_CAMPAIGNS))}"
+        )
+    kwargs: Dict[str, Any] = {}
+    if n_seeds is not None:
+        kwargs["n_seeds"] = n_seeds
+    if campaign_seed is not None:
+        kwargs["campaign_seed"] = campaign_seed
+    spec = factory(**kwargs)
+    if base_overrides:
+        spec.base.update(base_overrides)
+    return spec

@@ -1,0 +1,334 @@
+"""Parallel campaign execution with timeouts, retries, and crash recovery.
+
+The executor drains the spec's pending trials (those without an ``ok``
+record in the store) through a :class:`concurrent.futures.ProcessPoolExecutor`:
+
+* **per-trial timeout** — enforced *inside* the worker with a SIGALRM
+  interval timer, so a runaway simulation is actually interrupted rather
+  than merely abandoned (on platforms without ``SIGALRM`` the timeout is
+  best-effort disabled);
+* **bounded retries** — a failed or timed-out trial is re-queued until its
+  attempt budget (``spec.max_retries`` + 1) is exhausted; every attempt is
+  recorded in the store, so flakiness is visible, not silent;
+* **worker-crash recovery** — a worker dying (OOM-kill, segfault,
+  ``os._exit``) breaks the whole pool; the executor rebuilds the pool,
+  charges one attempt to each trial that was in flight (the crasher is
+  unattributable, so the whole wave pays), and re-queues the survivors.
+  Pool rebuilds are bounded so a deterministic crasher terminates;
+* **live progress** — one line per finished attempt through a pluggable
+  callback.
+
+``workers <= 1`` runs trials inline in the calling process — no pool, no
+pickling — which is both the honest serial baseline for speedup
+measurements and the mode the deterministic engine tests use.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import signal
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Dict, List, Optional
+
+from repro.campaign.runners import get_runner
+from repro.campaign.spec import CampaignSpec, TrialSpec
+from repro.campaign.store import ResultStore
+
+
+class TrialTimeout(Exception):
+    """A trial exceeded its wall-clock budget and was interrupted."""
+
+
+@contextlib.contextmanager
+def _deadline(seconds: Optional[float]):
+    """Interrupt the enclosed block after ``seconds`` of wall time.
+
+    Uses a real-time interval timer; silently degrades to no enforcement
+    where SIGALRM is unavailable (non-POSIX) or off the main thread.
+    """
+    if not seconds or not hasattr(signal, "SIGALRM"):
+        yield
+        return
+
+    def on_alarm(signum: int, frame: Any) -> None:
+        raise TrialTimeout(f"trial exceeded {seconds}s wall-clock budget")
+
+    try:
+        previous = signal.signal(signal.SIGALRM, on_alarm)
+    except ValueError:  # not the main thread: cannot install handlers
+        yield
+        return
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _execute_trial(
+    runner_name: str,
+    params: Dict[str, Any],
+    seed: int,
+    timeout: Optional[float],
+) -> Dict[str, Any]:
+    """Run one trial (in a pool worker or inline) and time it.
+
+    Module-level so only ``(name, params, seed, timeout)`` — all plain
+    data — crosses the process boundary.
+    """
+    runner = get_runner(runner_name)
+    start = time.perf_counter()
+    with _deadline(timeout):
+        metrics = runner(params, seed)
+    return {"metrics": metrics, "wall_time_s": time.perf_counter() - start}
+
+
+@dataclass
+class CampaignRunStats:
+    """What one :meth:`CampaignExecutor.run` call did."""
+
+    total_trials: int = 0
+    skipped: int = 0
+    succeeded: int = 0
+    failed: int = 0
+    executed_attempts: int = 0
+    pool_rebuilds: int = 0
+    wall_time_s: float = 0.0
+    errors: List[str] = field(default_factory=list)
+
+    @property
+    def remaining(self) -> int:
+        """Trials still without a successful record after this run."""
+        return self.total_trials - self.skipped - self.succeeded
+
+
+ProgressFn = Callable[[str], None]
+
+
+class CampaignExecutor:
+    """Drive a campaign spec's pending trials to completion."""
+
+    # Safety valve: a deterministically crashing trial must not rebuild
+    # the pool forever.  Each rebuild charges the in-flight wave, so the
+    # crasher's budget empties within (max_retries + 1) rebuilds; the
+    # extra headroom absorbs unrelated transient crashes.
+    MAX_POOL_REBUILDS_PER_RETRY = 3
+
+    def __init__(
+        self,
+        spec: CampaignSpec,
+        store: ResultStore,
+        workers: int = 1,
+        progress: Optional[ProgressFn] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.spec = spec
+        self.store = store
+        self.workers = workers
+        self.progress = progress
+
+    # ------------------------------------------------------------------
+    def run(self, limit: Optional[int] = None) -> CampaignRunStats:
+        """Execute pending trials; returns run statistics.
+
+        ``limit`` caps how many pending trials this call attempts (used
+        to exercise interruption/resume paths deterministically); the
+        rest stay pending for a later run.
+        """
+        started = time.perf_counter()
+        trials = self.spec.trials()
+        completed = self.store.completed_ids()
+        pending = [t for t in trials if t.trial_id not in completed]
+        if limit is not None:
+            pending = pending[:limit]
+        stats = CampaignRunStats(
+            total_trials=len(trials), skipped=len(trials) - len(pending)
+        )
+        self._emit(
+            f"campaign {self.spec.name!r}: {len(trials)} trials, "
+            f"{stats.skipped} already complete, {len(pending)} to run "
+            f"on {self.workers} worker(s)"
+        )
+        if pending:
+            if self.workers == 1:
+                self._run_inline(pending, stats)
+            else:
+                self._run_pool(pending, stats)
+        stats.wall_time_s = time.perf_counter() - started
+        self._emit(
+            f"campaign {self.spec.name!r}: {stats.succeeded} ok, "
+            f"{stats.failed} failed, {stats.skipped} skipped "
+            f"in {stats.wall_time_s:.2f}s"
+        )
+        return stats
+
+    # ------------------------------------------------------------------
+    def _run_inline(self, pending: List[TrialSpec], stats: CampaignRunStats) -> None:
+        """Serial in-process execution (workers == 1)."""
+        queue: Deque[TrialSpec] = deque(pending)
+        attempts: Dict[str, int] = {}
+        while queue:
+            trial = queue.popleft()
+            attempt = attempts.get(trial.trial_id, 0) + 1
+            attempts[trial.trial_id] = attempt
+            try:
+                outcome = _execute_trial(
+                    self.spec.runner, trial.params, trial.seed, self.spec.trial_timeout
+                )
+            except TrialTimeout as exc:
+                self._record_failure(trial, attempt, "timeout", exc, stats, queue)
+            except Exception as exc:  # noqa: BLE001 — any trial error is data
+                self._record_failure(trial, attempt, "failed", exc, stats, queue)
+            else:
+                self._record_success(trial, attempt, outcome, stats)
+
+    def _run_pool(self, pending: List[TrialSpec], stats: CampaignRunStats) -> None:
+        """Parallel execution over a (rebuildable) process pool."""
+        queue: Deque[TrialSpec] = deque(pending)
+        attempts: Dict[str, int] = {}
+        max_rebuilds = self.MAX_POOL_REBUILDS_PER_RETRY * (self.spec.max_retries + 1)
+        pool = ProcessPoolExecutor(max_workers=self.workers)
+        in_flight: Dict[Any, TrialSpec] = {}
+        try:
+            while queue or in_flight:
+                # Keep exactly one wave in flight: bounds both memory and
+                # the blast radius of an unattributable worker crash.
+                while queue and len(in_flight) < self.workers:
+                    trial = queue.popleft()
+                    attempts[trial.trial_id] = attempts.get(trial.trial_id, 0) + 1
+                    future = pool.submit(
+                        _execute_trial,
+                        self.spec.runner,
+                        trial.params,
+                        trial.seed,
+                        self.spec.trial_timeout,
+                    )
+                    in_flight[future] = trial
+                done, _ = wait(set(in_flight), return_when=FIRST_COMPLETED)
+                broken = False
+                for future in done:
+                    trial = in_flight.pop(future)
+                    attempt = attempts[trial.trial_id]
+                    try:
+                        outcome = future.result()
+                    except TrialTimeout as exc:
+                        self._record_failure(trial, attempt, "timeout", exc, stats, queue)
+                    except BrokenProcessPool:
+                        broken = True
+                        in_flight[future] = trial  # handled with the wave below
+                    except Exception as exc:  # noqa: BLE001
+                        self._record_failure(trial, attempt, "failed", exc, stats, queue)
+                    else:
+                        self._record_success(trial, attempt, outcome, stats)
+                if broken:
+                    stats.pool_rebuilds += 1
+                    casualties = list(in_flight.values())
+                    in_flight.clear()
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    self._emit(
+                        f"worker crash broke the pool (rebuild "
+                        f"{stats.pool_rebuilds}/{max_rebuilds}); "
+                        f"{len(casualties)} in-flight trial(s) charged one attempt"
+                    )
+                    out_of_budget = stats.pool_rebuilds > max_rebuilds
+                    for trial in casualties:
+                        exc = BrokenProcessPool("worker process died")
+                        self._record_failure(
+                            trial,
+                            attempts[trial.trial_id],
+                            "crashed",
+                            exc,
+                            stats,
+                            queue if not out_of_budget else None,
+                        )
+                    if out_of_budget:
+                        for trial in queue:
+                            stats.failed += 1
+                            stats.errors.append(
+                                f"{trial.trial_id}: abandoned after repeated pool crashes"
+                            )
+                        queue.clear()
+                        break
+                    pool = ProcessPoolExecutor(max_workers=self.workers)
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    # ------------------------------------------------------------------
+    def _record_success(
+        self,
+        trial: TrialSpec,
+        attempt: int,
+        outcome: Dict[str, Any],
+        stats: CampaignRunStats,
+    ) -> None:
+        stats.executed_attempts += 1
+        stats.succeeded += 1
+        self.store.append(
+            {
+                "trial_id": trial.trial_id,
+                "index": trial.index,
+                "status": "ok",
+                "attempt": attempt,
+                "seed": trial.seed,
+                "seed_index": trial.seed_index,
+                "params": trial.params,
+                "metrics": outcome["metrics"],
+                "wall_time_s": round(outcome["wall_time_s"], 6),
+            }
+        )
+        done = stats.skipped + stats.succeeded + stats.failed
+        self._emit(
+            f"[{done}/{stats.total_trials}] {trial.trial_id} ok "
+            f"({outcome['wall_time_s']:.2f}s)"
+        )
+
+    def _record_failure(
+        self,
+        trial: TrialSpec,
+        attempt: int,
+        status: str,
+        exc: BaseException,
+        stats: CampaignRunStats,
+        retry_queue: Optional[Deque[TrialSpec]],
+    ) -> None:
+        stats.executed_attempts += 1
+        error = f"{type(exc).__name__}: {exc}"
+        self.store.append(
+            {
+                "trial_id": trial.trial_id,
+                "index": trial.index,
+                "status": status,
+                "attempt": attempt,
+                "seed": trial.seed,
+                "seed_index": trial.seed_index,
+                "params": trial.params,
+                "error": error,
+            }
+        )
+        will_retry = (
+            retry_queue is not None and attempt <= self.spec.max_retries
+        )
+        if will_retry:
+            retry_queue.append(trial)
+            self._emit(
+                f"{trial.trial_id} {status} on attempt {attempt} "
+                f"({error}); retrying"
+            )
+        else:
+            stats.failed += 1
+            stats.errors.append(f"{trial.trial_id}: {error}")
+            done = stats.skipped + stats.succeeded + stats.failed
+            self._emit(
+                f"[{done}/{stats.total_trials}] {trial.trial_id} {status} "
+                f"after {attempt} attempt(s): {error}"
+            )
+
+    def _emit(self, line: str) -> None:
+        if self.progress is not None:
+            self.progress(line)

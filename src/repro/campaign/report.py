@@ -1,0 +1,119 @@
+"""Campaign aggregation: seeds in, mean/stddev/95% CI out.
+
+The report layer reads the store's successful records, groups the seed
+repetitions of each parameter point, and produces two artifacts:
+
+* ``summary.json`` — machine-readable aggregates.  Deliberately excludes
+  wall times and attempt counts so the file is **byte-identical** for a
+  fixed spec and campaign seed no matter how the run was scheduled,
+  parallelized, interrupted, or resumed — a property the resume tests
+  pin down.
+* ``report.txt`` — the human table, rendered through the same
+  :class:`repro.metrics.Table` machinery every bench uses.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from repro.campaign.spec import CampaignSpec, canonical_json
+from repro.campaign.store import ResultStore
+from repro.metrics.stats import summarize
+from repro.metrics.tables import Table
+
+
+def aggregate(spec: CampaignSpec, records: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Group successful trial records by parameter point and summarize.
+
+    Returns the ``summary.json`` payload: spec identity plus one group
+    per swept point, in sweep order, each with per-metric statistics
+    across its seed repetitions.
+    """
+    order = {canonical_json(point): i for i, point in enumerate(spec.points())}
+    grouped: Dict[str, List[Dict[str, Any]]] = {}
+    for record in records:
+        grouped.setdefault(canonical_json(record["params"]), []).append(record)
+
+    groups = []
+    for key in sorted(grouped, key=lambda k: (order.get(k, len(order)), k)):
+        bucket = sorted(grouped[key], key=lambda r: r.get("seed_index", 0))
+        metric_names = sorted({m for r in bucket for m in r.get("metrics", {})})
+        groups.append(
+            {
+                "params": json.loads(key),
+                "n_seeds": len(bucket),
+                "metrics": {
+                    name: summarize(
+                        [
+                            r["metrics"][name]
+                            for r in bucket
+                            if name in r.get("metrics", {})
+                        ]
+                    )
+                    for name in metric_names
+                },
+            }
+        )
+    return {
+        "campaign": spec.name,
+        "runner": spec.runner,
+        "spec_hash": spec.spec_hash(),
+        "campaign_seed": spec.campaign_seed,
+        "n_trials_expected": spec.n_trials,
+        "n_trials_ok": len(records),
+        "groups": groups,
+    }
+
+
+def _fmt(value: float) -> str:
+    """Compact numeric cell."""
+    if value == int(value) and abs(value) < 1e12:
+        return str(int(value))
+    return f"{value:.4g}"
+
+
+def render_report(spec: CampaignSpec, summary: Dict[str, Any]) -> str:
+    """Render the aggregate as a fixed-width table (``mean ±ci95`` cells)."""
+    axis_names = sorted(spec.axes) if spec.axes else []
+    metric_names = sorted(
+        {name for group in summary["groups"] for name in group["metrics"]}
+    )
+    table = Table(
+        f"campaign:{spec.name}",
+        axis_names + metric_names,
+        title=(
+            f"{spec.description or spec.runner} — "
+            f"{summary['n_trials_ok']}/{summary['n_trials_expected']} trials, "
+            f"{spec.n_seeds} seeds/point, spec {summary['spec_hash']}"
+        ),
+    )
+    for group in summary["groups"]:
+        row: List[Any] = [group["params"].get(a, "") for a in axis_names]
+        for name in metric_names:
+            stats = group["metrics"].get(name)
+            if stats is None:
+                row.append("-")
+            elif stats["n"] > 1 and stats["ci95"] > 0:
+                row.append(f"{_fmt(stats['mean'])} ±{_fmt(stats['ci95'])}")
+            else:
+                row.append(_fmt(stats["mean"]))
+        table.add_row(row)
+    return table.render()
+
+
+def write_summary(
+    store: ResultStore, spec: Optional[CampaignSpec] = None
+) -> Dict[str, Any]:
+    """Aggregate the store and write ``summary.json`` + ``report.txt``.
+
+    Returns the summary payload.  ``spec`` defaults to the store's spec.
+    """
+    spec = spec or store.spec
+    summary = aggregate(spec, store.ok_records())
+    store.summary_path.write_text(
+        json.dumps(summary, sort_keys=True, indent=2) + "\n", encoding="utf-8"
+    )
+    report = render_report(spec, summary)
+    store.report_path.write_text(report + "\n", encoding="utf-8")
+    return summary

@@ -1,0 +1,196 @@
+"""The trial-runner registry: named, picklable units of campaign work.
+
+A runner is a module-level function ``fn(params, seed) -> metrics`` where
+``params`` is the trial's merged parameter dict, ``seed`` is its derived
+simulator master seed, and ``metrics`` is a flat dict of JSON-serializable
+numbers.  Runners are addressed **by name** so that only a string crosses
+the process boundary to pool workers — fresh (spawned) workers rebuild
+the registry simply by importing this module.
+
+Built-ins:
+
+* ``throughput`` — protocol/f sweep over :class:`repro.core.ResilientSystem`:
+  completed ops, sim-time throughput, latency, safety.
+* ``rejuv_apt`` — the rejuvenation-vs-APT survival race of E4, exposing
+  period/diversify/relocate and attacker effort as sweep axes.
+* ``selftest`` — a microscopic deterministic workload with optional
+  failure/sleep/crash knobs, used by the engine's own tests and CI smoke.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict
+
+Runner = Callable[[Dict[str, Any], int], Dict[str, Any]]
+
+RUNNERS: Dict[str, Runner] = {}
+
+
+def register_runner(name: str) -> Callable[[Runner], Runner]:
+    """Decorator: add a trial function to the registry under ``name``."""
+
+    def decorate(fn: Runner) -> Runner:
+        if name in RUNNERS:
+            raise ValueError(f"runner {name!r} already registered")
+        RUNNERS[name] = fn
+        return fn
+
+    return decorate
+
+
+def get_runner(name: str) -> Runner:
+    """Look up a registered runner, with a helpful error."""
+    try:
+        return RUNNERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown runner {name!r}; available: {', '.join(sorted(RUNNERS))}"
+        )
+
+
+# ----------------------------------------------------------------------
+# Built-in runners
+# ----------------------------------------------------------------------
+
+@register_runner("throughput")
+def run_throughput(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    """One service-throughput trial on a fully assembled resilient system.
+
+    Params: ``protocol``, ``f``, ``duration`` (sim ms), ``n_clients``,
+    ``think_time``, ``warmup``, ``width``, ``height``.
+    """
+    from repro.bft.client import ClientConfig
+    from repro.core import OrchestratorConfig, ResilientSystem
+
+    duration = float(params.get("duration", 300_000.0))
+    warmup = float(params.get("warmup", 50_000.0))
+    system = ResilientSystem(
+        OrchestratorConfig(
+            seed=seed,
+            protocol=params.get("protocol", "minbft"),
+            f=int(params.get("f", 1)),
+            width=int(params.get("width", 6)),
+            height=int(params.get("height", 6)),
+        )
+    )
+    clients = [
+        system.add_client(
+            f"c{i}", ClientConfig(think_time=float(params.get("think_time", 100.0)))
+        )
+        for i in range(int(params.get("n_clients", 1)))
+    ]
+    system.start(warmup=warmup)
+    start = system.sim.now
+    system.run(duration)
+    ops = sum(c.completions_in(start, system.sim.now) for c in clients)
+    latencies = sorted(
+        lat for c in clients for lat in c.latencies_in(start, system.sim.now)
+    )
+    mean_lat = sum(latencies) / len(latencies) if latencies else 0.0
+    p95 = latencies[int(0.95 * (len(latencies) - 1))] if latencies else 0.0
+    return {
+        "ops": ops,
+        "ops_per_sec": ops / (duration / 1000.0),
+        "mean_latency_ms": mean_lat,
+        "p95_latency_ms": p95,
+        "replicas": len(system.group.members),
+        "safe": 1 if system.is_safe else 0,
+    }
+
+
+@register_runner("rejuv_apt")
+def run_rejuv_apt(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    """One rejuvenation-vs-APT survival race (the E4 workload as a sweep).
+
+    Params: ``period`` (sim ms, None/0 disables rejuvenation),
+    ``diversify``, ``relocate``, ``mean_effort``, ``reuse_factor``,
+    ``horizon``, ``f``, ``sample_interval``.
+    """
+    from repro.core import OrchestratorConfig, ResilientSystem
+    from repro.core.rejuvenation import RejuvenationPolicy
+    from repro.faults import AptAttacker, AptConfig
+    from repro.sim.timers import PeriodicTimer
+
+    horizon = float(params.get("horizon", 600_000.0))
+    period = params.get("period", 20_000.0)
+    enabled = bool(period)
+    system = ResilientSystem(
+        OrchestratorConfig(
+            seed=seed,
+            protocol=params.get("protocol", "minbft"),
+            f=int(params.get("f", 1)),
+            enable_rejuvenation=enabled,
+            rejuvenation=RejuvenationPolicy(
+                period=float(period) if enabled else 20_000.0,
+                diversify=bool(params.get("diversify", True)),
+                relocate=bool(params.get("relocate", True)),
+            ),
+        )
+    )
+    attacker = AptAttacker(
+        system.sim,
+        targets=lambda: list(system.group.members),
+        variant_of=system.diversity.variant_of,
+        compromise=lambda name: system.group.replicas[name].compromise(),
+        config=AptConfig(
+            mean_effort=float(params.get("mean_effort", 120_000.0)),
+            reuse_factor=float(params.get("reuse_factor", 0.25)),
+            parallelism=int(params.get("parallelism", 1)),
+        ),
+    )
+    if system.rejuvenation is not None:
+        system.rejuvenation.on_rejuvenated = attacker.notify_rejuvenated
+    system.start()
+    attacker.start()
+
+    sample_interval = float(params.get("sample_interval", 2_500.0))
+    first_failure = [None]
+    beyond_f = [0.0]
+
+    def sample() -> None:
+        if attacker.compromised_count > system.group.f:
+            beyond_f[0] += sample_interval
+            if first_failure[0] is None:
+                first_failure[0] = system.sim.now
+
+    PeriodicTimer(system.sim, sample_interval, sample)
+    system.run(horizon)
+    return {
+        "survived": 1 if first_failure[0] is None else 0,
+        "time_to_failure": first_failure[0] if first_failure[0] is not None else horizon,
+        "time_beyond_f": beyond_f[0],
+        "compromised_at_end": attacker.compromised_count,
+        "variants_known": len(attacker.known_variants),
+    }
+
+
+@register_runner("selftest")
+def run_selftest(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    """A microscopic trial for engine tests and the CI smoke campaign.
+
+    Draws ``draws`` values from a seeded stream and reports their mean.
+    Failure-injection knobs exercise the executor's robustness paths:
+    ``fail`` raises an exception, ``sleep`` stalls (to trip per-trial
+    timeouts), ``crash`` kills the worker process outright (to trip
+    BrokenProcessPool recovery).
+    """
+    from repro.sim.rng import RngStream
+
+    if params.get("sleep"):
+        import time
+
+        time.sleep(float(params["sleep"]))
+    if params.get("crash"):
+        import os
+
+        os._exit(13)  # simulate a hard worker crash, not an exception
+    if params.get("fail"):
+        raise RuntimeError(f"selftest: injected failure for {params}")
+    stream = RngStream(seed, "campaign.selftest")
+    draws = int(params.get("draws", 100))
+    values = [stream.random() for _ in range(draws)]
+    return {
+        "mean": sum(values) / len(values),
+        "draws": draws,
+        "first_draw": values[0],
+    }

@@ -1,0 +1,184 @@
+"""Declarative sweep definitions with stable, spec-derived trial IDs.
+
+A :class:`CampaignSpec` names a registered runner and describes the
+parameter sweep to drive it with:
+
+* ``axes`` — the swept parameters.  In ``grid`` mode the trials are the
+  cartesian product of all axis values; in ``zip`` mode the axes are
+  zipped positionally (all must have equal length), which expresses
+  hand-picked configuration tuples such as named rejuvenation policies.
+* ``base`` — fixed parameters merged under every trial (axis values win).
+* ``n_seeds`` — how many seed repetitions each parameter point gets.
+
+Every trial gets a **stable ID** derived from the spec hash, its
+canonical parameter dict, and its seed index.  IDs are therefore
+invariant under process restarts and sweep reordering — which is what
+makes the result store resumable — and any change to the spec (an extra
+axis value, a different horizon) changes the hash and forces a fresh
+campaign directory instead of silently mixing incompatible results.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Sequence
+
+from repro.sim.rng import derive_trial_seed
+
+
+def canonical_json(obj: Any) -> str:
+    """Deterministic JSON encoding used for hashing and summary files."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass(frozen=True)
+class TrialSpec:
+    """One unit of work: a runner invocation with fixed params and seed."""
+
+    trial_id: str
+    index: int
+    seed_index: int
+    seed: int
+    params: Dict[str, Any]
+
+    def point_key(self) -> str:
+        """Canonical key of the parameter point (seed-independent).
+
+        Trials sharing a ``point_key`` are seed repetitions of the same
+        configuration; the report aggregates over them.
+        """
+        return canonical_json(self.params)
+
+
+@dataclass
+class CampaignSpec:
+    """A declarative experiment sweep.
+
+    ``runner`` names a function in :mod:`repro.campaign.runners`;
+    ``trial_timeout`` is wall-clock seconds per trial (None disables);
+    ``max_retries`` bounds re-execution after crashes or timeouts.
+    """
+
+    name: str
+    runner: str
+    axes: Dict[str, List[Any]] = field(default_factory=dict)
+    base: Dict[str, Any] = field(default_factory=dict)
+    mode: str = "grid"
+    n_seeds: int = 3
+    campaign_seed: int = 0
+    trial_timeout: Optional[float] = 300.0
+    max_retries: int = 1
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name or "/" in self.name or self.name.startswith("."):
+            raise ValueError(f"invalid campaign name {self.name!r}")
+        if self.mode not in ("grid", "zip"):
+            raise ValueError(f"mode must be 'grid' or 'zip', got {self.mode!r}")
+        if self.n_seeds < 1:
+            raise ValueError("n_seeds must be >= 1")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.trial_timeout is not None and self.trial_timeout <= 0:
+            raise ValueError("trial_timeout must be positive or None")
+        for axis, values in self.axes.items():
+            if not isinstance(values, (list, tuple)) or len(values) == 0:
+                raise ValueError(f"axis {axis!r} must be a non-empty list")
+        if self.mode == "zip" and self.axes:
+            lengths = {len(v) for v in self.axes.values()}
+            if len(lengths) > 1:
+                raise ValueError(
+                    f"zip-mode axes must have equal lengths, got {sorted(lengths)}"
+                )
+        try:
+            canonical_json({"axes": self.axes, "base": self.base})
+        except TypeError as exc:
+            raise ValueError(f"axis/base values must be JSON-serializable: {exc}")
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """The JSON-serializable form persisted as ``spec.json``."""
+        return {
+            "name": self.name,
+            "runner": self.runner,
+            "axes": self.axes,
+            "base": self.base,
+            "mode": self.mode,
+            "n_seeds": self.n_seeds,
+            "campaign_seed": self.campaign_seed,
+            "trial_timeout": self.trial_timeout,
+            "max_retries": self.max_retries,
+            "description": self.description,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CampaignSpec":
+        """Inverse of :meth:`to_dict`."""
+        return cls(**data)
+
+    def spec_hash(self) -> str:
+        """Stable digest of everything that affects trial identity.
+
+        ``trial_timeout`` and ``max_retries`` are execution policy, not
+        experiment content, so they are excluded: raising a timeout must
+        not invalidate completed results.
+        """
+        content = {
+            "name": self.name,
+            "runner": self.runner,
+            "axes": self.axes,
+            "base": self.base,
+            "mode": self.mode,
+            "n_seeds": self.n_seeds,
+            "campaign_seed": self.campaign_seed,
+        }
+        return hashlib.sha256(canonical_json(content).encode("utf-8")).hexdigest()[:16]
+
+    # ------------------------------------------------------------------
+    def points(self) -> Iterator[Dict[str, Any]]:
+        """The swept parameter points (base merged, seeds not applied)."""
+        if not self.axes:
+            yield dict(self.base)
+            return
+        names = sorted(self.axes)
+        if self.mode == "grid":
+            combos: Iterator[Sequence[Any]] = itertools.product(
+                *(self.axes[n] for n in names)
+            )
+        else:
+            combos = zip(*(self.axes[n] for n in names))
+        for values in combos:
+            point = dict(self.base)
+            point.update(zip(names, values))
+            yield point
+
+    def trials(self) -> List[TrialSpec]:
+        """Expand the sweep into the full, ordered trial list."""
+        spec_hash = self.spec_hash()
+        trials: List[TrialSpec] = []
+        index = 0
+        for point in self.points():
+            for seed_index in range(self.n_seeds):
+                identity = f"{spec_hash}:{canonical_json(point)}:{seed_index}"
+                digest = hashlib.sha256(identity.encode("utf-8")).hexdigest()[:10]
+                trial_id = f"t{index:04d}-{digest}"
+                trials.append(
+                    TrialSpec(
+                        trial_id=trial_id,
+                        index=index,
+                        seed_index=seed_index,
+                        seed=derive_trial_seed(self.campaign_seed, trial_id),
+                        params=point,
+                    )
+                )
+                index += 1
+        return trials
+
+    @property
+    def n_trials(self) -> int:
+        """Total trial count of the sweep."""
+        n_points = sum(1 for _ in self.points())
+        return n_points * self.n_seeds

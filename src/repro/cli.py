@@ -1,4 +1,5 @@
-"""Command-line interface: ``python -m repro <command>``.
+"""Command-line interface: ``python -m repro <command>`` (or ``repro …``
+once installed via the console-script entry point).
 
 Commands
 --------
@@ -8,14 +9,21 @@ Commands
     Run a short end-to-end demo (the quickstart scenario) and print its
     summary.
 ``experiments``
-    List the experiment index (id, claim, bench target).
+    List the experiment index (id, claim, bench target); ``--verify``
+    checks the index against the actual ``benchmarks/`` directory.
+``campaign list|run|report``
+    The sweep-scale evaluation engine (:mod:`repro.campaign`): run
+    built-in campaigns in parallel, resume interrupted ones, and
+    aggregate results across seeds.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import List, Optional
+from pathlib import Path
+from typing import Any, List, Optional
 
 EXPERIMENTS = [
     ("E1", "Fig.1: redundancy per layer masks faults", "bench_e1_layers.py"),
@@ -32,6 +40,7 @@ EXPERIMENTS = [
     ("E12", "read-only fast path", "bench_e12_read_path.py"),
     ("A1", "ablation: the hybrid interface is the trust anchor", "bench_a1_hybrid_interface.py"),
     ("A2", "ablation: severity-detector tuning", "bench_a2_severity_ablation.py"),
+    ("C1", "campaign engine: sweep-scale evaluation", "bench_campaign_smoke.py"),
 ]
 
 
@@ -65,13 +74,161 @@ def cmd_demo(args: argparse.Namespace) -> int:
     return 0 if system.is_safe else 1
 
 
+def benchmarks_dir() -> Path:
+    """The repo's ``benchmarks/`` directory (next to ``src/``)."""
+    return Path(__file__).resolve().parents[2] / "benchmarks"
+
+
+def verify_experiments_index(bench_dir: Optional[Path] = None) -> List[str]:
+    """Cross-check :data:`EXPERIMENTS` against the bench files on disk.
+
+    The index is hand-maintained (each entry carries a human claim no
+    filename can encode), so it can drift: a bench added without an index
+    entry, an entry pointing at a renamed file, or a duplicate id.
+    Returns a list of drift messages — empty means the index is exact.
+    A regression test calls this so drift fails CI instead of lingering.
+    """
+    bench_dir = bench_dir or benchmarks_dir()
+    problems: List[str] = []
+    on_disk = {p.name for p in bench_dir.glob("bench_*.py")}
+    indexed = [bench for _, _, bench in EXPERIMENTS]
+    seen_ids = set()
+    for exp_id, _, bench in EXPERIMENTS:
+        if exp_id in seen_ids:
+            problems.append(f"duplicate experiment id {exp_id!r} in EXPERIMENTS")
+        seen_ids.add(exp_id)
+        if bench not in on_disk:
+            problems.append(
+                f"EXPERIMENTS entry {exp_id} points at missing file "
+                f"benchmarks/{bench}"
+            )
+    for name in sorted(on_disk - set(indexed)):
+        problems.append(f"benchmarks/{name} has no EXPERIMENTS index entry")
+    dupes = {b for b in indexed if indexed.count(b) > 1}
+    for name in sorted(dupes):
+        problems.append(f"benchmarks/{name} is indexed more than once")
+    return problems
+
+
 def cmd_experiments(args: argparse.Namespace) -> int:
-    """List the experiment index."""
+    """List the experiment index (optionally verifying it against disk)."""
     width = max(len(e[0]) for e in EXPERIMENTS)
     for exp_id, claim, bench in EXPERIMENTS:
         print(f"{exp_id.ljust(width)}  {claim:55s} benchmarks/{bench}")
     print()
     print("run all:  pytest benchmarks/ --benchmark-only -s")
+    if getattr(args, "verify", False):
+        problems = verify_experiments_index()
+        if problems:
+            for problem in problems:
+                print(f"DRIFT: {problem}", file=sys.stderr)
+            return 1
+        print("index verified: matches benchmarks/ exactly")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# campaign subcommands
+# ----------------------------------------------------------------------
+
+def _parse_override(text: str) -> Any:
+    """``key=value`` with the value parsed as JSON, falling back to str."""
+    if "=" not in text:
+        raise argparse.ArgumentTypeError(
+            f"override {text!r} must look like key=value"
+        )
+    key, _, raw = text.partition("=")
+    try:
+        value = json.loads(raw)
+    except json.JSONDecodeError:
+        value = raw
+    return key, value
+
+
+def cmd_campaign_list(args: argparse.Namespace) -> int:
+    """List the built-in campaign definitions."""
+    from repro.campaign import BUILTIN_CAMPAIGNS, build_campaign
+
+    for name in sorted(BUILTIN_CAMPAIGNS):
+        spec = build_campaign(name)
+        print(
+            f"{name:12s} {spec.n_trials:4d} trials  runner={spec.runner:12s} "
+            f"{spec.description}"
+        )
+    print()
+    print("run one:  python -m repro campaign run <name> --workers 4")
+    return 0
+
+
+def cmd_campaign_run(args: argparse.Namespace) -> int:
+    """Run (or resume) a built-in campaign and write its report."""
+    from repro.campaign import (
+        CampaignExecutor,
+        ResultStore,
+        build_campaign,
+        render_report,
+        write_summary,
+    )
+
+    overrides = dict(args.set or [])
+    try:
+        spec = build_campaign(
+            args.name,
+            n_seeds=args.seeds,
+            campaign_seed=args.campaign_seed,
+            base_overrides=overrides or None,
+        )
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    if args.workers < 1:
+        print("--workers must be >= 1", file=sys.stderr)
+        return 2
+    if args.timeout is not None:
+        spec.trial_timeout = args.timeout if args.timeout > 0 else None
+    if args.retries is not None:
+        spec.max_retries = args.retries
+    from repro.campaign import SpecMismatchError
+
+    try:
+        store = ResultStore(args.out, spec).open(fresh=args.fresh)
+    except SpecMismatchError as exc:
+        print(exc, file=sys.stderr)
+        return 1
+    try:
+        progress = None if args.quiet else print
+        stats = CampaignExecutor(
+            spec, store, workers=args.workers, progress=progress
+        ).run(limit=args.limit)
+        summary = write_summary(store)
+    finally:
+        store.close()
+    print()
+    print(render_report(spec, summary))
+    print()
+    print(
+        f"results: {store.results_path}  summary: {store.summary_path}  "
+        f"({stats.succeeded} ok / {stats.failed} failed / "
+        f"{stats.skipped} resumed-skip, {stats.wall_time_s:.2f}s)"
+    )
+    return 0 if stats.failed == 0 else 1
+
+
+def cmd_campaign_report(args: argparse.Namespace) -> int:
+    """Re-aggregate a campaign directory and print its report."""
+    from repro.campaign import CampaignSpec, ResultStore, render_report, write_summary
+
+    spec_path = Path(args.out) / args.name / "spec.json"
+    if not spec_path.exists():
+        print(f"no campaign at {spec_path.parent} (missing spec.json)", file=sys.stderr)
+        return 1
+    data = json.loads(spec_path.read_text(encoding="utf-8"))
+    data.pop("spec_hash", None)
+    spec = CampaignSpec.from_dict(data)
+    store = ResultStore(args.out, spec).open()
+    summary = write_summary(store)
+    print(render_report(spec, summary))
+    print(f"\nsummary: {store.summary_path}")
     return 0
 
 
@@ -92,9 +249,53 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--duration", type=float, default=300_000.0)
     demo.set_defaults(fn=cmd_demo)
 
-    sub.add_parser("experiments", help="list the experiment index").set_defaults(
-        fn=cmd_experiments
+    experiments = sub.add_parser("experiments", help="list the experiment index")
+    experiments.add_argument(
+        "--verify", action="store_true",
+        help="check the index against benchmarks/ and fail on drift",
     )
+    experiments.set_defaults(fn=cmd_experiments)
+
+    campaign = sub.add_parser(
+        "campaign", help="run sweep-scale experiment campaigns"
+    )
+    campaign_sub = campaign.add_subparsers(dest="campaign_command", required=True)
+
+    campaign_sub.add_parser(
+        "list", help="list built-in campaign definitions"
+    ).set_defaults(fn=cmd_campaign_list)
+
+    run = campaign_sub.add_parser("run", help="run or resume a campaign")
+    run.add_argument("name", help="built-in campaign name (see campaign list)")
+    run.add_argument("--workers", type=int, default=1,
+                     help="parallel worker processes (1 = inline serial)")
+    run.add_argument("--out", default="campaigns",
+                     help="root directory for campaign results")
+    run.add_argument("--seeds", type=int, default=None,
+                     help="override seed repetitions per parameter point")
+    run.add_argument("--campaign-seed", type=int, default=None,
+                     help="master seed all trial seeds derive from")
+    run.add_argument("--timeout", type=float, default=None,
+                     help="per-trial wall-clock budget in seconds (0 disables)")
+    run.add_argument("--retries", type=int, default=None,
+                     help="retry budget per trial")
+    run.add_argument("--limit", type=int, default=None,
+                     help="run at most N pending trials (rest stay resumable)")
+    run.add_argument("--fresh", action="store_true",
+                     help="discard previous results for this campaign")
+    run.add_argument("--quiet", action="store_true",
+                     help="suppress per-trial progress lines")
+    run.add_argument("--set", type=_parse_override, action="append", metavar="K=V",
+                     help="override a base parameter (value parsed as JSON)")
+    run.set_defaults(fn=cmd_campaign_run)
+
+    report = campaign_sub.add_parser(
+        "report", help="re-aggregate an existing campaign directory"
+    )
+    report.add_argument("name", help="campaign name (directory under --out)")
+    report.add_argument("--out", default="campaigns",
+                        help="root directory holding campaign results")
+    report.set_defaults(fn=cmd_campaign_report)
     return parser
 
 

@@ -19,6 +19,7 @@ benches print uniform tables.  The design follows the usual triad:
 
 from repro.metrics.collectors import Counter, Gauge, Histogram, TimeSeries
 from repro.metrics.registry import MetricsRegistry
+from repro.metrics.stats import ci95_half_width, mean, stddev, summarize
 from repro.metrics.tables import Table
 from repro.metrics.tracing import ProtocolTracer, TraceRecord
 
@@ -31,4 +32,8 @@ __all__ = [
     "Table",
     "TimeSeries",
     "TraceRecord",
+    "ci95_half_width",
+    "mean",
+    "stddev",
+    "summarize",
 ]

@@ -1,0 +1,49 @@
+"""Cross-seed summary statistics for campaign aggregation.
+
+Campaign reports repeat every parameter point across seeds and present
+mean, sample standard deviation, and a normal-approximation 95% CI half
+width.  Pure functions over plain floats so the campaign store stays
+JSON-only and the helpers are reusable by benches.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Sequence
+
+Z_95 = 1.959963984540054  # two-sided 95% normal quantile
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; 0.0 for an empty sequence."""
+    return sum(values) / len(values) if values else 0.0
+
+
+def stddev(values: Sequence[float]) -> float:
+    """Sample standard deviation (n-1); 0.0 for fewer than two values."""
+    n = len(values)
+    if n < 2:
+        return 0.0
+    m = mean(values)
+    return math.sqrt(sum((v - m) ** 2 for v in values) / (n - 1))
+
+
+def ci95_half_width(values: Sequence[float]) -> float:
+    """Half width of the normal-approximation 95% CI of the mean."""
+    n = len(values)
+    if n < 2:
+        return 0.0
+    return Z_95 * stddev(values) / math.sqrt(n)
+
+
+def summarize(values: Sequence[float]) -> Dict[str, float]:
+    """The standard cross-seed summary block: n, mean, stddev, ci95."""
+    vals = [float(v) for v in values]
+    return {
+        "n": len(vals),
+        "mean": mean(vals),
+        "stddev": stddev(vals),
+        "ci95": ci95_half_width(vals),
+        "min": min(vals) if vals else 0.0,
+        "max": max(vals) if vals else 0.0,
+    }

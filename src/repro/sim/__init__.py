@@ -23,7 +23,7 @@ insertion order.
 
 from repro.sim.events import EventCancelled, ScheduledEvent
 from repro.sim.process import Condition, Process
-from repro.sim.rng import RngRegistry, RngStream
+from repro.sim.rng import RngRegistry, RngStream, derive_trial_seed
 from repro.sim.simulator import SimTime, Simulator
 from repro.sim.process import spawn
 from repro.sim.timers import PeriodicTimer, Timeout
@@ -39,5 +39,6 @@ __all__ = [
     "SimTime",
     "Simulator",
     "Timeout",
+    "derive_trial_seed",
     "spawn",
 ]

@@ -1,0 +1,237 @@
+"""Executor tests: inline and pool execution, retries, timeouts, crash
+recovery, and — the load-bearing property — resume semantics."""
+
+import json
+import time
+
+import pytest
+
+from repro.campaign import (
+    CampaignExecutor,
+    CampaignSpec,
+    ResultStore,
+    register_runner,
+    write_summary,
+)
+
+# A stateful in-process runner (inline mode only): fails the first
+# ``fail_times`` attempts per key, then succeeds.  Registered once at
+# import; per-test isolation comes from unique keys.
+_FLAKY_CALLS = {}
+
+
+@register_runner("test_flaky")
+def _flaky_runner(params, seed):
+    key = params["key"]
+    calls = _FLAKY_CALLS.get(key, 0) + 1
+    _FLAKY_CALLS[key] = calls
+    if calls <= params["fail_times"]:
+        raise RuntimeError(f"flaky failure #{calls}")
+    return {"calls": calls}
+
+
+def selftest_spec(tmp_name, **overrides):
+    defaults = dict(
+        name=tmp_name,
+        runner="selftest",
+        axes={"a": [1, 2, 3]},
+        base={"draws": 50},
+        n_seeds=2,
+        trial_timeout=30.0,
+    )
+    defaults.update(overrides)
+    return CampaignSpec(**defaults)
+
+
+# ----------------------------------------------------------------------
+# Inline execution
+# ----------------------------------------------------------------------
+
+def test_inline_run_completes_all_trials(tmp_path):
+    spec = selftest_spec("inline")
+    store = ResultStore(tmp_path, spec).open()
+    stats = CampaignExecutor(spec, store).run()
+    assert stats.total_trials == 6
+    assert stats.succeeded == 6
+    assert stats.failed == 0
+    assert stats.executed_attempts == 6
+    assert store.completed_ids() == {t.trial_id for t in spec.trials()}
+
+
+def test_results_are_reproducible_for_fixed_campaign_seed(tmp_path):
+    spec = selftest_spec("repro-a", campaign_seed=5)
+    store_a = ResultStore(tmp_path / "a", spec).open()
+    CampaignExecutor(spec, store_a).run()
+    store_b = ResultStore(tmp_path / "b", spec).open()
+    CampaignExecutor(spec, store_b).run()
+    metrics_a = [r["metrics"] for r in store_a.ok_records()]
+    metrics_b = [r["metrics"] for r in store_b.ok_records()]
+    assert metrics_a == metrics_b
+
+    different = selftest_spec("repro-a", campaign_seed=6)
+    store_c = ResultStore(tmp_path / "c", different).open()
+    CampaignExecutor(different, store_c).run()
+    assert [r["metrics"] for r in store_c.ok_records()] != metrics_a
+
+
+def test_retry_recovers_flaky_trial(tmp_path):
+    _FLAKY_CALLS.clear()
+    spec = CampaignSpec(
+        name="flaky",
+        runner="test_flaky",
+        axes={"key": ["k1"]},
+        base={"fail_times": 1},
+        n_seeds=1,
+        max_retries=2,
+    )
+    store = ResultStore(tmp_path, spec).open()
+    stats = CampaignExecutor(spec, store).run()
+    assert stats.succeeded == 1
+    assert stats.failed == 0
+    assert stats.executed_attempts == 2
+    records = list(store.records())
+    assert [r["status"] for r in records] == ["failed", "ok"]
+    assert records[-1]["attempt"] == 2
+
+
+def test_retry_budget_is_bounded(tmp_path):
+    spec = CampaignSpec(
+        name="always-fails",
+        runner="selftest",
+        axes={},
+        base={"fail": True},
+        n_seeds=1,
+        max_retries=2,
+    )
+    store = ResultStore(tmp_path, spec).open()
+    stats = CampaignExecutor(spec, store).run()
+    assert stats.succeeded == 0
+    assert stats.failed == 1
+    assert stats.executed_attempts == 3  # 1 try + 2 retries
+    assert store.attempt_count() == 3
+    assert store.completed_ids() == set()
+    assert stats.errors and "injected failure" in stats.errors[0]
+
+
+def test_trial_timeout_interrupts_and_records(tmp_path):
+    spec = CampaignSpec(
+        name="slow",
+        runner="selftest",
+        axes={},
+        base={"sleep": 5.0},
+        n_seeds=1,
+        trial_timeout=0.2,
+        max_retries=0,
+    )
+    store = ResultStore(tmp_path, spec).open()
+    start = time.perf_counter()
+    stats = CampaignExecutor(spec, store).run()
+    assert time.perf_counter() - start < 3.0  # interrupted, not slept out
+    assert stats.failed == 1
+    assert [r["status"] for r in store.records()] == ["timeout"]
+
+
+# ----------------------------------------------------------------------
+# Resume semantics (the ISSUE's headline requirement)
+# ----------------------------------------------------------------------
+
+def test_interrupted_campaign_resumes_without_rerunning(tmp_path):
+    spec = selftest_spec("resume", campaign_seed=3)
+
+    # Uninterrupted reference run.
+    ref_store = ResultStore(tmp_path / "ref", spec).open()
+    CampaignExecutor(spec, ref_store).run()
+    write_summary(ref_store)
+
+    # Interrupted run: only 2 of 6 trials before the "kill".
+    store = ResultStore(tmp_path / "int", spec).open()
+    first = CampaignExecutor(spec, store).run(limit=2)
+    assert first.succeeded == 2
+    assert store.attempt_count() == 2
+
+    # Resume: completed trials are skipped, only the rest execute.
+    store2 = ResultStore(tmp_path / "int", spec).open()
+    second = CampaignExecutor(spec, store2).run()
+    assert second.skipped == 2
+    assert second.succeeded == 4
+    assert second.executed_attempts == 4  # no completed trial re-ran
+    assert store2.attempt_count() == 6
+    write_summary(store2)
+
+    # The interrupted-then-resumed campaign is byte-identical to the
+    # uninterrupted one.
+    assert store2.summary_path.read_bytes() == ref_store.summary_path.read_bytes()
+
+    # A third invocation is a no-op.
+    third = CampaignExecutor(spec, ResultStore(tmp_path / "int", spec).open()).run()
+    assert third.skipped == 6
+    assert third.executed_attempts == 0
+
+
+# ----------------------------------------------------------------------
+# Process-pool execution
+# ----------------------------------------------------------------------
+
+def test_pool_run_completes_and_matches_inline(tmp_path):
+    spec = selftest_spec("pool", campaign_seed=11)
+    inline_store = ResultStore(tmp_path / "inline", spec).open()
+    CampaignExecutor(spec, inline_store).run()
+    pool_store = ResultStore(tmp_path / "pool", spec).open()
+    stats = CampaignExecutor(spec, pool_store, workers=2).run()
+    assert stats.succeeded == 6
+    write_summary(inline_store)
+    write_summary(pool_store)
+    assert (
+        pool_store.summary_path.read_bytes() == inline_store.summary_path.read_bytes()
+    )
+
+
+def test_pool_parallelism_overlaps_io_bound_trials(tmp_path):
+    spec = CampaignSpec(
+        name="speedup",
+        runner="selftest",
+        axes={"i": [0, 1, 2, 3, 4, 5]},
+        base={"sleep": 0.25, "draws": 10},
+        n_seeds=1,
+        trial_timeout=30.0,
+    )
+    serial_store = ResultStore(tmp_path / "serial", spec).open()
+    serial = CampaignExecutor(spec, serial_store).run()
+    parallel_store = ResultStore(tmp_path / "par", spec).open()
+    parallel = CampaignExecutor(spec, parallel_store, workers=3).run()
+    assert serial.succeeded == parallel.succeeded == 6
+    assert serial.wall_time_s >= 6 * 0.25
+    # 3 workers over 6 sleeping trials: 2 waves (~0.5s) plus pool
+    # overhead must beat 6 serial sleeps (~1.5s) with margin.
+    assert parallel.wall_time_s < serial.wall_time_s * 0.85
+
+
+def test_pool_recovers_from_worker_crash(tmp_path):
+    spec = CampaignSpec(
+        name="crashy",
+        runner="selftest",
+        mode="zip",
+        axes={"crash": [0, 0, 1], "sleep": [0, 0, 0.6]},
+        base={"draws": 10},
+        n_seeds=1,
+        max_retries=1,
+        trial_timeout=30.0,
+    )
+    store = ResultStore(tmp_path, spec).open()
+    stats = CampaignExecutor(spec, store, workers=2).run()
+    trials = spec.trials()
+    healthy = {t.trial_id for t in trials if not t.params["crash"]}
+    crasher = {t.trial_id for t in trials if t.params["crash"]}
+    assert healthy <= store.completed_ids()
+    assert crasher.isdisjoint(store.completed_ids())
+    assert stats.pool_rebuilds >= 1
+    assert stats.failed >= 1
+    statuses = {r["status"] for r in store.records() if r["trial_id"] in crasher}
+    assert statuses == {"crashed"}
+
+
+def test_workers_must_be_positive(tmp_path):
+    spec = selftest_spec("bad-workers")
+    store = ResultStore(tmp_path, spec).open()
+    with pytest.raises(ValueError):
+        CampaignExecutor(spec, store, workers=0)

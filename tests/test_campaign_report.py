@@ -1,0 +1,120 @@
+"""Aggregation and reporting tests: stats math, ordering, determinism."""
+
+import json
+import math
+
+from repro.campaign import CampaignSpec, ResultStore, aggregate, render_report, write_summary
+from repro.campaign.executor import CampaignExecutor
+from repro.metrics.stats import ci95_half_width, mean, stddev, summarize
+
+
+def make_spec(**overrides):
+    defaults = dict(
+        name="report-unit",
+        runner="selftest",
+        axes={"alpha": [1, 2]},
+        base={"draws": 10},
+        n_seeds=3,
+    )
+    defaults.update(overrides)
+    return CampaignSpec(**defaults)
+
+
+def records_for(spec, metric_values):
+    """Fabricate ok-records: metric_values[point_key] -> list per seed."""
+    records = []
+    for trial in spec.trials():
+        values = metric_values[trial.params["alpha"]]
+        records.append(
+            {
+                "trial_id": trial.trial_id,
+                "status": "ok",
+                "seed": trial.seed,
+                "seed_index": trial.seed_index,
+                "params": trial.params,
+                "metrics": {"score": values[trial.seed_index]},
+                "wall_time_s": 0.5,
+            }
+        )
+    return records
+
+
+# ----------------------------------------------------------------------
+# metrics.stats
+# ----------------------------------------------------------------------
+
+def test_stats_against_hand_computed_values():
+    values = [2.0, 4.0, 6.0]
+    assert mean(values) == 4.0
+    assert stddev(values) == 2.0
+    expected_ci = 1.959963984540054 * 2.0 / math.sqrt(3)
+    assert abs(ci95_half_width(values) - expected_ci) < 1e-12
+    block = summarize(values)
+    assert block["n"] == 3 and block["min"] == 2.0 and block["max"] == 6.0
+
+
+def test_stats_degenerate_inputs():
+    assert mean([]) == 0.0
+    assert stddev([5.0]) == 0.0
+    assert ci95_half_width([5.0]) == 0.0
+    assert summarize([])["n"] == 0
+
+
+# ----------------------------------------------------------------------
+# aggregate
+# ----------------------------------------------------------------------
+
+def test_aggregate_groups_by_point_in_sweep_order():
+    spec = make_spec()
+    records = records_for(spec, {1: [10.0, 20.0, 30.0], 2: [1.0, 1.0, 1.0]})
+    summary = aggregate(spec, records)
+    assert summary["n_trials_ok"] == 6
+    assert summary["n_trials_expected"] == 6
+    assert [g["params"]["alpha"] for g in summary["groups"]] == [1, 2]
+    first = summary["groups"][0]["metrics"]["score"]
+    assert first["mean"] == 20.0
+    assert first["stddev"] == 10.0
+    assert summary["groups"][1]["metrics"]["score"]["ci95"] == 0.0
+
+
+def test_aggregate_excludes_wall_time_from_summary():
+    spec = make_spec()
+    records = records_for(spec, {1: [1, 2, 3], 2: [4, 5, 6]})
+    text = json.dumps(aggregate(spec, records))
+    assert "wall_time" not in text
+
+
+def test_aggregate_tolerates_partial_results():
+    spec = make_spec()
+    records = records_for(spec, {1: [1, 2, 3], 2: [4, 5, 6]})[:4]
+    summary = aggregate(spec, records)
+    assert summary["n_trials_ok"] == 4
+    assert len(summary["groups"]) == 2
+
+
+# ----------------------------------------------------------------------
+# rendering + summary file
+# ----------------------------------------------------------------------
+
+def test_render_report_shows_axes_and_ci(tmp_path):
+    spec = make_spec(description="unit sweep")
+    records = records_for(spec, {1: [10.0, 20.0, 30.0], 2: [1.0, 1.0, 1.0]})
+    text = render_report(spec, aggregate(spec, records))
+    assert "alpha" in text and "score" in text
+    assert "unit sweep" in text
+    assert "±" in text  # CI shown where stddev > 0
+
+
+def test_write_summary_is_deterministic(tmp_path):
+    spec = make_spec(n_seeds=2)
+    store = ResultStore(tmp_path, spec).open()
+    CampaignExecutor(spec, store).run()
+    first = write_summary(store)
+    bytes_one = store.summary_path.read_bytes()
+    second = write_summary(store)
+    assert first == second
+    assert store.summary_path.read_bytes() == bytes_one
+    assert store.report_path.exists()
+    payload = json.loads(bytes_one)
+    assert payload["spec_hash"] == spec.spec_hash()
+    assert payload["campaign"] == "report-unit"

@@ -1,0 +1,113 @@
+"""Unit tests for campaign sweep specs and trial expansion."""
+
+import pytest
+
+from repro.campaign import CampaignSpec
+
+
+def make_spec(**overrides):
+    defaults = dict(
+        name="unit",
+        runner="selftest",
+        axes={"a": [1, 2], "b": ["x", "y", "z"]},
+        base={"fixed": 7},
+        n_seeds=2,
+    )
+    defaults.update(overrides)
+    return CampaignSpec(**defaults)
+
+
+def test_grid_expansion_counts_and_params():
+    spec = make_spec()
+    trials = spec.trials()
+    assert len(trials) == 2 * 3 * 2
+    assert spec.n_trials == len(trials)
+    points = {(t.params["a"], t.params["b"]) for t in trials}
+    assert points == {(a, b) for a in [1, 2] for b in ["x", "y", "z"]}
+    assert all(t.params["fixed"] == 7 for t in trials)
+
+
+def test_zip_expansion_pairs_axes_positionally():
+    spec = make_spec(mode="zip", axes={"a": [1, 2, 3], "b": ["x", "y", "z"]})
+    pairs = {(t.params["a"], t.params["b"]) for t in spec.trials()}
+    assert pairs == {(1, "x"), (2, "y"), (3, "z")}
+
+
+def test_zip_rejects_unequal_axis_lengths():
+    with pytest.raises(ValueError, match="equal lengths"):
+        make_spec(mode="zip", axes={"a": [1, 2], "b": ["x"]})
+
+
+def test_no_axes_yields_seeds_only():
+    spec = make_spec(axes={}, n_seeds=4)
+    trials = spec.trials()
+    assert len(trials) == 4
+    assert all(t.params == {"fixed": 7} for t in trials)
+
+
+def test_trial_ids_are_stable_across_expansions():
+    assert [t.trial_id for t in make_spec().trials()] == [
+        t.trial_id for t in make_spec().trials()
+    ]
+
+
+def test_trial_ids_are_unique():
+    ids = [t.trial_id for t in make_spec(n_seeds=5).trials()]
+    assert len(set(ids)) == len(ids)
+
+
+def test_trial_seeds_are_unique_and_derived():
+    trials = make_spec(n_seeds=5).trials()
+    seeds = {t.seed for t in trials}
+    assert len(seeds) == len(trials)
+
+
+def test_spec_change_changes_hash_and_ids():
+    base = make_spec()
+    widened = make_spec(axes={"a": [1, 2, 9], "b": ["x", "y", "z"]})
+    assert base.spec_hash() != widened.spec_hash()
+    assert {t.trial_id for t in base.trials()}.isdisjoint(
+        {t.trial_id for t in widened.trials()}
+    )
+
+
+def test_execution_policy_does_not_change_hash():
+    assert make_spec(trial_timeout=10.0, max_retries=0).spec_hash() == \
+        make_spec(trial_timeout=None, max_retries=5).spec_hash()
+
+
+def test_campaign_seed_changes_trial_seeds_not_ids():
+    a = make_spec(campaign_seed=1)
+    b = make_spec(campaign_seed=2)
+    assert a.spec_hash() != b.spec_hash()
+    assert [t.seed for t in a.trials()] != [t.seed for t in b.trials()]
+
+
+def test_point_key_is_seed_independent():
+    trials = make_spec(n_seeds=3, axes={"a": [1]}).trials()
+    assert len({t.point_key() for t in trials}) == 1
+
+
+def test_roundtrip_through_dict_preserves_hash():
+    spec = make_spec()
+    clone = CampaignSpec.from_dict(spec.to_dict())
+    assert clone.spec_hash() == spec.spec_hash()
+    assert [t.trial_id for t in clone.trials()] == [t.trial_id for t in spec.trials()]
+
+
+@pytest.mark.parametrize(
+    "overrides",
+    [
+        {"name": ""},
+        {"name": "../escape"},
+        {"mode": "random"},
+        {"n_seeds": 0},
+        {"max_retries": -1},
+        {"trial_timeout": 0},
+        {"axes": {"a": []}},
+        {"axes": {"a": [object()]}},
+    ],
+)
+def test_invalid_specs_rejected(overrides):
+    with pytest.raises(ValueError):
+        make_spec(**overrides)

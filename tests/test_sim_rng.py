@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim import RngRegistry, RngStream
+from repro.sim import RngRegistry, RngStream, derive_trial_seed
 
 
 def test_same_seed_same_name_reproduces_sequence():
@@ -99,3 +99,39 @@ def test_shuffle_is_permutation():
     stream.shuffle(items)
     assert sorted(items) == list(range(50))
     assert items != list(range(50))
+
+
+# ----------------------------------------------------------------------
+# Campaign seed hygiene: derive_trial_seed
+# ----------------------------------------------------------------------
+
+def test_derive_trial_seed_is_stable():
+    assert derive_trial_seed(0, "t0001-abc") == derive_trial_seed(0, "t0001-abc")
+
+
+def test_derive_trial_seed_distinct_trials_never_collide():
+    trial_ids = [f"t{i:04d}-{i:010x}" for i in range(2000)]
+    seeds = {derive_trial_seed(12345, tid) for tid in trial_ids}
+    assert len(seeds) == len(trial_ids)
+
+
+def test_derive_trial_seed_depends_on_campaign_seed():
+    assert derive_trial_seed(1, "t0000-x") != derive_trial_seed(2, "t0000-x")
+
+
+def test_derive_trial_seed_fits_signed_64_bit_json():
+    for i in range(200):
+        seed = derive_trial_seed(7, f"t{i:04d}")
+        assert 0 <= seed < 2**63
+
+
+def test_distinct_trials_never_share_a_derived_stream():
+    # The whole point of per-trial derivation: the same component stream
+    # name in two different trials must produce different randomness.
+    seed_a = derive_trial_seed(99, "t0000-aaaaaaaaaa")
+    seed_b = derive_trial_seed(99, "t0001-bbbbbbbbbb")
+    stream_a = RngStream(seed_a, "faults.apt")
+    stream_b = RngStream(seed_b, "faults.apt")
+    assert [stream_a.random() for _ in range(10)] != [
+        stream_b.random() for _ in range(10)
+    ]
