@@ -15,9 +15,12 @@ deterministic discrete-event simulation:
   (:mod:`repro.bft`),
 * benign and malicious fault models — aging, bitflips, trojans,
   Byzantine strategies, APTs (:mod:`repro.faults`),
-* consensual reconfiguration (:mod:`repro.recon`), and
+* consensual reconfiguration (:mod:`repro.recon`),
 * the paper's resilience orchestration: replication, diversity,
-  rejuvenation, adaptation, hybridization (:mod:`repro.core`).
+  rejuvenation, adaptation, hybridization (:mod:`repro.core`), and
+* a sharded service layer: many replica groups on disjoint tile
+  regions of one chip, for linear throughput scaling
+  (:mod:`repro.shard`).
 
 Quickstart::
 
@@ -43,6 +46,7 @@ __all__ = [
     "metrics",
     "noc",
     "recon",
+    "shard",
     "sim",
     "soc",
     "sos",

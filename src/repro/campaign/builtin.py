@@ -9,6 +9,9 @@ Three built-ins, graded by size:
   policy is a hand-picked (period, diversify, relocate) tuple.
 * ``smoke``      — 2 protocols × 4 seeds with a short horizon (8 trials):
   small enough for CI to run with 2 workers on every push.
+* ``shard-scaling`` — 3 shard counts × 3 seeds of the C2 throughput
+  story: the same aggregate client load over 1, 2, then 4 independent
+  replica groups (``repro.shard``), committed ops scaling near-linearly.
 * ``scaling``    — 20 deliberately I/O-bound selftest trials used to
   measure the executor's parallel speedup.  Simulation trials are
   CPU-bound, so their speedup needs as many cores as workers; this
@@ -65,6 +68,26 @@ def _rejuv_apt(n_seeds: int = 5, campaign_seed: int = 0) -> CampaignSpec:
     )
 
 
+def _shard_scaling(n_seeds: int = 3, campaign_seed: int = 0) -> CampaignSpec:
+    return CampaignSpec(
+        name="shard-scaling",
+        runner="shard_scaling",
+        mode="grid",
+        axes={"n_shards": [1, 2, 4]},
+        base={
+            "duration": 240_000.0,
+            "n_clients": 8,
+            "think_time": 50.0,
+            "width": 8,
+            "height": 8,
+        },
+        n_seeds=n_seeds,
+        campaign_seed=campaign_seed,
+        trial_timeout=600.0,
+        description="C2 throughput scaling: 1→2→4 shards, fixed client load",
+    )
+
+
 def _smoke(n_seeds: int = 4, campaign_seed: int = 0) -> CampaignSpec:
     return CampaignSpec(
         name="smoke",
@@ -97,6 +120,7 @@ BUILTIN_CAMPAIGNS: Dict[str, Callable[..., CampaignSpec]] = {
     "throughput": _throughput,
     "rejuv-apt": _rejuv_apt,
     "scaling": _scaling,
+    "shard-scaling": _shard_scaling,
     "smoke": _smoke,
 }
 

@@ -98,6 +98,73 @@ def run_throughput(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
     }
 
 
+@register_runner("shard_scaling")
+def run_shard_scaling(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    """One shard-count throughput trial on a sharded system.
+
+    Fixed aggregate client load (``n_clients`` closed-loop drivers) over
+    a varying ``n_shards`` — the C2 scaling story.  Rejuvenation defaults
+    off so the measurement isolates the consensus-pipeline bottleneck.
+
+    Params: ``n_shards``, ``duration`` (sim ms), ``n_clients``,
+    ``think_time``, ``warmup``, ``width``, ``height``, ``protocol``,
+    ``f``, ``key_space``, ``rejuvenation``.
+    """
+    from repro.shard import RouterClientConfig, ShardConfig, ShardedSystem
+
+    duration = float(params.get("duration", 240_000.0))
+    warmup = float(params.get("warmup", 60_000.0))
+    key_space = int(params.get("key_space", 256))
+
+    def op_factory(i: int) -> Any:
+        key = f"k{i % key_space}"
+        return ("put", key, i) if i % 2 == 0 else ("get", key)
+
+    system = ShardedSystem(
+        ShardConfig(
+            seed=seed,
+            n_shards=int(params.get("n_shards", 2)),
+            protocol=params.get("protocol", "minbft"),
+            f=int(params.get("f", 1)),
+            width=int(params.get("width", 8)),
+            height=int(params.get("height", 8)),
+            enable_rejuvenation=bool(params.get("rejuvenation", False)),
+        )
+    )
+    drivers = [
+        system.add_client(
+            f"c{i}",
+            RouterClientConfig(
+                think_time=float(params.get("think_time", 50.0)),
+                op_factory=op_factory,
+            ),
+        )
+        for i in range(int(params.get("n_clients", 8)))
+    ]
+    system.start(warmup=warmup)
+    start = system.sim.now
+    system.run(duration)
+    ops = sum(d.completions_in(start, system.sim.now) for d in drivers)
+    latencies = sorted(
+        lat for d in drivers for lat in d.latencies_in(start, system.sim.now)
+    )
+    per_shard = [
+        system.chip.metrics.counter(f"shard.{sid}.ops").value
+        for sid in system.directory.shard_ids
+    ]
+    return {
+        "ops": ops,
+        "ops_per_sec": ops / (duration / 1000.0),
+        "mean_latency_ms": sum(latencies) / len(latencies) if latencies else 0.0,
+        "p95_latency_ms": latencies[int(0.95 * (len(latencies) - 1))] if latencies else 0.0,
+        "failed_ops": system.failed_operations(),
+        "shard_ops_min": min(per_shard),
+        "shard_ops_max": max(per_shard),
+        "degraded_shards": len(system.directory.degraded_shards()),
+        "safe": 1 if system.is_safe else 0,
+    }
+
+
 @register_runner("rejuv_apt")
 def run_rejuv_apt(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
     """One rejuvenation-vs-APT survival race (the E4 workload as a sweep).

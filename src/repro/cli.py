@@ -8,6 +8,10 @@ Commands
 ``demo``
     Run a short end-to-end demo (the quickstart scenario) and print its
     summary.
+``shard``
+    Run the sharded service layer (N replica groups on one chip) and
+    print the per-shard report; ``--kill-shard s1`` exercises
+    shard-level failover.
 ``experiments``
     List the experiment index (id, claim, bench target); ``--verify``
     checks the index against the actual ``benchmarks/`` directory.
@@ -41,6 +45,7 @@ EXPERIMENTS = [
     ("A1", "ablation: the hybrid interface is the trust anchor", "bench_a1_hybrid_interface.py"),
     ("A2", "ablation: severity-detector tuning", "bench_a2_severity_ablation.py"),
     ("C1", "campaign engine: sweep-scale evaluation", "bench_campaign_smoke.py"),
+    ("C2", "SII: sharding scales throughput across replica groups", "bench_c2_shard_scaling.py"),
 ]
 
 
@@ -72,6 +77,69 @@ def cmd_demo(args: argparse.Namespace) -> int:
     system.run(args.duration)
     print(system.summary())
     return 0 if system.is_safe else 1
+
+
+def cmd_shard(args: argparse.Namespace) -> int:
+    """Run a sharded-service scenario and print the per-shard report."""
+    from repro.metrics.tables import Table
+    from repro.shard import RouterClientConfig, ShardConfig, ShardedSystem
+
+    def op_factory(i: int) -> Any:
+        key = f"k{i % 256}"
+        return ("put", key, i) if i % 2 == 0 else ("get", key)
+
+    system = ShardedSystem(
+        ShardConfig(
+            seed=args.seed,
+            n_shards=args.shards,
+            protocol=args.protocol,
+            width=args.width,
+            height=args.height,
+            enable_rejuvenation=not args.no_rejuvenation,
+        )
+    )
+    drivers = [
+        system.add_client(
+            f"c{i}",
+            RouterClientConfig(think_time=args.think_time, op_factory=op_factory),
+        )
+        for i in range(args.clients)
+    ]
+    system.start()
+    start = system.sim.now
+    if args.kill_shard is not None:
+        if args.kill_shard not in system.shards:
+            print(f"unknown shard {args.kill_shard!r}; have "
+                  f"{', '.join(system.directory.shard_ids)}", file=sys.stderr)
+            return 2
+        system.sim.schedule(args.duration / 2, system.kill_shard, args.kill_shard)
+    system.run(args.duration)
+
+    table = Table(
+        "shard",
+        ["shard", "status", "protocol", "replicas", "ops", "p50", "p95", "threat"],
+        title=f"{args.shards}-shard service, {args.clients} clients",
+    )
+    for shard_id in system.directory.shard_ids:
+        m = system.shard_metrics(shard_id)
+        table.add_row([
+            m["shard"], m["status"], m["protocol"], m["correct"],
+            m["ops"], round(float(m["p50_latency"]), 1),
+            round(float(m["p95_latency"]), 1), m["threat"],
+        ])
+    print(table.render())
+    ops = sum(d.completions_in(start, system.sim.now) for d in drivers)
+    print(f"\nmeasured window: {ops} ops "
+          f"({ops / (args.duration / 1000.0):.1f} ops/s sim), "
+          f"{system.failed_operations()} failed")
+    print(system.summary())
+    degraded = system.directory.degraded_shards()
+    if args.kill_shard is not None:
+        survivors_ok = all(
+            system.shard_safe(s) for s in system.directory.live_shards()
+        )
+        return 0 if degraded == [args.kill_shard] and survivors_ok else 1
+    return 0 if system.is_safe and not degraded else 1
 
 
 def benchmarks_dir() -> Path:
@@ -248,6 +316,24 @@ def build_parser() -> argparse.ArgumentParser:
                       default="minbft")
     demo.add_argument("--duration", type=float, default=300_000.0)
     demo.set_defaults(fn=cmd_demo)
+
+    shard = sub.add_parser("shard", help="run a sharded-service scenario")
+    shard.add_argument("--seed", type=int, default=42)
+    shard.add_argument("--shards", type=int, default=2,
+                       help="number of independent replica groups")
+    shard.add_argument("--clients", type=int, default=4,
+                       help="closed-loop router/driver pairs")
+    shard.add_argument("--protocol", choices=["minbft", "pbft", "cft", "passive"],
+                       default="minbft")
+    shard.add_argument("--duration", type=float, default=240_000.0)
+    shard.add_argument("--think-time", type=float, default=100.0)
+    shard.add_argument("--width", type=int, default=8)
+    shard.add_argument("--height", type=int, default=8)
+    shard.add_argument("--kill-shard", default=None, metavar="SHARD",
+                       help="crash this shard's tiles mid-run (e.g. s1)")
+    shard.add_argument("--no-rejuvenation", action="store_true",
+                       help="disable per-shard proactive rejuvenation")
+    shard.set_defaults(fn=cmd_shard)
 
     experiments = sub.add_parser("experiments", help="list the experiment index")
     experiments.add_argument(

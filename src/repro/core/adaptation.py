@@ -89,6 +89,16 @@ class AdaptationController:
     def _apply_pending(self) -> None:
         if self._pending_level is None:
             return
+        sim = self.group.chip.sim
+        since = sim.now - self._last_switch_at
+        if since < self.policy.cooldown:
+            # A switch landed after this deferral was queued (e.g. an
+            # immediate switch at the instant the cooldown expired, or
+            # several deferrals queued inside one window): honouring the
+            # deferral now would switch back-to-back, re-opening the
+            # thrash window the cooldown exists to close.  Re-defer.
+            sim.schedule(self.policy.cooldown - since, self._apply_pending)
+            return
         level = self.detector.level  # use the *current* assessment
         self._pending_level = None
         target = self.policy.protocol_for[level]

@@ -1,0 +1,310 @@
+"""`ShardedSystem`: many independent replica groups on one chip.
+
+The facade mirrors :class:`~repro.core.orchestrator.ResilientSystem` but
+deploys N replica groups on disjoint, compact tile regions, each with its
+*own* resilience machinery — severity detector, rejuvenation scheduler,
+and (optionally) adaptation controller.  Independence is the point: one
+shard can escalate to PBFT or cycle through rejuvenation while the other
+shards keep serving at full speed, and losing an entire shard's tiles
+degrades 1/N of the keyspace instead of the whole service.
+
+Failover is shard-granular: a periodic health monitor compares each
+group's correct-replica count against its liveness quorum and flips the
+directory's degraded flag, which makes every router fail operations on
+that shard fast (no retransmit storms into a dead region) while traffic
+to the surviving shards flows untouched.
+
+Notes on the per-shard machinery:
+
+* The default rejuvenation policy uses ``relocate=False`` — chip-wide
+  relocation would walk replicas out of their shard's region.  Pass an
+  explicit policy to override.
+* Protocol escalation (e.g. minbft→pbft) grows the group by pulling
+  extra free tiles from the chip, so leave headroom when sizing the mesh
+  for adaptive shards.
+* ``kill_shard`` stops the victim's maintenance machinery before
+  crashing its tiles: a rejuvenation pass against a dead region would
+  otherwise "resurrect" replicas on crashed tiles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.bft.app import KeyValueStore, StateMachine
+from repro.bft.group import FAMILIES, GroupConfig, ReplicaGroup
+from repro.core.adaptation import AdaptationController, AdaptationPolicy
+from repro.core.diversity import DiversityManager, VariantLibrary
+from repro.core.rejuvenation import RejuvenationPolicy, RejuvenationScheduler
+from repro.core.replication import ReplicationManager
+from repro.core.severity import SeverityConfig, SeverityDetector, ThreatLevel
+from repro.fabric.fabric import FpgaFabric
+from repro.shard.directory import ShardDirectory
+from repro.shard.placement import PlacementPlanner, ShardRegion
+from repro.shard.router import (
+    RouterClient,
+    RouterClientConfig,
+    RouterConfig,
+    ShardRouter,
+)
+from repro.sim.simulator import Simulator
+from repro.sim.timers import PeriodicTimer
+from repro.soc.chip import Chip, ChipConfig
+
+
+@dataclass
+class ShardConfig:
+    """Everything needed to stand up a sharded resilient system."""
+
+    seed: int = 0
+    width: int = 8
+    height: int = 8
+    n_shards: int = 2
+    protocol: str = "minbft"
+    f: int = 1
+    n_variants: int = 6
+    n_vendors: int = 3
+    app_factory: Callable[[], StateMachine] = KeyValueStore
+    rejuvenation: Optional[RejuvenationPolicy] = None
+    severity: Optional[SeverityConfig] = None
+    adaptation: Optional[AdaptationPolicy] = None
+    enable_rejuvenation: bool = True
+    enable_adaptation: bool = False
+    router: Optional[RouterConfig] = None
+    health_check_period: float = 10_000.0
+    vnodes: int = 64
+    functionality: str = "service"
+
+    def __post_init__(self) -> None:
+        if self.n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+
+
+@dataclass
+class Shard:
+    """One shard: a replica group plus its private resilience machinery."""
+
+    shard_id: str
+    region: ShardRegion
+    replication: ReplicationManager
+    group: ReplicaGroup
+    detector: SeverityDetector
+    rejuvenation: Optional[RejuvenationScheduler]
+    adaptation: Optional[AdaptationController]
+
+
+class ShardedSystem:
+    """N independent replica groups serving one partitioned keyspace."""
+
+    def __init__(self, config: Optional[ShardConfig] = None) -> None:
+        self.config = config or ShardConfig()
+        cfg = self.config
+        self.sim = Simulator(seed=cfg.seed)
+        self.chip = Chip(self.sim, ChipConfig(width=cfg.width, height=cfg.height))
+        self.fabric = FpgaFabric(self.sim, self.chip)
+        self.library = VariantLibrary.generate(
+            cfg.functionality, cfg.n_variants, cfg.n_vendors
+        )
+        self.fabric.register_variants(cfg.functionality, self.library.names())
+        self.diversity = DiversityManager(self.library)
+        shard_ids = [f"s{i}" for i in range(cfg.n_shards)]
+        self.directory = ShardDirectory.from_rng(
+            shard_ids, self.sim.rng.stream("shard.directory"), vnodes=cfg.vnodes
+        )
+        self.planner = PlacementPlanner(self.chip, self.fabric)
+        family = FAMILIES[cfg.protocol]
+        group_size = family.replicas_for(cfg.f)
+        self.shards: Dict[str, Shard] = {}
+        for shard_id in shard_ids:
+            region = self.planner.allocate(shard_id, group_size)
+            replication = ReplicationManager(
+                self.chip, self.fabric, self.diversity,
+                principal=f"replication-{shard_id}",
+            )
+            group = replication.deploy_group(
+                GroupConfig(
+                    protocol=cfg.protocol,
+                    f=cfg.f,
+                    group_id=shard_id,
+                    app_factory=cfg.app_factory,
+                    placement=list(region.tiles),
+                )
+            )
+            detector = SeverityDetector(group, [], cfg.severity)
+            rejuvenation: Optional[RejuvenationScheduler] = None
+            if cfg.enable_rejuvenation:
+                # Relocation is off by default: the chip-wide scheduler
+                # would move replicas out of the shard's region.
+                policy = cfg.rejuvenation or RejuvenationPolicy(relocate=False)
+                rejuvenation = RejuvenationScheduler(
+                    group, self.fabric, self.diversity, policy,
+                    principal=f"rejuvenation-{shard_id}",
+                    detector=detector,
+                )
+            adaptation: Optional[AdaptationController] = None
+            if cfg.enable_adaptation:
+                adaptation = AdaptationController(group, detector, cfg.adaptation)
+            self.shards[shard_id] = Shard(
+                shard_id=shard_id,
+                region=region,
+                replication=replication,
+                group=group,
+                detector=detector,
+                rejuvenation=rejuvenation,
+                adaptation=adaptation,
+            )
+        self.routers: List[ShardRouter] = []
+        self.clients: List[RouterClient] = []
+        self._health_timer: Optional[PeriodicTimer] = None
+
+    # ------------------------------------------------------------------
+    # Clients
+    # ------------------------------------------------------------------
+    def add_client(
+        self,
+        name: str,
+        client_config: Optional[RouterClientConfig] = None,
+        router_config: Optional[RouterConfig] = None,
+    ) -> RouterClient:
+        """Create a router + closed-loop driver pair for one tenant.
+
+        Each tenant gets its *own* router node (routers serialize message
+        handling on their core, so a shared router would become the
+        scaling bottleneck the shards exist to remove).  The router is
+        placed on the free tile nearest the mesh centre to keep worst-case
+        hop counts down.
+        """
+        router = ShardRouter(
+            name, self.directory, router_config or self.config.router
+        )
+        free = self.planner.free_candidates()
+        if not free:
+            free = [c for c in self.chip.free_tiles()
+                    if self.planner.owner_of(c) is None]
+        if not free:
+            raise ValueError(f"no free tile to place router {name!r}")
+        center = self.chip.topology.center()
+        coord = min(free, key=lambda c: (c.manhattan(center), c))
+        self.chip.place_node(router, coord)
+        for shard_id, shard in self.shards.items():
+            router.bind(
+                shard_id, shard.group.members,
+                shard.group.reply_quorum, shard.group.read_quorum,
+            )
+            shard.group.clients.append(router.binding_for(shard_id))
+            shard.detector.clients.append(router.shard_stats(shard_id))
+        driver = RouterClient(name, router, client_config)
+        self.routers.append(router)
+        self.clients.append(driver)
+        return driver
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self, warmup: float = 60_000.0) -> None:
+        """Spawn-settle, then start drivers and per-shard machinery.
+
+        ``warmup`` must cover all groups' fabric spawns — they share one
+        ICAP, so configuration time grows with the shard count.
+        """
+        self.sim.run(until=self.sim.now + warmup)
+        for driver in self.clients:
+            driver.start()
+        for shard in self.shards.values():
+            shard.detector.start()
+            if shard.rejuvenation is not None:
+                shard.rejuvenation.start()
+        self._health_timer = PeriodicTimer(
+            self.sim, self.config.health_check_period, self._check_health
+        )
+
+    def run(self, duration: float) -> None:
+        """Advance the simulation."""
+        self.sim.run(until=self.sim.now + duration)
+
+    # ------------------------------------------------------------------
+    # Shard-level failover
+    # ------------------------------------------------------------------
+    def _liveness_quorum(self, shard: Shard) -> int:
+        """Minimum correct replicas for the group to make progress."""
+        n = FAMILIES[shard.group.protocol].replicas_for(shard.group.f)
+        return n - shard.group.f
+
+    def _check_health(self) -> None:
+        for shard_id, shard in self.shards.items():
+            correct = len(shard.group.correct_replicas())
+            degraded = self.directory.is_degraded(shard_id)
+            if correct < self._liveness_quorum(shard):
+                if not degraded:
+                    self.directory.mark_degraded(shard_id)
+                    self.chip.metrics.counter("shard.degraded_transitions").inc()
+            elif degraded:
+                self.directory.restore(shard_id)
+                self.chip.metrics.counter("shard.restored_transitions").inc()
+
+    def kill_shard(self, shard_id: str) -> None:
+        """Crash every tile of one shard (the shard-failover scenario).
+
+        Stops the shard's maintenance machinery first so rejuvenation
+        cannot resurrect replicas on dead tiles; the health monitor then
+        marks the shard degraded at its next tick.
+        """
+        shard = self.shards[shard_id]
+        shard.detector.stop()
+        if shard.rejuvenation is not None:
+            shard.rejuvenation.stop()
+        for name in shard.group.members:
+            if self.chip.has_node(name):
+                self.chip.tiles[self.chip.coord_of(name)].crash()
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def is_safe(self) -> bool:
+        """True while no shard recorded an SMR safety violation."""
+        return all(s.group.safety.is_safe for s in self.shards.values())
+
+    def shard_safe(self, shard_id: str) -> bool:
+        """Safety of a single shard's group."""
+        return self.shards[shard_id].group.safety.is_safe
+
+    def completed_operations(self) -> int:
+        """Total operations completed across all drivers."""
+        return sum(c.completed for c in self.clients)
+
+    def failed_operations(self) -> int:
+        """Total operations failed across all drivers."""
+        return sum(c.failures for c in self.clients)
+
+    def shard_metrics(self, shard_id: str) -> Dict[str, object]:
+        """A flat per-shard status/metrics record for reports."""
+        shard = self.shards[shard_id]
+        metrics = self.chip.metrics
+        ops = metrics.counter(f"shard.{shard_id}.ops").value
+        latency = metrics.histogram(f"shard.{shard_id}.latency")
+        return {
+            "shard": shard_id,
+            "protocol": shard.group.protocol,
+            "replicas": len(shard.group.members),
+            "correct": len(shard.group.correct_replicas()),
+            "status": self.directory.status()[shard_id],
+            "threat": ThreatLevel(shard.detector.level).name,
+            "ops": ops,
+            "p50_latency": latency.percentile(50) if latency.count else 0.0,
+            "p95_latency": latency.percentile(95) if latency.count else 0.0,
+            "inflight": metrics.gauge(f"shard.{shard_id}.inflight").value,
+            "safe": shard.group.safety.is_safe,
+        }
+
+    def summary(self) -> str:
+        """One-line status for scripts (mirrors ResilientSystem)."""
+        degraded = self.directory.degraded_shards()
+        return (
+            f"t={self.sim.now:.0f} shards={len(self.shards)} "
+            f"protocol={self.config.protocol} f={self.config.f} "
+            f"ops={self.completed_operations()} "
+            f"degraded={len(degraded)} "
+            f"safety={'SAFE' if self.is_safe else 'VIOLATED'}"
+        )

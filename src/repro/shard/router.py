@@ -1,0 +1,515 @@
+"""The shard router: a client-facing front end over many replica groups.
+
+A :class:`ShardRouter` is a placed NoC node (replicas only reply to names
+the chip can route to) that accepts whole-service operations, consults
+the :class:`~repro.shard.directory.ShardDirectory` for ownership, and
+speaks the normal BFT client protocol to the owning group: primary-first
+sends, quorum vote counting over matching replies, broadcast retransmit
+with exponential backoff, primary-hint adoption from reply views.
+
+Unlike :class:`~repro.bft.client.ClientNode` it can keep several sub-
+operations in flight at once — a multi-key ``("mget", k1, k2, …)`` fans
+out one sub-operation per key to each owning shard and completes when
+every fragment has its quorum.  Operations against a shard the directory
+has marked degraded fail fast instead of burning retransmit timeouts.
+
+Per-shard service metrics (ops, latency histogram, in-flight depth) are
+published through the chip's :class:`~repro.metrics.registry.MetricsRegistry`
+under ``shard.<id>.*`` names, and per-shard liveness counters
+(:class:`ShardStats`) expose the ``completed``/``timeouts`` attributes
+the severity detector samples — the router stands in for a population of
+clients, one pseudo-client per shard.
+
+:class:`RouterClient` is the closed-loop workload driver: conceptually a
+tenant application co-located on the router's tile, issuing one operation
+at a time through :meth:`ShardRouter.submit`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Set, Union
+
+from repro.bft.client import OpFactory, default_op_factory
+from repro.bft.messages import ClientReply, ClientRequest
+from repro.shard.directory import ShardDirectory
+from repro.sim.timers import Timeout
+from repro.soc.chip import is_corrupted
+from repro.soc.node import Node
+
+
+def default_key_of(op: Any) -> Union[str, List[str]]:
+    """Extract the routing key(s) from a KV-style operation tuple.
+
+    ``("mget", k1, k2, …)`` routes per key (a list return means fan-out);
+    every other recognised shape — ``("put", k, v)``, ``("get", k)``,
+    ``("del", k)``, ``("cas", k, old, new)`` — routes on its first
+    operand.
+    """
+    if isinstance(op, tuple) and op:
+        if op[0] == "mget":
+            keys = list(op[1:])
+            if not keys:
+                raise ValueError("mget needs at least one key")
+            return keys
+        if len(op) >= 2:
+            return op[1]
+    raise ValueError(f"cannot derive a routing key from operation {op!r}")
+
+
+@dataclass
+class RouterConfig:
+    """Routing behaviour parameters (mirrors :class:`ClientConfig` where
+    the semantics carry over)."""
+
+    timeout: float = 30_000.0
+    backoff_factor: float = 2.0
+    max_timeout: float = 480_000.0
+    max_attempts: int = 8
+    key_of: Callable[[Any], Union[str, List[str]]] = default_key_of
+    read_only_predicate: Optional[Callable[[Any], bool]] = None
+
+
+@dataclass
+class ShardStats:
+    """Liveness counters for one (router, shard) pair.
+
+    Exposes the ``completed``/``timeouts`` attributes a
+    :class:`~repro.core.severity.SeverityDetector` samples from its
+    client list, so each shard's detector sees only traffic aimed at
+    that shard.
+    """
+
+    shard_id: str
+    completed: int = 0
+    timeouts: int = 0
+    failed: int = 0
+    rejected_degraded: int = 0
+
+
+@dataclass
+class TicketResult:
+    """Outcome of one submitted operation."""
+
+    ok: bool
+    value: Any
+    latency: float
+    error: Optional[str] = None
+
+
+@dataclass
+class _ShardView:
+    """The router's current picture of one replica group."""
+
+    members: List[str]
+    reply_quorum: int
+    read_quorum: int
+    primary_hint: int = 0
+
+    def primary(self) -> str:
+        return self.members[self.primary_hint % len(self.members)]
+
+
+@dataclass
+class _Ticket:
+    """One submitted operation, possibly fanned out into sub-operations."""
+
+    ticket_id: int
+    op: Any
+    started_at: float
+    on_complete: Optional[Callable[[TicketResult], None]]
+    multi: bool
+    remaining: int = 0
+    results: Dict[Any, Any] = field(default_factory=dict)
+    errors: List[str] = field(default_factory=list)
+
+
+@dataclass
+class _SubOp:
+    """One routed fragment: a BFT client exchange with a single shard."""
+
+    rid: int
+    ticket: _Ticket
+    shard_id: str
+    key: Any  # result slot for multi-key tickets (None for single ops)
+    request: ClientRequest
+    timeout: Timeout
+    sent_at: float
+    current_timeout: float
+    attempts: int = 0
+    votes: Dict[Any, Set[str]] = field(default_factory=dict)
+
+
+class _RouterBinding:
+    """Adapter registered in a group's client list.
+
+    :meth:`ReplicaGroup.switch_protocol` reconfigures every attached
+    client with the new membership and quorums; this shim forwards that
+    call to the router's per-shard view so adaptation in one shard
+    transparently re-points every router.
+    """
+
+    def __init__(self, router: "ShardRouter", shard_id: str) -> None:
+        self.router = router
+        self.shard_id = shard_id
+        self.name = f"{router.name}:{shard_id}"
+
+    def configure(
+        self, replicas: List[str], reply_quorum: int, read_quorum: Optional[int] = None
+    ) -> None:
+        self.router.bind(self.shard_id, replicas, reply_quorum, read_quorum)
+
+
+class ShardRouter(Node):
+    """Routes operations to their owning replica group over the NoC."""
+
+    def __init__(
+        self,
+        name: str,
+        directory: ShardDirectory,
+        config: Optional[RouterConfig] = None,
+    ) -> None:
+        super().__init__(name)
+        self.directory = directory
+        self.config = config or RouterConfig()
+        self._views: Dict[str, _ShardView] = {}
+        self.stats: Dict[str, ShardStats] = {}
+        self._rid = 0
+        self._ticket_seq = 0
+        self._subops: Dict[int, _SubOp] = {}
+        self._tickets: Dict[int, _Ticket] = {}
+        self.completed = 0
+        self.failed = 0
+        self.timeouts = 0
+        self.latencies: List[float] = []
+        self._completion_times: List[float] = []
+
+    # ------------------------------------------------------------------
+    # Shard bindings
+    # ------------------------------------------------------------------
+    def bind(
+        self,
+        shard_id: str,
+        members: List[str],
+        reply_quorum: int,
+        read_quorum: Optional[int] = None,
+    ) -> None:
+        """Attach (or re-point) this router to one shard's replica group."""
+        if not members:
+            raise ValueError(f"shard {shard_id!r} bound with no members")
+        if reply_quorum < 1:
+            raise ValueError("reply quorum must be >= 1")
+        read_q = read_quorum if read_quorum is not None else reply_quorum
+        view = self._views.get(shard_id)
+        if view is None:
+            self._views[shard_id] = _ShardView(list(members), reply_quorum, read_q)
+        else:
+            view.members = list(members)
+            view.reply_quorum = reply_quorum
+            view.read_quorum = read_q
+            view.primary_hint %= len(view.members)
+        self.stats.setdefault(shard_id, ShardStats(shard_id))
+
+    def binding_for(self, shard_id: str) -> _RouterBinding:
+        """The adapter to append to the shard group's ``clients`` list."""
+        if shard_id not in self._views:
+            raise KeyError(f"router {self.name} has no binding for {shard_id!r}")
+        return _RouterBinding(self, shard_id)
+
+    def shard_stats(self, shard_id: str) -> ShardStats:
+        """Per-shard liveness counters (a detector pseudo-client)."""
+        return self.stats[shard_id]
+
+    @property
+    def bound_shards(self) -> List[str]:
+        """Shard ids this router can reach."""
+        return sorted(self._views)
+
+    # ------------------------------------------------------------------
+    # Submitting operations
+    # ------------------------------------------------------------------
+    def submit(
+        self, op: Any, on_complete: Optional[Callable[[TicketResult], None]] = None
+    ) -> int:
+        """Route one operation; ``on_complete`` fires with its outcome.
+
+        Multi-key operations fan out one ordered sub-operation per key to
+        each owning shard; the ticket completes when every fragment does.
+        May complete synchronously (degraded-shard fast failure).
+        """
+        keys = self.config.key_of(op)
+        ticket = _Ticket(
+            ticket_id=self._ticket_seq,
+            op=op,
+            started_at=self.sim.now,
+            on_complete=on_complete,
+            multi=isinstance(keys, list),
+        )
+        self._ticket_seq += 1
+        self._tickets[ticket.ticket_id] = ticket
+        if ticket.multi:
+            plan = [(self.directory.shard_for(k), ("get", k), k) for k in keys]
+        else:
+            plan = [(self.directory.shard_for(keys), op, None)]
+        ticket.remaining = len(plan)
+        for shard_id, sub_op, key in plan:
+            self._issue(ticket, shard_id, sub_op, key)
+        return ticket.ticket_id
+
+    @property
+    def inflight(self) -> int:
+        """Sub-operations currently awaiting a quorum."""
+        return len(self._subops)
+
+    def _issue(self, ticket: _Ticket, shard_id: str, op: Any, key: Any) -> None:
+        stats = self.stats.get(shard_id)
+        view = self._views.get(shard_id)
+        if view is None:
+            ticket.errors.append(f"shard {shard_id} not bound")
+            self._sub_done(ticket)
+            return
+        assert stats is not None
+        if self.directory.is_degraded(shard_id):
+            stats.rejected_degraded += 1
+            self._counter(shard_id, "rejected_degraded").inc()
+            ticket.errors.append(f"shard {shard_id} degraded")
+            self._sub_done(ticket)
+            return
+        predicate = self.config.read_only_predicate
+        read_only = bool(predicate is not None and predicate(op))
+        request = ClientRequest(self.name, self._rid, op, read_only=read_only)
+        self._rid += 1
+        sub = _SubOp(
+            rid=request.rid,
+            ticket=ticket,
+            shard_id=shard_id,
+            key=key,
+            request=request,
+            timeout=Timeout(
+                self.sim, self.config.timeout, lambda r=request.rid: self._on_timeout(r)
+            ),
+            sent_at=self.sim.now,
+            current_timeout=self.config.timeout,
+        )
+        self._subops[sub.rid] = sub
+        self._gauge_inflight(shard_id).set(self._shard_inflight(shard_id))
+        if read_only:
+            self.broadcast(view.members, request, request.wire_size())
+        else:
+            self.send(view.primary(), request, request.wire_size())
+        sub.timeout.duration = sub.current_timeout
+        sub.timeout.start()
+
+    # ------------------------------------------------------------------
+    # Reply and timeout handling
+    # ------------------------------------------------------------------
+    def on_message(self, sender: str, message: Any) -> None:
+        if is_corrupted(message):
+            return
+        if not isinstance(message, ClientReply):
+            return
+        sub = self._subops.get(message.rid)
+        if sub is None:
+            return
+        view = self._views[sub.shard_id]
+        if sender != message.replica or sender not in view.members:
+            return
+        votes = sub.votes.setdefault(message.match_key(), set())
+        votes.add(sender)
+        needed = view.read_quorum if sub.request.read_only else view.reply_quorum
+        if len(votes) >= needed:
+            self._complete_sub(sub, message)
+
+    def _on_timeout(self, rid: int) -> None:
+        sub = self._subops.get(rid)
+        if sub is None:
+            return
+        sub.attempts += 1
+        self.timeouts += 1
+        self.stats[sub.shard_id].timeouts += 1
+        view = self._views[sub.shard_id]
+        if self.directory.is_degraded(sub.shard_id) or sub.attempts >= self.config.max_attempts:
+            self._fail_sub(sub, f"shard {sub.shard_id} unresponsive after "
+                                f"{sub.attempts} attempt(s)")
+            return
+        if sub.request.read_only:
+            # Fast-path stall: fall back to the ordered path, same rid.
+            sub.request = dataclasses.replace(sub.request, read_only=False)
+            sub.votes = {}
+        # Suspect the primary; broadcast so backups arm view-change timers.
+        self.broadcast(view.members, sub.request, sub.request.wire_size())
+        view.primary_hint += 1
+        sub.current_timeout = min(
+            sub.current_timeout * self.config.backoff_factor, self.config.max_timeout
+        )
+        sub.timeout.duration = sub.current_timeout
+        sub.timeout.start()
+
+    def _complete_sub(self, sub: _SubOp, reply: ClientReply) -> None:
+        del self._subops[sub.rid]
+        sub.timeout.cancel()
+        view = self._views[sub.shard_id]
+        view.primary_hint = reply.view % len(view.members)
+        stats = self.stats[sub.shard_id]
+        stats.completed += 1
+        self._counter(sub.shard_id, "ops").inc()
+        self._histogram(sub.shard_id, "latency").observe(self.sim.now - sub.sent_at)
+        self._gauge_inflight(sub.shard_id).set(self._shard_inflight(sub.shard_id))
+        ticket = sub.ticket
+        if ticket.multi:
+            ticket.results[sub.key] = reply.result
+        else:
+            ticket.results[None] = reply.result
+        self._sub_done(ticket)
+
+    def _fail_sub(self, sub: _SubOp, reason: str) -> None:
+        del self._subops[sub.rid]
+        sub.timeout.cancel()
+        self.stats[sub.shard_id].failed += 1
+        self._counter(sub.shard_id, "failed_ops").inc()
+        self._gauge_inflight(sub.shard_id).set(self._shard_inflight(sub.shard_id))
+        sub.ticket.errors.append(reason)
+        self._sub_done(sub.ticket)
+
+    def _sub_done(self, ticket: _Ticket) -> None:
+        ticket.remaining -= 1
+        if ticket.remaining > 0:
+            return
+        del self._tickets[ticket.ticket_id]
+        latency = self.sim.now - ticket.started_at
+        ok = not ticket.errors
+        if ok:
+            self.completed += 1
+            self.latencies.append(latency)
+            self._completion_times.append(self.sim.now)
+            if ticket.multi:
+                value: Any = dict(ticket.results)
+            else:
+                value = ticket.results.get(None)
+        else:
+            self.failed += 1
+            value = None
+        result = TicketResult(
+            ok=ok,
+            value=value,
+            latency=latency,
+            error="; ".join(ticket.errors) if ticket.errors else None,
+        )
+        if ticket.on_complete is not None:
+            ticket.on_complete(result)
+
+    # ------------------------------------------------------------------
+    # Metrics plumbing
+    # ------------------------------------------------------------------
+    def _shard_inflight(self, shard_id: str) -> int:
+        return sum(1 for sub in self._subops.values() if sub.shard_id == shard_id)
+
+    def _counter(self, shard_id: str, suffix: str):
+        return self.chip.metrics.counter(f"shard.{shard_id}.{suffix}")
+
+    def _histogram(self, shard_id: str, suffix: str):
+        return self.chip.metrics.histogram(f"shard.{shard_id}.{suffix}")
+
+    def _gauge_inflight(self, shard_id: str):
+        return self.chip.metrics.gauge(f"shard.{shard_id}.inflight")
+
+    # ------------------------------------------------------------------
+    # Measurement helpers (window semantics match ClientNode)
+    # ------------------------------------------------------------------
+    def completions_in(self, start: float, end: float) -> int:
+        """Tickets completed successfully in a time window."""
+        return sum(1 for t in self._completion_times if start <= t < end)
+
+    def latencies_in(self, start: float, end: float) -> List[float]:
+        """Latencies of tickets completed in a window."""
+        return [
+            lat
+            for t, lat in zip(self._completion_times, self.latencies)
+            if start <= t < end
+        ]
+
+
+@dataclass
+class RouterClientConfig:
+    """Closed-loop driver parameters (think time, workload, bound)."""
+
+    think_time: float = 100.0
+    max_requests: Optional[int] = None
+    op_factory: OpFactory = default_op_factory
+
+
+class RouterClient:
+    """A closed-loop workload driver submitting through a router.
+
+    Not a NoC node itself: it models a tenant application co-located with
+    its router, so the only on-chip traffic is the router's. One
+    operation is in flight at a time; failures (degraded shard, exhausted
+    retries) are counted and the loop continues — a real tenant retries
+    other work even when part of the keyspace is down.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        router: ShardRouter,
+        config: Optional[RouterClientConfig] = None,
+    ) -> None:
+        self.name = name
+        self.router = router
+        self.config = config or RouterClientConfig()
+        self.running = False
+        self.completed = 0
+        self.failures = 0
+        self.latencies: List[float] = []
+        self._completion_times: List[float] = []
+        self._issued = 0
+
+    @property
+    def sim(self):
+        return self.router.sim
+
+    def start(self) -> None:
+        """Begin the closed loop."""
+        self.running = True
+        self._issue_next()
+
+    def stop(self) -> None:
+        """Stop after the in-flight operation resolves."""
+        self.running = False
+
+    def _issue_next(self) -> None:
+        if not self.running:
+            return
+        if (
+            self.config.max_requests is not None
+            and self._issued >= self.config.max_requests
+        ):
+            self.running = False
+            return
+        op = self.config.op_factory(self._issued)
+        self._issued += 1
+        self.router.submit(op, self._on_done)
+
+    def _on_done(self, result: TicketResult) -> None:
+        if result.ok:
+            self.completed += 1
+            self.latencies.append(result.latency)
+            self._completion_times.append(self.sim.now)
+        else:
+            self.failures += 1
+        if self.running:
+            self.sim.schedule(self.config.think_time, self._issue_next)
+
+    # ------------------------------------------------------------------
+    def completions_in(self, start: float, end: float) -> int:
+        """Operations completed in a time window."""
+        return sum(1 for t in self._completion_times if start <= t < end)
+
+    def latencies_in(self, start: float, end: float) -> List[float]:
+        """Latencies of operations completed in a window."""
+        return [
+            lat
+            for t, lat in zip(self._completion_times, self.latencies)
+            if start <= t < end
+        ]

@@ -117,3 +117,27 @@ def test_campaign_set_override_parses_json():
     assert _parse_override("flag=true") == ("flag", True)
     with pytest.raises(Exception):
         _parse_override("no-equals-sign")
+
+
+# ----------------------------------------------------------------------
+# shard subcommand
+# ----------------------------------------------------------------------
+
+def test_shard_runs_and_reports_safe(capsys):
+    assert main(["shard", "--shards", "2", "--clients", "2",
+                 "--duration", "90000", "--no-rejuvenation"]) == 0
+    out = capsys.readouterr().out
+    assert "safety=SAFE" in out
+    assert "shards=2" in out
+    assert "s0" in out and "s1" in out
+
+
+def test_shard_kill_unknown_shard_rejected(capsys):
+    assert main(["shard", "--shards", "2", "--duration", "60000",
+                 "--kill-shard", "s9"]) == 2
+    assert "unknown shard" in capsys.readouterr().err
+
+
+def test_shard_protocol_choice_validated():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["shard", "--protocol", "raft9000"])

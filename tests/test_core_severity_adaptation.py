@@ -202,3 +202,63 @@ def test_rejuvenation_with_detector_mask_stays_low():
     assert scheduler.passes > 10
     assert detector.escalations == 0  # maintenance never read as attack
     assert group.safety.is_safe
+
+
+# ----------------------------------------------------------------------
+# Cooldown re-check on deferred switches (regression)
+# ----------------------------------------------------------------------
+class _ScriptedDetector:
+    """A detector stand-in whose level the test drives explicitly.
+
+    The controller only needs ``.level`` and an assignable ``.on_change``;
+    scripting transitions lets the test line events up at exact instants,
+    which a periodic detector cannot do.
+    """
+
+    def __init__(self):
+        self.level = ThreatLevel.LOW
+        self.on_change = None
+
+    def fire(self, level):
+        self.level = level
+        if self.on_change is not None:
+            self.on_change(level)
+
+
+def test_deferred_switch_rechecks_cooldown():
+    """Regression: a deferral draining right after a same-instant switch
+    must not produce back-to-back switches inside one cooldown window.
+
+    Same-time events fire in insertion order, so a threat change queued
+    before the deferrals drains first at t=35k, switches immediately
+    (its cooldown has exactly expired), and leaves the stale deferral to
+    fire at the same instant — which used to switch again with zero gap.
+    """
+    sim = Simulator(seed=3)
+    chip = Chip(sim, ChipConfig(width=6, height=6))
+    group = build_group(chip, GroupConfig(protocol="cft", f=1, group_id="g"))
+    detector = _ScriptedDetector()
+    controller = AdaptationController(
+        group, detector, AdaptationPolicy(cooldown=30_000)
+    )
+    cooldown = controller.policy.cooldown
+
+    sim.run(until=5_000)
+    detector.fire(ThreatLevel.ELEVATED)  # immediate: cft -> minbft at t=5k
+    assert [s[2] for s in controller.switches] == ["minbft"]
+    # Two transitions landing at the exact instant the cooldown expires,
+    # queued *before* the deferrals below so they drain first at t=35k.
+    sim.schedule_at(35_000, detector.fire, ThreatLevel.LOW)
+    sim.schedule_at(35_000, detector.fire, ThreatLevel.CRITICAL)
+    sim.run(until=15_000)
+    detector.fire(ThreatLevel.CRITICAL)  # inside cooldown: deferred
+    sim.run(until=20_000)
+    detector.fire(ThreatLevel.LOW)       # still inside cooldown: deferred
+    sim.run(until=400_000)
+
+    times = [t for t, _, _, _ in controller.switches]
+    gaps = [b - a for a, b in zip(times, times[1:])]
+    assert all(gap >= cooldown for gap in gaps), (controller.switches, gaps)
+    # The escalation is still honoured — one full cooldown later.
+    assert controller.current_protocol == "pbft"
+    assert group.safety.is_safe

@@ -95,3 +95,61 @@ def test_quickstart_detector_not_fooled_by_maintenance():
     assert system.detector.level.name == "LOW"
     assert system.detector.suppressed_assessments > 0
     assert system.is_safe
+
+
+def test_adaptation_summary_reflects_protocol_switch():
+    """The enable_adaptation=True path end to end: after the controller
+    switches protocols, summary() reports the group's *current* protocol
+    and threat level, and the switch record is coherent."""
+    system = ResilientSystem(
+        OrchestratorConfig(seed=6, protocol="cft", enable_adaptation=True,
+                           enable_rejuvenation=False)
+    )
+    client = system.add_client("c0")
+    system.start()
+    before = system.summary()
+    assert "protocol=cft" in before
+    system.sim.schedule_at(
+        system.sim.now + 50_000, system.group.crash, system.group.members[0]
+    )
+    system.run(900_000)
+    assert system.adaptation is not None and system.adaptation.switches
+    switched_to = system.adaptation.switches[-1][2]
+    after = system.summary()
+    assert f"protocol={switched_to}" in after
+    assert f"protocol={system.group.protocol}" in after
+    assert f"threat={system.detector.level.name}" in after
+    assert "SAFE" in after
+    # Switch records are (time, source, target, level) and chain up.
+    for (t0, src0, dst0, _), (t1, src1, dst1, _) in zip(
+        system.adaptation.switches, system.adaptation.switches[1:]
+    ):
+        assert t1 >= t0
+        assert src1 == dst0
+    assert system.is_safe
+
+
+def test_adaptation_disabled_by_default():
+    system = ResilientSystem(OrchestratorConfig(seed=6))
+    assert system.adaptation is None
+
+
+def test_adaptation_respects_cooldown_end_to_end():
+    """Every pair of consecutive switches honours the policy cooldown."""
+    from repro.core import AdaptationPolicy
+
+    system = ResilientSystem(
+        OrchestratorConfig(seed=8, protocol="cft", enable_adaptation=True,
+                           enable_rejuvenation=False,
+                           adaptation=AdaptationPolicy(cooldown=60_000))
+    )
+    system.add_client("c0")
+    system.start()
+    system.sim.schedule_at(
+        system.sim.now + 40_000, system.group.crash, system.group.members[0]
+    )
+    system.run(900_000)
+    times = [t for t, _, _, _ in (system.adaptation.switches or [])]
+    for earlier, later in zip(times, times[1:]):
+        assert later - earlier >= 60_000
+    assert system.is_safe

@@ -1,0 +1,85 @@
+"""Tests for the consistent-hash shard directory."""
+
+import pytest
+
+from repro.shard import ShardDirectory
+from repro.sim.rng import RngStream
+
+
+def test_lookup_is_deterministic_across_instances():
+    a = ShardDirectory(["s0", "s1", "s2"], salt=99)
+    b = ShardDirectory(["s0", "s1", "s2"], salt=99)
+    keys = [f"k{i}" for i in range(500)]
+    assert [a.shard_for(k) for k in keys] == [b.shard_for(k) for k in keys]
+
+
+def test_salt_changes_the_partition():
+    keys = [f"k{i}" for i in range(500)]
+    a = ShardDirectory(["s0", "s1", "s2"], salt=1)
+    b = ShardDirectory(["s0", "s1", "s2"], salt=2)
+    assert [a.shard_for(k) for k in keys] != [b.shard_for(k) for k in keys]
+
+
+def test_from_rng_is_seed_stable():
+    keys = [f"k{i}" for i in range(200)]
+    a = ShardDirectory.from_rng(["s0", "s1"], RngStream(7, "shard.directory"))
+    b = ShardDirectory.from_rng(["s0", "s1"], RngStream(7, "shard.directory"))
+    assert [a.shard_for(k) for k in keys] == [b.shard_for(k) for k in keys]
+
+
+def test_every_shard_owns_a_reasonable_keyspace_share():
+    directory = ShardDirectory(["s0", "s1", "s2", "s3"], salt=5, vnodes=64)
+    counts = directory.balance(f"k{i}" for i in range(4000))
+    assert sum(counts.values()) == 4000
+    for shard_id, count in counts.items():
+        # Perfect split is 1000; vnode smoothing keeps skew bounded.
+        assert 400 < count < 1800, (shard_id, counts)
+
+
+def test_shards_for_groups_keys_by_owner():
+    directory = ShardDirectory(["s0", "s1"], salt=3)
+    keys = [f"k{i}" for i in range(50)]
+    grouped = directory.shards_for(keys)
+    assert sorted(k for ks in grouped.values() for k in ks) == sorted(keys)
+    for shard_id, ks in grouped.items():
+        assert all(directory.shard_for(k) == shard_id for k in ks)
+
+
+def test_degraded_bookkeeping():
+    directory = ShardDirectory(["s0", "s1", "s2"], salt=1)
+    assert directory.degraded_shards() == []
+    assert directory.live_shards() == ["s0", "s1", "s2"]
+    directory.mark_degraded("s1")
+    assert directory.is_degraded("s1")
+    assert not directory.is_degraded("s0")
+    assert directory.degraded_shards() == ["s1"]
+    assert directory.live_shards() == ["s0", "s2"]
+    assert directory.status() == {"s0": "live", "s1": "degraded", "s2": "live"}
+    # Ownership is unaffected by degradation.
+    owner = directory.shard_for("k1")
+    directory.mark_degraded(owner)
+    assert directory.shard_for("k1") == owner
+    directory.restore("s1")
+    assert not directory.is_degraded("s1")
+
+
+def test_unknown_shard_is_rejected():
+    directory = ShardDirectory(["s0"], salt=0)
+    with pytest.raises(KeyError):
+        directory.mark_degraded("nope")
+    with pytest.raises(KeyError):
+        directory.is_degraded("nope")
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        ShardDirectory([])
+    with pytest.raises(ValueError):
+        ShardDirectory(["s0", "s0"])
+    with pytest.raises(ValueError):
+        ShardDirectory(["s0"], vnodes=0)
+
+
+def test_single_shard_owns_everything():
+    directory = ShardDirectory(["only"], salt=11)
+    assert all(directory.shard_for(f"k{i}") == "only" for i in range(100))

@@ -1,0 +1,210 @@
+"""Tests for the shard router: routing, fan-out, quorums, fast failure."""
+
+import pytest
+
+from repro.shard import (
+    RouterClientConfig,
+    RouterConfig,
+    ShardConfig,
+    ShardedSystem,
+    default_key_of,
+)
+
+
+IDLE = RouterClientConfig(max_requests=0)  # router only, no driver traffic
+
+
+def build(n_shards=2, seed=11, **overrides):
+    cfg = dict(
+        seed=seed, n_shards=n_shards, width=8, height=8,
+        enable_rejuvenation=False,
+    )
+    cfg.update(overrides)
+    return ShardedSystem(ShardConfig(**cfg))
+
+
+# ----------------------------------------------------------------------
+# Key extraction
+# ----------------------------------------------------------------------
+def test_default_key_of_single_key_ops():
+    assert default_key_of(("put", "k1", 5)) == "k1"
+    assert default_key_of(("get", "k2")) == "k2"
+    assert default_key_of(("del", "k3")) == "k3"
+    assert default_key_of(("cas", "k4", 1, 2)) == "k4"
+
+
+def test_default_key_of_mget_fans_out():
+    assert default_key_of(("mget", "a", "b", "c")) == ["a", "b", "c"]
+
+
+def test_default_key_of_rejects_garbage():
+    with pytest.raises(ValueError):
+        default_key_of(("noop",))
+    with pytest.raises(ValueError):
+        default_key_of(("mget",))
+    with pytest.raises(ValueError):
+        default_key_of(42)
+
+
+# ----------------------------------------------------------------------
+# Routing
+# ----------------------------------------------------------------------
+def test_operations_reach_the_owning_shard():
+    system = build()
+    system.add_client("c0", IDLE)
+    router = system.routers[0]
+    system.start(warmup=60_000)
+
+    results = []
+    key = "k17"
+    owner = system.directory.shard_for(key)
+    router.submit(("put", key, 1), results.append)
+    system.run(60_000)
+    assert len(results) == 1 and results[0].ok
+    assert router.stats[owner].completed == 1
+    other = [s for s in system.directory.shard_ids if s != owner][0]
+    assert router.stats[other].completed == 0
+    # The write landed only on the owning group's state machines.
+    assert any(
+        r.app.snapshot().get(key) == 1
+        for r in system.shards[owner].group.correct_replicas()
+    )
+    assert all(
+        key not in r.app.snapshot()
+        for r in system.shards[other].group.correct_replicas()
+    )
+
+
+def test_reads_route_like_writes():
+    system = build()
+    system.add_client("c0", IDLE)
+    router = system.routers[0]
+    system.start(warmup=60_000)
+    results = []
+    router.submit(("put", "k3", 42), results.append)
+    system.run(30_000)
+    router.submit(("get", "k3"), results.append)
+    system.run(30_000)
+    assert [r.ok for r in results] == [True, True]
+    assert results[1].value == 42
+
+
+def test_mget_aggregates_across_shards():
+    system = build(n_shards=4)
+    system.add_client("c0", IDLE)
+    router = system.routers[0]
+    system.start(warmup=80_000)
+    keys = [f"k{i}" for i in range(8)]
+    owners = {system.directory.shard_for(k) for k in keys}
+    assert len(owners) > 1  # the workload genuinely spans shards
+    results = []
+    for i, key in enumerate(keys):
+        router.submit(("put", key, i), results.append)
+    system.run(60_000)
+    assert all(r.ok for r in results)
+    out = []
+    router.submit(tuple(["mget"] + keys), out.append)
+    system.run(60_000)
+    assert len(out) == 1 and out[0].ok
+    assert out[0].value == {key: i for i, key in enumerate(keys)}
+
+
+def test_degraded_shard_fails_fast():
+    system = build()
+    system.add_client("c0", IDLE)
+    router = system.routers[0]
+    system.start(warmup=60_000)
+    victim = system.directory.shard_for("k0")
+    system.directory.mark_degraded(victim)
+    results = []
+    before = system.sim.now
+    router.submit(("put", "k0", 1), results.append)
+    assert len(results) == 1  # synchronous rejection, no timeout burned
+    assert not results[0].ok
+    assert "degraded" in results[0].error
+    assert system.sim.now == before
+    assert router.stats[victim].rejected_degraded == 1
+    metric = system.chip.metrics.counter(f"shard.{victim}.rejected_degraded")
+    assert metric.value == 1
+
+
+def test_driver_continues_after_failures():
+    """A closed-loop driver keeps issuing ops when part of the keyspace
+    is down: failures count, completions continue on live shards."""
+    system = build(n_shards=2)
+    driver = system.add_client("c0", RouterClientConfig(think_time=50.0))
+    system.start(warmup=60_000)
+    system.run(30_000)
+    completed_before = driver.completed
+    system.directory.mark_degraded("s0")
+    system.run(60_000)
+    assert driver.failures > 0
+    assert driver.completed > completed_before
+    assert driver.running
+
+
+def test_protocol_switch_repoints_router():
+    """Escalating one shard to PBFT mid-run re-points every router at the
+    new membership through the group's client list."""
+    system = build(n_shards=2)
+    system.add_client("c0", IDLE)
+    router = system.routers[0]
+    system.start(warmup=60_000)
+    shard = system.shards["s0"]
+    assert len(shard.group.members) == 3  # minbft 2f+1
+    shard.group.switch_protocol("pbft")
+    assert len(shard.group.members) == 4  # pbft 3f+1
+    view = router._views["s0"]
+    assert view.members == shard.group.members
+    assert view.reply_quorum == shard.group.reply_quorum
+    # The other shard's binding is untouched.
+    assert router._views["s1"].members == system.shards["s1"].group.members
+    # And the switched shard still serves through the router.
+    results = []
+    key = next(k for k in (f"k{i}" for i in range(64))
+               if system.directory.shard_for(k) == "s0")
+    router.submit(("put", key, 9), results.append)
+    system.run(120_000)
+    assert results and results[0].ok
+
+
+def test_per_shard_metrics_are_populated():
+    system = build(n_shards=2)
+    driver = system.add_client("c0", RouterClientConfig(think_time=50.0))
+    system.start(warmup=60_000)
+    system.run(120_000)
+    assert driver.completed > 0
+    total = 0
+    for sid in system.directory.shard_ids:
+        ops = system.chip.metrics.counter(f"shard.{sid}.ops").value
+        hist = system.chip.metrics.histogram(f"shard.{sid}.latency")
+        assert hist.count == ops
+        if ops:
+            assert hist.percentile(50) <= hist.percentile(95)
+        total += ops
+    assert total == driver.completed
+    # All sub-operations drained: no in-flight leftovers.
+    router = system.routers[0]
+    assert router.inflight <= 1  # at most the driver's current op
+
+
+def test_router_timeout_retransmits_and_recovers():
+    """Crashing the primary of one shard: the router's retransmit path
+    (broadcast + primary rotation) must eventually complete the op."""
+    system = build(
+        n_shards=2,
+        router=RouterConfig(timeout=10_000.0),
+    )
+    system.add_client("c0", IDLE)
+    router = system.routers[0]
+    system.start(warmup=60_000)
+    key = next(k for k in (f"k{i}" for i in range(64))
+               if system.directory.shard_for(k) == "s0")
+    group = system.shards["s0"].group
+    group.crash(group.members[0])  # the view-0 primary
+    results = []
+    router.submit(("put", key, 1), results.append)
+    system.run(200_000)
+    assert results and results[0].ok
+    assert router.timeouts > 0
+    assert router.stats["s0"].timeouts > 0
