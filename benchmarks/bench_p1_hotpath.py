@@ -1,0 +1,263 @@
+"""P1 — perf: the NoC express path and simulator-kernel hot-path overhaul.
+
+Unlike E1-E12 this bench measures *wall-clock* performance of the
+simulator itself, not a paper claim.  The express path batches
+consecutive hops of a packet inside one event whenever the hop's
+virtual time is provably unobservable (strictly before the kernel's
+next pending event, within the run horizon, on a fault-free mesh), so
+a fault-free traversal costs ~1 event instead of one per hop.  The
+batching bound makes the optimization *exact*: same seed, same
+results, byte for byte, with the fast path on or off.
+
+Scenarios:
+
+* P1a — fault-free stream: a closed-loop corner-to-corner packet
+  stream; wall-clock packets/sec and events/sec with express routing
+  on vs off (best-of-N pairing to damp machine noise).
+* P1b — faulty mesh: one degraded off-route link clears ``fault_free``
+  and forces the hop-by-hop slow path in both configurations; the
+  express config must converge to baseline behaviour (identical event
+  counts and deliveries — asserted deterministically).
+* P1c — exactness: the smoke campaign's ``summary.json`` must be
+  byte-identical with ``REPRO_NOC_EXPRESS`` on and off.
+
+Shape assertions:
+* express delivers >= 2x the packets/sec of hop-by-hop (the P1 gate);
+* express fires at most 1/5th the events of hop-by-hop (deterministic);
+* both modes end at the same simulated time with all packets delivered;
+* P1c summaries are byte-identical.
+
+Standalone (CI smoke): ``python benchmarks/bench_p1_hotpath.py --smoke``
+runs reduced sizes with a relaxed wall-clock gate (shared runners are
+noisy) but the full deterministic assertions, and appends the measured
+numbers to ``benchmarks/BENCH_P1.json``.
+"""
+
+import json
+import os
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from conftest import run_once  # noqa: E402  (also sets REPRO_TABLE_LOG)
+
+from repro.metrics import Table  # noqa: E402
+from repro.noc.network import NocConfig, NocNetwork  # noqa: E402
+from repro.noc.topology import Coord, MeshTopology  # noqa: E402
+from repro.sim import Simulator  # noqa: E402
+
+MESH_W = 12
+MESH_H = 12
+PACKETS = 15_000
+TRIALS = 3
+RATIO_GATE = 2.0
+SMOKE_PACKETS = 3_000
+SMOKE_TRIALS = 2
+SMOKE_RATIO_GATE = 1.2  # sanity floor only: shared CI runners are noisy
+EVENT_FACTOR = 5  # express must use <= 1/5th the events (deterministic)
+TRAJECTORY = os.path.join(os.path.dirname(os.path.abspath(__file__)), "BENCH_P1.json")
+
+
+def stream_run(express, n_packets, degrade=None):
+    """One closed-loop corner-to-corner stream; returns measured rates.
+
+    The delivery handler injects the next packet, so exactly one packet
+    is in flight at a time and the express path sees the maximal
+    batching window.  ``degrade`` optionally names an off-route link to
+    put into corrupting mode before traffic starts (P1b).
+    """
+    sim = Simulator()
+    topo = MeshTopology(MESH_W, MESH_H)
+    net = NocNetwork(sim, topo, NocConfig(express_routing=express))
+    if degrade is not None:
+        net.degrade_link(*degrade)
+    src, dst = Coord(0, 0), Coord(MESH_W - 1, MESH_H - 1)
+    state = {"sent": 0, "done": 0}
+
+    def handler(packet):
+        state["done"] += 1
+        if state["sent"] < n_packets:
+            state["sent"] += 1
+            net.send(src, dst, None, 64)
+
+    net.attach(dst, handler)
+    state["sent"] += 1
+    net.send(src, dst, None, 64)
+    wall_start = time.perf_counter()
+    sim.run()
+    wall = time.perf_counter() - wall_start
+    return {
+        "delivered": state["done"],
+        "events": sim.events_fired,
+        "sim_now": sim.now,
+        "wall_s": wall,
+        "pkt_per_s": state["done"] / wall,
+        "events_per_s": sim.events_fired / wall,
+    }
+
+
+def best_of(express, n_packets, trials, degrade=None):
+    """Best wall-clock rate over ``trials`` runs (noise only slows runs,
+    never speeds them, so the max is the least-contaminated sample).
+    Deterministic fields are asserted invariant across trials."""
+    runs = [stream_run(express, n_packets, degrade) for _ in range(trials)]
+    assert len({r["events"] for r in runs}) == 1
+    assert len({r["sim_now"] for r in runs}) == 1
+    return max(runs, key=lambda r: r["pkt_per_s"])
+
+
+def campaign_summary_bytes(express, duration):
+    """Run the smoke campaign in-process and return summary.json's bytes."""
+    from repro.campaign import CampaignExecutor, ResultStore, build_campaign, write_summary
+
+    previous = os.environ.get("REPRO_NOC_EXPRESS")
+    os.environ["REPRO_NOC_EXPRESS"] = "1" if express else "0"
+    try:
+        spec = build_campaign("smoke", base_overrides={"duration": duration})
+        root = tempfile.mkdtemp(prefix="p1-identity-")
+        store = ResultStore(root, spec).open()
+        CampaignExecutor(spec, store).run()
+        write_summary(store)
+        return store.summary_path.read_bytes()
+    finally:
+        if previous is None:
+            os.environ.pop("REPRO_NOC_EXPRESS", None)
+        else:
+            os.environ["REPRO_NOC_EXPRESS"] = previous
+
+
+def experiment(smoke=False):
+    n_packets = SMOKE_PACKETS if smoke else PACKETS
+    trials = SMOKE_TRIALS if smoke else TRIALS
+    ratio_gate = SMOKE_RATIO_GATE if smoke else RATIO_GATE
+
+    express = best_of(True, n_packets, trials)
+    baseline = best_of(False, n_packets, trials)
+    # One bounded retry round if a noise spike ate the margin: re-pair
+    # both sides so the comparison stays honest.
+    if express["pkt_per_s"] < ratio_gate * baseline["pkt_per_s"]:
+        rerun = stream_run(True, n_packets)
+        if rerun["pkt_per_s"] > express["pkt_per_s"]:
+            express = rerun
+        rerun = stream_run(False, n_packets)
+        if rerun["pkt_per_s"] > baseline["pkt_per_s"]:
+            baseline = rerun
+    ratio = express["pkt_per_s"] / baseline["pkt_per_s"]
+
+    table = Table(
+        "P1a",
+        ["mode", "packets", "events", "pkt/s (wall)", "events/s (wall)", "speedup"],
+        title=f"Fault-free corner-to-corner stream, {MESH_W}x{MESH_H} mesh",
+    )
+    for label, r in (("express", express), ("hop-by-hop", baseline)):
+        table.add_row([
+            label,
+            r["delivered"],
+            r["events"],
+            round(r["pkt_per_s"]),
+            round(r["events_per_s"]),
+            round(r["pkt_per_s"] / baseline["pkt_per_s"], 2),
+        ])
+    table.print()
+
+    # P1b: a degraded link off the XY route forces the slow path.
+    degrade = (Coord(0, 5), Coord(0, 6))
+    faulty_express = best_of(True, n_packets, 1, degrade)
+    faulty_baseline = best_of(False, n_packets, 1, degrade)
+    fb = Table(
+        "P1b",
+        ["mode", "packets", "events", "pkt/s (wall)", "sim time"],
+        title="Same stream with one degraded off-route link (slow path forced)",
+    )
+    for label, r in (("express cfg", faulty_express), ("hop-by-hop", faulty_baseline)):
+        fb.add_row([label, r["delivered"], r["events"], round(r["pkt_per_s"]), r["sim_now"]])
+    fb.print()
+
+    identity_duration = 20_000.0 if smoke else 60_000.0
+    summary_on = campaign_summary_bytes(True, identity_duration)
+    summary_off = campaign_summary_bytes(False, identity_duration)
+    identical = summary_on == summary_off
+    ic = Table(
+        "P1c",
+        ["campaign", "summary bytes", "byte-identical"],
+        title="Smoke campaign summary.json, express on vs off",
+    )
+    ic.add_row(["smoke", len(summary_on), "yes" if identical else "NO"])
+    ic.print()
+
+    record_trajectory(smoke, express, baseline, faulty_express, ratio, identical)
+    return {
+        "express": express,
+        "baseline": baseline,
+        "faulty_express": faulty_express,
+        "faulty_baseline": faulty_baseline,
+        "ratio": ratio,
+        "ratio_gate": ratio_gate,
+        "identical": identical,
+    }
+
+
+def record_trajectory(smoke, express, baseline, faulty_express, ratio, identical):
+    """Append this run's numbers to BENCH_P1.json (the perf trajectory)."""
+    history = []
+    if os.path.exists(TRAJECTORY):
+        try:
+            with open(TRAJECTORY, "r", encoding="utf-8") as fh:
+                history = json.load(fh)
+        except (ValueError, OSError):
+            history = []
+    history.append({
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "smoke": smoke,
+        "express_pkt_per_s": round(express["pkt_per_s"], 1),
+        "baseline_pkt_per_s": round(baseline["pkt_per_s"], 1),
+        "express_events_per_s": round(express["events_per_s"], 1),
+        "baseline_events_per_s": round(baseline["events_per_s"], 1),
+        "faulty_pkt_per_s": round(faulty_express["pkt_per_s"], 1),
+        "speedup": round(ratio, 3),
+        "byte_identical": identical,
+    })
+    with open(TRAJECTORY, "w", encoding="utf-8") as fh:
+        json.dump(history, fh, indent=2)
+        fh.write("\n")
+
+
+def check(results):
+    """The assertions shared by the pytest and standalone entrypoints."""
+    express = results["express"]
+    baseline = results["baseline"]
+    # All packets delivered, and the express path changed *nothing*
+    # observable: identical final simulated time in both modes.
+    assert express["delivered"] == baseline["delivered"]
+    assert express["sim_now"] == baseline["sim_now"]
+    # Deterministic event economy: batching collapses per-hop events.
+    assert express["events"] * EVENT_FACTOR <= baseline["events"]
+    # The wall-clock gate.
+    assert results["ratio"] >= results["ratio_gate"], (
+        f"express speedup {results['ratio']:.2f}x below {results['ratio_gate']}x gate"
+    )
+    # Under a fault the express config must behave exactly like the
+    # slow path: same events, same deliveries, same simulated time.
+    fe, fb = results["faulty_express"], results["faulty_baseline"]
+    assert fe["events"] == fb["events"]
+    assert fe["delivered"] == fb["delivered"]
+    assert fe["sim_now"] == fb["sim_now"]
+    # Exactness at campaign scale: byte-identical summary.json.
+    assert results["identical"]
+
+
+def test_p1_hotpath(benchmark):
+    check(run_once(benchmark, experiment))
+
+
+if __name__ == "__main__":
+    smoke = "--smoke" in sys.argv
+    outcome = experiment(smoke=smoke)
+    check(outcome)
+    print(
+        f"P1 {'smoke ' if smoke else ''}OK: {outcome['ratio']:.2f}x packets/sec, "
+        f"{outcome['express']['events_per_s']:,.0f} events/s express, "
+        f"byte-identical={outcome['identical']}"
+    )

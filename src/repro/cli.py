@@ -46,6 +46,7 @@ EXPERIMENTS = [
     ("A2", "ablation: severity-detector tuning", "bench_a2_severity_ablation.py"),
     ("C1", "campaign engine: sweep-scale evaluation", "bench_campaign_smoke.py"),
     ("C2", "SII: sharding scales throughput across replica groups", "bench_c2_shard_scaling.py"),
+    ("P1", "perf: NoC express path + kernel hot-path overhaul", "bench_p1_hotpath.py"),
 ]
 
 

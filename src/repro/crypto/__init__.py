@@ -12,6 +12,23 @@ correctness substrate, not production cryptography.
 """
 
 from repro.crypto.keys import KeyStore
-from repro.crypto.mac import Authenticator, MacError, compute_mac, verify_mac
+from repro.crypto.mac import (
+    Authenticator,
+    MacError,
+    canonical_bytes,
+    compute_mac,
+    compute_mac_bytes,
+    verify_mac,
+    verify_mac_bytes,
+)
 
-__all__ = ["Authenticator", "KeyStore", "MacError", "compute_mac", "verify_mac"]
+__all__ = [
+    "Authenticator",
+    "KeyStore",
+    "MacError",
+    "canonical_bytes",
+    "compute_mac",
+    "compute_mac_bytes",
+    "verify_mac",
+    "verify_mac_bytes",
+]

@@ -69,13 +69,62 @@ def compute_mac(key: bytes, payload: Any) -> bytes:
     return hmac.new(key, canonical_bytes(payload), hashlib.sha256).digest()[:MAC_LENGTH]
 
 
+def compute_mac_bytes(key: bytes, data: bytes) -> bytes:
+    """HMAC-SHA256 (truncated) over already-canonicalized bytes.
+
+    The one-pass primitive behind MAC vectors: serialize the payload
+    once with :func:`canonical_bytes`, then HMAC per key.
+    """
+    return hmac.new(key, data, hashlib.sha256).digest()[:MAC_LENGTH]
+
+
 def verify_mac(key: bytes, payload: Any, mac: bytes) -> bool:
     """Constant-time comparison of the expected MAC against ``mac``."""
     return hmac.compare_digest(compute_mac(key, payload), mac)
 
 
+def verify_mac_bytes(key: bytes, data: bytes, mac: bytes) -> bool:
+    """Constant-time verification against already-canonicalized bytes."""
+    return hmac.compare_digest(compute_mac_bytes(key, data), mac)
+
+
+_DIGEST_MEMO: Dict[Any, bytes] = {}
+_DIGEST_MEMO_CAP = 4096
+"""Bounded memo for :func:`digest`.  Request digests are recomputed many
+times for the same payload (proposal, per-replica verification, commit)
+— memoizing the SHA256 turns those into one dict hit."""
+
+
+def _memo_safe(payload: Any) -> bool:
+    """True when ``payload`` can key the digest memo without ambiguity.
+
+    Only types whose Python equality implies identical canonical bytes
+    are admitted: ``1 == True == 1.0`` as dict keys but their canonical
+    serializations differ, so bool/float (and anything mutable) are
+    excluded.  ``type() is`` checks keep subclasses out too.
+    """
+    t = type(payload)
+    if t is str or t is bytes or t is int or payload is None:
+        return True
+    if t is tuple:
+        return all(_memo_safe(item) for item in payload)
+    return False
+
+
 def digest(payload: Any) -> bytes:
-    """Plain SHA256 digest of the canonical serialization (request digests)."""
+    """Plain SHA256 digest of the canonical serialization (request digests).
+
+    Memoized (bounded) for hashable primitive payloads — the hot path is
+    the repeated ``(client, rid, op)`` request-digest computation.
+    """
+    if _memo_safe(payload):
+        cached = _DIGEST_MEMO.get(payload)
+        if cached is None:
+            cached = hashlib.sha256(canonical_bytes(payload)).digest()
+            if len(_DIGEST_MEMO) >= _DIGEST_MEMO_CAP:
+                _DIGEST_MEMO.clear()
+            _DIGEST_MEMO[payload] = cached
+        return cached
     return hashlib.sha256(canonical_bytes(payload)).digest()
 
 
@@ -105,9 +154,12 @@ class Authenticator:
 
         ``pair_key(a, b)`` returns the symmetric key for the pair; senders
         use their restricted :class:`~repro.crypto.keys.NodeKeys` view.
+        One-pass: the payload is serialized once and HMACed per key
+        (PBFT's MAC-vector optimization), not re-serialized per recipient.
         """
+        data = canonical_bytes(payload)
         macs = {
-            recipient: compute_mac(pair_key(sender, recipient), payload)
+            recipient: compute_mac_bytes(pair_key(sender, recipient), data)
             for recipient in recipients
             if recipient != sender
         }

@@ -33,7 +33,24 @@ class Link:
     granularity: a packet of ``n`` flits occupies the link for
     ``n * cycle_time`` after the head enters, plus a fixed ``latency``
     for traversal.  ``busy_until`` implements output contention.
+
+    Links are the hottest objects in the interconnect (one ``reserve``
+    per packet per hop), hence ``__slots__``.  Fault state must be
+    driven through :class:`~repro.noc.network.NocNetwork`'s fault
+    interface, which keeps the express-path bookkeeping consistent.
     """
+
+    __slots__ = (
+        "sim",
+        "src",
+        "dst",
+        "latency",
+        "cycle_time",
+        "state",
+        "busy_until",
+        "packets_carried",
+        "flits_carried",
+    )
 
     def __init__(
         self,
@@ -85,13 +102,16 @@ class Link:
 
         The caller must have already checked the link is not DOWN.
         """
-        start = max(now, self.busy_until)
+        start = self.busy_until
+        if now > start:
+            start = now
         # The link is occupied while flits serialize onto it; the fixed
         # traversal latency pipelines with the next packet.
-        self.busy_until = start + flits * self.cycle_time
+        serialize = flits * self.cycle_time
+        self.busy_until = start + serialize
         self.packets_carried += 1
         self.flits_carried += flits
-        return start + self.transfer_time(flits)
+        return start + serialize + self.latency
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"<Link {self.src}->{self.dst} {self.state.value}>"

@@ -1,17 +1,69 @@
-"""The NoC facade: endpoint registration, sending, hop-by-hop traversal."""
+"""The NoC facade: endpoint registration, sending, hop-by-hop traversal.
+
+Two traversal modes share one code path:
+
+* **hop-by-hop** (the original model): every hop is a scheduled event —
+  arrive at a router, check health, reserve the outgoing link, schedule
+  the next hop.
+* **express** (``NocConfig.express_routing``, on by default): on a
+  fault-free network, consecutive hops are committed in a single pass
+  inside one event and only the final delivery is scheduled.  Batching
+  is bounded by :meth:`Simulator.lookahead_limit` — a hop is committed
+  eagerly only if its virtual time lies strictly before the next
+  pending event (and within the run horizon), which makes the fast path
+  *provably unobservable*: same seed produces byte-identical results
+  with express routing on or off.  Any fault (failed/degraded link,
+  failed router) disables batching entirely until repaired, so faulty
+  scenarios always take the original slow path.
+
+Routes on the fault-free mesh are memoized in a ``(src, dst)`` cache
+invalidated by ``fault_epoch``, which every fault/repair call bumps.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import os
+from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.metrics import MetricsRegistry
+from repro.metrics.collectors import Counter
 from repro.noc.link import Link, LinkState
 from repro.noc.packet import Packet
 from repro.noc.router import Router
 from repro.noc.topology import Coord, MeshTopology
 
 DeliveryHandler = Callable[[Packet], None]
+
+
+class CompiledRoute:
+    """A route resolved to the objects the forwarding loop touches.
+
+    ``coords[i]`` is the i-th tile, ``routers[i]`` its Router, and
+    ``links[i]`` the Link from ``coords[i]`` to ``coords[i+1]``.  Compiling
+    once per ``(src, dst)`` (the entries live in the fault-epoch route
+    cache) keeps per-hop work to list indexing — no dict lookups or
+    Coord hashing on the hot path.
+    """
+
+    __slots__ = ("coords", "routers", "links", "last")
+
+    def __init__(
+        self,
+        coords: List[Coord],
+        routers: Dict[Coord, Router],
+        links: Dict[Tuple[Coord, Coord], Link],
+    ) -> None:
+        self.coords = coords
+        self.routers = [routers[c] for c in coords]
+        self.links = [links[(coords[i], coords[i + 1])] for i in range(len(coords) - 1)]
+        self.last = len(coords) - 1
+
+
+def _express_default() -> bool:
+    """Express routing defaults on; REPRO_NOC_EXPRESS=0 disables it
+    process-wide (the perf bench and CI use this to A/B the fast path)."""
+    return os.environ.get("REPRO_NOC_EXPRESS", "1").lower() not in ("0", "false", "no")
 
 
 @dataclass
@@ -28,6 +80,7 @@ class NocConfig:
     switch_latency: float = 1.0
     adaptive_routing: bool = False
     drop_corrupted_silently: bool = False
+    express_routing: bool = field(default_factory=_express_default)
 
 
 class NocNetwork:
@@ -35,10 +88,13 @@ class NocNetwork:
 
     Endpoints (tiles/cores) register a delivery handler for their
     coordinate; :meth:`send` injects a packet which traverses the XY route
-    hop by hop with contention and fault checks, then is delivered.
+    with contention and fault checks, then is delivered.
 
     Fault interface: ``fail_link``, ``degrade_link``, ``repair_link``,
     ``fail_router``, ``repair_router`` — driven by :mod:`repro.faults`.
+    All fault state MUST go through these methods (not the Link/Router
+    objects directly): they maintain ``fault_epoch`` and the health
+    counters that gate the express path and the route cache.
     """
 
     def __init__(
@@ -66,6 +122,16 @@ class NocNetwork:
         self._dropped = self.metrics.counter("noc.dropped")
         self._flit_hops = self.metrics.counter("noc.flit_hops")
         self._latency = self.metrics.histogram("noc.latency")
+        self._drop_reason_counters: Dict[str, Counter] = {}
+        # Fault-epoch bookkeeping: bumped on every link/router state
+        # transition; invalidates the route cache and (via the health
+        # counters) forces the hop-by-hop slow path while faults exist.
+        self.fault_epoch = 0
+        self._down_links = 0
+        self._corrupting_links = 0
+        self._failed_routers = 0
+        self._route_cache: Dict[Tuple[Coord, Coord], CompiledRoute] = {}
+        self._route_cache_epoch = 0
 
     # ------------------------------------------------------------------
     # Endpoints
@@ -103,103 +169,224 @@ class NocNetwork:
             return packet
         route = self._route(src, dst)
         if route is None:
-            self._drop(packet, "no route (failed links)")
+            self._drop(packet, "no route (failed links)", "no_route")
             return packet
-        self.sim.call_soon(self._hop, packet, route, 0)
+        self._inject(packet, route)
         return packet
+
+    def _inject(self, packet: Packet, route: CompiledRoute) -> None:
+        """Start the packet down its route.
+
+        Normally the first hop is deferred with ``call_soon`` so that
+        events already pending at the current instant keep their place
+        in line.  When no such event exists (``lookahead_limit`` strictly
+        ahead of now), deferral is unobservable and the express path
+        enters :meth:`_hop` synchronously, saving one event per packet.
+        """
+        sim = self.sim
+        if self.config.express_routing and self.fault_free:
+            limit = sim.lookahead_limit()
+            if limit is not None and limit > sim.now:
+                self._hop(packet, route, 0)
+                return
+        sim.call_soon(self._hop, packet, route, 0)
 
     def multicast(
         self, src: Coord, dsts: List[Coord], payload: Any, size_bytes: int = 64
     ) -> List[Packet]:
         """Send the same payload to several destinations (replicated unicast,
-        as real NoCs without multicast trees do)."""
-        return [self.send(src, dst, payload, size_bytes) for dst in dsts]
+        as real NoCs without multicast trees do).
+
+        The shared work is done once: the source is validated here, the
+        payload object (including any authenticator riding on it) is
+        reused across all copies rather than rebuilt per destination, and
+        each destination's route comes from the shared route cache.
+        """
+        self.topology.require(src)
+        now = self.sim.now
+        packets: List[Packet] = []
+        for dst in dsts:
+            self.topology.require(dst)
+            packet = Packet(
+                packet_id=self._next_packet_id,
+                src=src,
+                dst=dst,
+                payload=payload,
+                size_bytes=size_bytes,
+                injected_at=now,
+            )
+            self._next_packet_id += 1
+            packet.path.append(src)
+            if src == dst:
+                delay = self.routers[src].switch()
+                self.sim.schedule(delay, self._deliver, packet)
+            else:
+                route = self._route(src, dst)
+                if route is None:
+                    self._drop(packet, "no route (failed links)", "no_route")
+                else:
+                    self._inject(packet, route)
+            packets.append(packet)
+        return packets
 
     # ------------------------------------------------------------------
     # Faults
     # ------------------------------------------------------------------
     def fail_link(self, a: Coord, b: Coord) -> None:
         """Hard-fail both directions of the link between adjacent tiles."""
-        self._link(a, b).fail()
-        self._link(b, a).fail()
+        self._set_link_state(self._link(a, b), LinkState.DOWN)
+        self._set_link_state(self._link(b, a), LinkState.DOWN)
 
     def degrade_link(self, a: Coord, b: Coord) -> None:
         """Put both directions of a link into corrupting mode."""
-        self._link(a, b).degrade()
-        self._link(b, a).degrade()
+        self._set_link_state(self._link(a, b), LinkState.CORRUPTING)
+        self._set_link_state(self._link(b, a), LinkState.CORRUPTING)
 
     def repair_link(self, a: Coord, b: Coord) -> None:
         """Repair both directions of a link."""
-        self._link(a, b).repair()
-        self._link(b, a).repair()
+        self._set_link_state(self._link(a, b), LinkState.UP)
+        self._set_link_state(self._link(b, a), LinkState.UP)
 
     def fail_router(self, coord: Coord) -> None:
         """Hard-fail a tile's router."""
-        self.routers[coord].fail()
+        router = self.routers[coord]
+        if not router.failed:
+            router.fail()
+            self._failed_routers += 1
+            self.fault_epoch += 1
 
     def repair_router(self, coord: Coord) -> None:
         """Repair a tile's router."""
-        self.routers[coord].repair()
+        router = self.routers[coord]
+        if router.failed:
+            router.repair()
+            self._failed_routers -= 1
+            self.fault_epoch += 1
 
     def failed_links(self) -> "frozenset[Tuple[Coord, Coord]]":
         """The set of currently DOWN directed links."""
         return frozenset(k for k, l in self.links.items() if l.state == LinkState.DOWN)
 
+    @property
+    def fault_free(self) -> bool:
+        """True when no link is down/corrupting and no router has failed."""
+        return not (self._down_links or self._corrupting_links or self._failed_routers)
+
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+    def _set_link_state(self, link: Link, new_state: LinkState) -> None:
+        old_state = link.state
+        if old_state is new_state:
+            return
+        if old_state is LinkState.DOWN:
+            self._down_links -= 1
+        elif old_state is LinkState.CORRUPTING:
+            self._corrupting_links -= 1
+        if new_state is LinkState.DOWN:
+            self._down_links += 1
+        elif new_state is LinkState.CORRUPTING:
+            self._corrupting_links += 1
+        link.state = new_state
+        self.fault_epoch += 1
+
     def _link(self, a: Coord, b: Coord) -> Link:
         link = self.links.get((a, b))
         if link is None:
             raise ValueError(f"no link {a}->{b}: tiles are not adjacent")
         return link
 
-    def _route(self, src: Coord, dst: Coord) -> Optional[List[Coord]]:
-        if not self.config.adaptive_routing:
-            return self.topology.xy_route(src, dst)
-        blocked = self.failed_links()
-        if not blocked:
-            return self.topology.xy_route(src, dst)
-        try:
-            return self.topology.route_avoiding(src, dst, blocked)
-        except ValueError:
-            return None
+    def _route(self, src: Coord, dst: Coord) -> Optional[CompiledRoute]:
+        if self.config.adaptive_routing:
+            blocked = self.failed_links() if self._down_links else None
+            if blocked:
+                try:
+                    detour = self.topology.route_avoiding(src, dst, blocked)
+                except ValueError:
+                    return None
+                return CompiledRoute(detour, self.routers, self.links)
+        # Deterministic XY route: independent of fault state, so safe to
+        # cache.  The cache is flushed whenever the fault epoch moves —
+        # cheap insurance that adaptive mode never sees a stale detour.
+        if self._route_cache_epoch != self.fault_epoch:
+            self._route_cache.clear()
+            self._route_cache_epoch = self.fault_epoch
+        key = (src, dst)
+        route = self._route_cache.get(key)
+        if route is None:
+            route = CompiledRoute(self.topology.xy_route(src, dst), self.routers, self.links)
+            self._route_cache[key] = route
+        return route
 
-    def _hop(self, packet: Packet, route: List[Coord], index: int) -> None:
-        """Move the packet across link route[index] -> route[index+1]."""
-        here = route[index]
-        router = self.routers[here]
-        if router.failed:
-            self._drop(packet, f"router {here} failed")
-            return
-        if here == packet.dst:
-            self._deliver(packet)
-            return
-        nxt = route[index + 1]
-        link = self.links[(here, nxt)]
-        if link.state == LinkState.DOWN:
-            if self.config.adaptive_routing:
-                reroute = self._route(here, packet.dst)
-                if reroute is not None and len(reroute) > 1:
-                    self.sim.call_soon(self._hop, packet, reroute, 0)
+    def _hop(self, packet: Packet, route: CompiledRoute, index: int) -> None:
+        """Move the packet along ``route`` starting at ``route.coords[index]``.
+
+        Fires at the packet's arrival time at ``route.coords[index]``.  On
+        the express path, subsequent hops whose virtual times are provably
+        unobservable (strictly before the next pending event and within
+        the run horizon) are committed in the same pass; otherwise the
+        next hop is scheduled as its own event, exactly as the original
+        hop-by-hop model did.
+        """
+        sim = self.sim
+        express = self.config.express_routing and self.fault_free
+        if express:
+            limit = sim.lookahead_limit()
+            if limit is None:
+                express = False
+            else:
+                horizon = sim.run_horizon
+        coords = route.coords
+        route_routers = route.routers
+        route_links = route.links
+        last = route.last
+        flits = packet.flits
+        path = packet.path
+        vtime = sim.now
+        while True:
+            router = route_routers[index]
+            if router.failed:
+                self._drop(packet, f"router {coords[index]} failed", "router_failed")
+                return
+            if index == last:
+                self._deliver(packet)
+                return
+            link = route_links[index]
+            state = link.state
+            if state is not LinkState.UP:
+                if state is LinkState.DOWN:
+                    if self.config.adaptive_routing:
+                        reroute = self._route(coords[index], packet.dst)
+                        if reroute is not None and reroute.last > 0:
+                            sim.call_soon(self._hop, packet, reroute, 0)
+                            return
+                    self._drop(
+                        packet, f"link {coords[index]}->{coords[index + 1]} down", "link_down"
+                    )
                     return
-            self._drop(packet, f"link {here}->{nxt} down")
+                packet.corrupted = True  # CORRUPTING link
+            arrival = link.reserve(flits, vtime + router.switch())
+            packet.hops += 1
+            index += 1
+            path.append(coords[index])
+            if (
+                express
+                and index != last  # delivery observes sim.now: always an event
+                and arrival < limit
+                and (horizon is None or arrival <= horizon)
+            ):
+                vtime = arrival
+                continue
+            sim.schedule_at(arrival, self._hop, packet, route, index)
             return
-        if link.state == LinkState.CORRUPTING:
-            packet.corrupted = True
-        switch_delay = router.switch()
-        arrival = link.reserve(packet.flits, self.sim.now + switch_delay)
-        packet.hops += 1
-        packet.path.append(nxt)
-        self.sim.schedule_at(arrival, self._hop, packet, route, index + 1)
 
     def _deliver(self, packet: Packet) -> None:
         if packet.corrupted and self.config.drop_corrupted_silently:
-            self._drop(packet, "corrupted (end-to-end check)")
+            self._drop(packet, "corrupted (end-to-end check)", "corrupted")
             return
         handler = self._handlers.get(packet.dst)
         if handler is None:
-            self._drop(packet, f"no endpoint at {packet.dst}")
+            self._drop(packet, f"no endpoint at {packet.dst}", "no_endpoint")
             return
         packet.delivered_at = self.sim.now
         self._delivered.inc()
@@ -207,10 +394,15 @@ class NocNetwork:
         self._latency.observe(packet.delivered_at - packet.injected_at)
         handler(packet)
 
-    def _drop(self, packet: Packet, reason: str) -> None:
+    def _drop(self, packet: Packet, reason: str, label: str) -> None:
         packet.dropped = True
         packet.drop_reason = reason
         self._dropped.inc()
+        counter = self._drop_reason_counters.get(label)
+        if counter is None:
+            counter = self.metrics.counter(f"noc.drop_reason.{label}")
+            self._drop_reason_counters[label] = counter
+        counter.inc()
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"<NocNetwork {self.topology.width}x{self.topology.height}>"

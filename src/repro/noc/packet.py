@@ -41,10 +41,14 @@ class Packet:
     hops: int = 0
     path: List[Coord] = field(default_factory=list)
 
+    def __post_init__(self) -> None:
+        # Cached: read once per hop on the forwarding path.
+        self._flits = flits_for(self.size_bytes)
+
     @property
     def flits(self) -> int:
-        """Packet length in flits."""
-        return flits_for(self.size_bytes)
+        """Packet length in flits (fixed at creation from ``size_bytes``)."""
+        return self._flits
 
     @property
     def latency(self) -> Optional[float]:

@@ -16,7 +16,13 @@ class Router:
     Adds a fixed per-hop ``switch_latency`` (arbitration + crossbar) to
     every packet passing through, and can hard-fail — a failed router
     drops everything addressed through it, modelling a dead tile region.
+
+    Routers sit on the per-hop fast path (one ``switch`` per packet per
+    hop), hence ``__slots__``.  Fault state must be driven through
+    :class:`~repro.noc.network.NocNetwork`'s fault interface.
     """
+
+    __slots__ = ("sim", "coord", "switch_latency", "failed", "packets_switched")
 
     def __init__(self, sim: "Simulator", coord: Coord, switch_latency: float = 1.0) -> None:
         if switch_latency < 0:

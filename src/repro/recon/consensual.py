@@ -6,7 +6,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Set
 
 from repro.crypto.keys import KeyStore
-from repro.crypto.mac import compute_mac, verify_mac
+from repro.crypto.mac import canonical_bytes, compute_mac, verify_mac_bytes
 from repro.fabric.bitstream import Bitstream
 from repro.fabric.icap import IcapPort, IcapResult
 from repro.fabric.region import ReconfigurableRegion
@@ -136,7 +136,9 @@ class VotingGate:
     def _count_valid(
         self, proposal: WriteProposal, votes: List[PrivilegeVote]
     ) -> Set[str]:
-        payload = proposal.vote_payload()
+        # One-pass MAC vector check: serialize the proposal payload once,
+        # verify per voter key (every vote covers the identical bytes).
+        data = canonical_bytes(proposal.vote_payload())
         valid: Set[str] = set()
         for vote in votes:
             if vote.voter not in self.voters:
@@ -144,6 +146,6 @@ class VotingGate:
             if vote.region_id != proposal.region_id or vote.epoch != proposal.epoch:
                 continue
             secret = self._keystore.secret_for(vote.voter)
-            if verify_mac(secret, payload, vote.mac):
+            if verify_mac_bytes(secret, data, vote.mac):
                 valid.add(vote.voter)
         return valid

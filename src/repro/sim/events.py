@@ -24,7 +24,7 @@ class ScheduledEvent:
     priority number, then insertion order.
     """
 
-    __slots__ = ("time", "priority", "seq", "callback", "args", "_cancelled", "_fired")
+    __slots__ = ("time", "priority", "seq", "callback", "args", "_cancelled", "_fired", "_owner")
 
     def __init__(
         self,
@@ -41,6 +41,7 @@ class ScheduledEvent:
         self.args = args
         self._cancelled = False
         self._fired = False
+        self._owner: Optional[Any] = None  # set by the scheduling Simulator
 
     @property
     def cancelled(self) -> bool:
@@ -68,6 +69,9 @@ class ScheduledEvent:
         self._cancelled = True
         self.callback = None  # break reference cycles early
         self.args = ()
+        owner = self._owner
+        if owner is not None:
+            owner._note_cancelled()
         return True
 
     def _fire(self) -> None:

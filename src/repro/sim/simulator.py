@@ -34,12 +34,18 @@ class Simulator:
         that runs are reproducible.
     """
 
+    #: Compact the heap once this many cancelled entries dominate it.
+    COMPACTION_MIN = 64
+
     def __init__(self, seed: int = 0) -> None:
         self._now: SimTime = 0.0
         self._heap: List[ScheduledEvent] = []
         self._seq = 0
         self._running = False
         self._stopped = False
+        self._cancelled_pending = 0
+        self._horizon: Optional[SimTime] = None
+        self._capped = False  # True while run(max_events=...) is active
         self.rng = RngRegistry(seed)
         self.seed = seed
         self._trace_hooks: List[Callable[[ScheduledEvent], None]] = []
@@ -84,6 +90,7 @@ class Simulator:
         if time < self._now:
             raise SimulationError(f"cannot schedule in the past: {time} < {self._now}")
         event = ScheduledEvent(time, priority, self._seq, callback, args)
+        event._owner = self
         self._seq += 1
         heapq.heappush(self._heap, event)
         return event
@@ -113,16 +120,20 @@ class Simulator:
             raise SimulationError("simulator is already running (re-entrant run())")
         self._running = True
         self._stopped = False
+        self._horizon = until
+        self._capped = max_events is not None
         fired = 0
+        heappop = heapq.heappop
         try:
             while self._heap and not self._stopped:
                 event = self._heap[0]
-                if event.cancelled:
-                    heapq.heappop(self._heap)
+                if event._cancelled:
+                    heappop(self._heap)
+                    self._cancelled_pending -= 1
                     continue
                 if until is not None and event.time > until:
                     break
-                heapq.heappop(self._heap)
+                heappop(self._heap)
                 self._now = event.time
                 event._fire()
                 self.events_fired += 1
@@ -134,6 +145,8 @@ class Simulator:
                     break
         finally:
             self._running = False
+            self._horizon = None
+            self._capped = False
         if until is not None and not self._stopped and self._now < until:
             # Advance the clock to the requested horizon even if the queue
             # drained early, so periodic measurement windows stay aligned.
@@ -141,14 +154,22 @@ class Simulator:
         return self._now
 
     def step(self) -> bool:
-        """Fire exactly one pending event.  Returns False if the queue is empty."""
+        """Fire exactly one pending event.  Returns False if the queue is empty.
+
+        Registered trace hooks see the fired event, exactly as in
+        :meth:`run` — step-driven tests trace the same stream.
+        """
         while self._heap:
             event = heapq.heappop(self._heap)
             if event.cancelled:
+                self._cancelled_pending -= 1
                 continue
             self._now = event.time
             event._fire()
             self.events_fired += 1
+            if self._trace_hooks:
+                for hook in self._trace_hooks:
+                    hook(event)
             return True
         return False
 
@@ -157,15 +178,66 @@ class Simulator:
         self._stopped = True
 
     def pending_count(self) -> int:
-        """Number of not-yet-cancelled events still in the queue."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        """Number of not-yet-cancelled events still in the queue.  O(1)."""
+        return len(self._heap) - self._cancelled_pending
 
     def peek_next_time(self) -> Optional[SimTime]:
-        """Time of the next pending event, or None if the queue is empty."""
-        for event in sorted(self._heap):
-            if not event.cancelled:
-                return event.time
-        return None
+        """Time of the next pending event, or None if the queue is empty.
+
+        Amortized O(1): cancelled entries at the heap top are discarded
+        lazily rather than sorting the whole queue.
+        """
+        heap = self._heap
+        while heap and heap[0]._cancelled:
+            heapq.heappop(heap)
+            self._cancelled_pending -= 1
+        return heap[0].time if heap else None
+
+    # ------------------------------------------------------------------
+    # Lookahead (used by the NoC express path)
+    # ------------------------------------------------------------------
+    @property
+    def run_horizon(self) -> Optional[SimTime]:
+        """The ``until`` bound of the currently executing :meth:`run`, if any."""
+        return self._horizon
+
+    def lookahead_limit(self) -> Optional[SimTime]:
+        """Exclusive bound on virtual times a component may pre-commit.
+
+        While an event executes inside :meth:`run`, no other event can
+        fire before the queue's next pending time — so state changes
+        whose virtual time lies strictly below it are unobservable, and
+        a component (the NoC express path) may apply them eagerly in a
+        single pass without changing any simulation outcome.
+
+        Returns ``inf`` when the queue is empty, or None when lookahead
+        is not permitted: outside :meth:`run` (step-driven execution may
+        interleave external mutations between events) or during a
+        ``max_events``-capped run (an abort could strand pre-committed
+        state ahead of the clock).
+        """
+        if not self._running or self._capped:
+            return None
+        heap = self._heap
+        while heap and heap[0]._cancelled:
+            heapq.heappop(heap)
+            self._cancelled_pending -= 1
+        return heap[0].time if heap else float("inf")
+
+    # ------------------------------------------------------------------
+    # Cancellation bookkeeping
+    # ------------------------------------------------------------------
+    def _note_cancelled(self) -> None:
+        """Called by ScheduledEvent.cancel(); keeps pending_count O(1) and
+        compacts the heap when cancelled entries dominate it."""
+        self._cancelled_pending += 1
+        if (
+            self._cancelled_pending >= self.COMPACTION_MIN
+            and self._cancelled_pending * 2 > len(self._heap)
+        ):
+            self._heap = [e for e in self._heap if not e._cancelled]
+            heapq.heapify(self._heap)
+            self._cancelled_pending = 0
 
     def add_trace_hook(self, hook: Callable[[ScheduledEvent], None]) -> None:
         """Register a hook called after every fired event (for debugging/metrics)."""
