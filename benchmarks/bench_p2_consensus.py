@@ -1,0 +1,246 @@
+"""P2 — perf: consensus request batching + pipelined agreement.
+
+The consensus hot path caps service throughput: with closed-loop clients
+and one request per agreement round, every operation pays a full
+three-phase exchange (PBFT) or UI-signed round (MinBFT) plus its own MAC
+vector / USIG certificate.  This bench measures how far request batching
+(one round orders k requests under one batch digest) plus pipelining (a
+bounded in-flight window of concurrent sequence numbers) plus open-loop
+clients (``max_outstanding`` requests in flight per client — what keeps
+batches full) lift **committed operations per simulated second**.
+
+Scenarios:
+
+* P2a — PBFT: closed-loop batch=1 baseline vs batched + pipelined +
+  open-loop, same client count, same seed.  Sim-time throughput is
+  deterministic, so the >= 2x gate is exact, not a wall-clock race.
+* P2b — MinBFT: the same pairing on the 2f+1 hybrid protocol (one
+  usig_create certifies a whole batch).
+* P2c — exactness: the smoke campaign's ``summary.json`` must be
+  byte-identical with ``REPRO_CONSENSUS_BATCH=1`` (the degenerate
+  batch_size=1 machinery forced on) vs unset (the legacy code path).
+
+Shape assertions:
+* batched+pipelined >= 2x the committed ops/sec of the closed loop on
+  BOTH protocols (deterministic, simulated time);
+* mean batch size > 1 and the in-flight window actually pipelines
+  (peak inflight > 1) in the batched runs;
+* every run stays safe (no safety-recorder violation);
+* P2c summaries are byte-identical.
+
+Standalone (CI smoke): ``python benchmarks/bench_p2_consensus.py --smoke``
+runs shorter horizons with the same deterministic gates and appends the
+measured numbers to ``benchmarks/BENCH_P2.json``.
+"""
+
+import json
+import os
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from conftest import run_once  # noqa: E402  (also sets REPRO_TABLE_LOG)
+
+from repro.bft.batching import BatchConfig  # noqa: E402
+from repro.bft.client import ClientConfig  # noqa: E402
+from repro.bft.group import protocol_config_for  # noqa: E402
+from repro.core import OrchestratorConfig, ResilientSystem  # noqa: E402
+from repro.metrics import Table  # noqa: E402
+
+PROTOCOLS = ("pbft", "minbft")
+N_CLIENTS = 4
+THINK_TIME = 50.0
+BATCH_SIZE = 8
+MAX_INFLIGHT = 8
+BATCH_DELAY = 50.0
+MAX_OUTSTANDING = 16
+DURATION = 120_000.0
+WARMUP = 30_000.0
+SMOKE_DURATION = 40_000.0
+SMOKE_WARMUP = 10_000.0
+RATIO_GATE = 2.0
+SEED = 7
+TRAJECTORY = os.path.join(os.path.dirname(os.path.abspath(__file__)), "BENCH_P2.json")
+
+
+def service_run(protocol, batching, max_outstanding, duration, warmup):
+    """One service run; returns sim-time committed-throughput metrics."""
+    system = ResilientSystem(
+        OrchestratorConfig(
+            seed=SEED,
+            protocol=protocol,
+            f=1,
+            enable_rejuvenation=False,
+            protocol_config=protocol_config_for(protocol, batching=batching),
+        )
+    )
+    clients = [
+        system.add_client(
+            f"c{i}",
+            ClientConfig(think_time=THINK_TIME, max_outstanding=max_outstanding),
+        )
+        for i in range(N_CLIENTS)
+    ]
+    system.start(warmup=warmup)
+    start = system.sim.now
+    system.run(duration)
+    ops = sum(c.completions_in(start, system.sim.now) for c in clients)
+    latencies = sorted(
+        lat for c in clients for lat in c.latencies_in(start, system.sim.now)
+    )
+    batch_hist = system.chip.metrics.histogram("sys.batch.size")
+    return {
+        "ops": ops,
+        "ops_per_sec": ops / (duration / 1000.0),
+        "mean_latency": sum(latencies) / len(latencies) if latencies else 0.0,
+        "committed_ops": system.chip.metrics.counter("sys.committed_ops").value,
+        "mean_batch": batch_hist.mean(),
+        "peak_inflight": system.chip.metrics.gauge("sys.inflight").peak,
+        "events": system.sim.events_fired,
+        "safe": system.is_safe,
+    }
+
+
+def campaign_summary_bytes(forced, duration):
+    """Run the smoke campaign in-process and return summary.json's bytes.
+
+    ``forced=True`` sets ``REPRO_CONSENSUS_BATCH=1``: every replica runs
+    the batching machinery in its degenerate batch_size=1 mode, which
+    must be event-identical to the legacy (unset) code path.
+    """
+    from repro.campaign import CampaignExecutor, ResultStore, build_campaign, write_summary
+
+    previous = os.environ.get("REPRO_CONSENSUS_BATCH")
+    if forced:
+        os.environ["REPRO_CONSENSUS_BATCH"] = "1"
+    else:
+        os.environ.pop("REPRO_CONSENSUS_BATCH", None)
+    try:
+        spec = build_campaign("smoke", base_overrides={"duration": duration})
+        root = tempfile.mkdtemp(prefix="p2-identity-")
+        store = ResultStore(root, spec).open()
+        CampaignExecutor(spec, store).run()
+        write_summary(store)
+        return store.summary_path.read_bytes()
+    finally:
+        if previous is None:
+            os.environ.pop("REPRO_CONSENSUS_BATCH", None)
+        else:
+            os.environ["REPRO_CONSENSUS_BATCH"] = previous
+
+
+def experiment(smoke=False):
+    duration = SMOKE_DURATION if smoke else DURATION
+    warmup = SMOKE_WARMUP if smoke else WARMUP
+    batching = BatchConfig(
+        batch_size=BATCH_SIZE, batch_delay=BATCH_DELAY, max_inflight=MAX_INFLIGHT
+    )
+
+    results = {}
+    for tag, protocol in (("P2a", "pbft"), ("P2b", "minbft")):
+        baseline = service_run(protocol, None, 1, duration, warmup)
+        batched = service_run(protocol, batching, MAX_OUTSTANDING, duration, warmup)
+        ratio = batched["ops_per_sec"] / baseline["ops_per_sec"] if baseline["ops_per_sec"] else 0.0
+        results[protocol] = {"baseline": baseline, "batched": batched, "ratio": ratio}
+        table = Table(
+            tag,
+            ["mode", "ops", "ops/s (sim)", "mean lat", "batch", "peak infl", "safe"],
+            title=(
+                f"{protocol}: closed loop batch=1 vs batch={BATCH_SIZE} "
+                f"x{MAX_INFLIGHT} inflight, {N_CLIENTS} clients x{MAX_OUTSTANDING} outstanding"
+            ),
+        )
+        for label, r in (("closed-loop", baseline), ("batched+pipelined", batched)):
+            table.add_row([
+                label,
+                r["ops"],
+                round(r["ops_per_sec"], 1),
+                round(r["mean_latency"], 1),
+                round(r["mean_batch"], 2),
+                int(r["peak_inflight"]),
+                "yes" if r["safe"] else "NO",
+            ])
+        table.print()
+
+    identity_duration = 20_000.0 if smoke else 60_000.0
+    summary_forced = campaign_summary_bytes(True, identity_duration)
+    summary_legacy = campaign_summary_bytes(False, identity_duration)
+    identical = summary_forced == summary_legacy
+    ic = Table(
+        "P2c",
+        ["campaign", "summary bytes", "byte-identical"],
+        title="Smoke campaign summary.json, REPRO_CONSENSUS_BATCH=1 vs legacy",
+    )
+    ic.add_row(["smoke", len(summary_forced), "yes" if identical else "NO"])
+    ic.print()
+
+    results["identical"] = identical
+    results["ratio_gate"] = RATIO_GATE
+    record_trajectory(smoke, results)
+    return results
+
+
+def record_trajectory(smoke, results):
+    """Append this run's numbers to BENCH_P2.json (the perf trajectory)."""
+    history = []
+    if os.path.exists(TRAJECTORY):
+        try:
+            with open(TRAJECTORY, "r", encoding="utf-8") as fh:
+                history = json.load(fh)
+        except (ValueError, OSError):
+            history = []
+    entry = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "smoke": smoke,
+        "byte_identical": results["identical"],
+    }
+    for protocol in PROTOCOLS:
+        r = results[protocol]
+        entry[f"{protocol}_baseline_ops_per_sec"] = round(r["baseline"]["ops_per_sec"], 2)
+        entry[f"{protocol}_batched_ops_per_sec"] = round(r["batched"]["ops_per_sec"], 2)
+        entry[f"{protocol}_speedup"] = round(r["ratio"], 3)
+        entry[f"{protocol}_mean_batch"] = round(r["batched"]["mean_batch"], 2)
+        entry[f"{protocol}_peak_inflight"] = int(r["batched"]["peak_inflight"])
+    history.append(entry)
+    with open(TRAJECTORY, "w", encoding="utf-8") as fh:
+        json.dump(history, fh, indent=2)
+        fh.write("\n")
+
+
+def check(results):
+    """The assertions shared by the pytest and standalone entrypoints."""
+    for protocol in PROTOCOLS:
+        r = results[protocol]
+        assert r["baseline"]["safe"] and r["batched"]["safe"], f"{protocol}: unsafe run"
+        assert r["baseline"]["ops"] > 0, f"{protocol}: baseline made no progress"
+        # The batching actually engaged: real batches, real pipelining.
+        assert r["batched"]["mean_batch"] > 1.0, f"{protocol}: batches never filled"
+        assert r["batched"]["peak_inflight"] > 1, f"{protocol}: window never pipelined"
+        # The P2 gate, in deterministic simulated time.
+        assert r["ratio"] >= results["ratio_gate"], (
+            f"{protocol}: batched speedup {r['ratio']:.2f}x below "
+            f"{results['ratio_gate']}x gate"
+        )
+    # Exactness at campaign scale: byte-identical summary.json.
+    assert results["identical"]
+
+
+def test_p2_consensus(benchmark):
+    check(run_once(benchmark, experiment))
+
+
+if __name__ == "__main__":
+    smoke = "--smoke" in sys.argv
+    outcome = experiment(smoke=smoke)
+    check(outcome)
+    print(
+        "P2 "
+        + ("smoke " if smoke else "")
+        + "OK: "
+        + ", ".join(
+            f"{p} {outcome[p]['ratio']:.2f}x" for p in PROTOCOLS
+        )
+        + f", byte-identical={outcome['identical']}"
+    )

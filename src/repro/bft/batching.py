@@ -1,0 +1,219 @@
+"""Request batching and pipelined agreement for the consensus hot path.
+
+With closed-loop clients and one request per agreement round, throughput
+is bounded by protocol latency: every operation pays a full three-phase
+exchange (PBFT) or UI-signed round (MinBFT) plus one MAC vector / USIG
+certificate of its own.  Batching amortizes that per-round cost — the
+primary accumulates incoming :class:`~repro.bft.messages.ClientRequest`\\ s
+into a batch closed by **size** (``batch_size`` requests), **bytes**
+(``batch_bytes`` of payload), or **time** (``batch_delay`` after the first
+request), and runs *one* agreement round per batch.  Pipelining bounds
+concurrency instead of forbidding it: up to ``max_inflight`` sequence
+numbers may be in flight at once.  Batches are cut at **dispatch** time,
+not at admission: while the window is full, requests pool in the open
+accumulator, so backpressure produces *fuller* batches instead of a
+queue of fragments — the self-reinforcing behaviour that makes batching
+pay off under load.
+
+Exactness contract: with ``batch_size=1`` (and no delay/byte bound) the
+accumulator closes every batch synchronously at admission, unwraps it to
+the bare request, and schedules **no events of its own** — the message
+stream, event order, and results are byte-identical to the unbatched
+protocol.  ``REPRO_CONSENSUS_BATCH=1`` forces this degenerate mode through
+the batching machinery, which is how the P2 bench proves the equivalence.
+
+Environment override (mirrors ``REPRO_NOC_EXPRESS``): when a protocol
+config leaves ``batching`` unset, ``REPRO_CONSENSUS_BATCH`` supplies one —
+``"<batch_size>[x<max_inflight>][@<batch_delay>]"``, e.g. ``8x16@200``.
+Unset/empty/``0`` means no batching (the legacy path).
+"""
+
+from __future__ import annotations
+
+import os
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Deque, Optional, Set, Tuple, TYPE_CHECKING
+
+from repro.bft.messages import ClientRequest, RequestBatch
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.bft.replica import BaseReplica
+
+ProposeFn = Callable[[Any], bool]
+"""Protocol callback: order one proposal now.  Returns False if the
+proposal could not be admitted (watermark full, not primary any more);
+the accumulator then releases its window slot and drops the batch —
+clients retransmit, exactly as with the unbatched protocols."""
+
+
+@dataclass
+class BatchConfig:
+    """Batching/pipelining knobs shared by every protocol family.
+
+    ``batch_size``   — close a batch once it holds this many requests.
+    ``batch_bytes``  — also close once payload bytes reach this (0 = off).
+    ``batch_delay``  — close a partial batch this long after its first
+                       request arrived.  0 means only size/byte bounds
+                       close batches: with ``batch_size > 1`` a workload
+                       that never pools a full batch (fewer outstanding
+                       requests than the batch size) stalls, so pair
+                       real batching with a delay bound.
+    ``max_inflight`` — concurrent uncommitted sequence numbers the primary
+                       may have outstanding (0 = unbounded, the legacy
+                       watermark-only behaviour).
+    """
+
+    batch_size: int = 1
+    batch_bytes: int = 0
+    batch_delay: float = 0.0
+    max_inflight: int = 0
+
+    def __post_init__(self) -> None:
+        if self.batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
+        if self.batch_bytes < 0 or self.batch_delay < 0 or self.max_inflight < 0:
+            raise ValueError("batching bounds must be non-negative")
+
+    @staticmethod
+    def from_env() -> Optional["BatchConfig"]:
+        """Parse ``REPRO_CONSENSUS_BATCH``; None when unset/disabled."""
+        raw = os.environ.get("REPRO_CONSENSUS_BATCH", "").strip()
+        if not raw or raw.lower() in ("0", "false", "no"):
+            return None
+        delay = 0.0
+        if "@" in raw:
+            raw, delay_part = raw.split("@", 1)
+            delay = float(delay_part)
+        inflight = 0
+        if "x" in raw:
+            raw, inflight_part = raw.split("x", 1)
+            inflight = int(inflight_part)
+        return BatchConfig(
+            batch_size=int(raw), batch_delay=delay, max_inflight=inflight
+        )
+
+
+def resolve_batching(configured: Optional[BatchConfig]) -> Optional[BatchConfig]:
+    """A protocol config's ``batching`` field, or the env override."""
+    return configured if configured is not None else BatchConfig.from_env()
+
+
+class BatchAccumulator:
+    """Primary-side request accumulator with a bounded in-flight window.
+
+    The owning replica feeds deduplicated requests through :meth:`add`;
+    the accumulator cuts batches per the config's bounds and calls the
+    protocol's propose callback synchronously.  Batches are cut at
+    dispatch time: while the in-flight window is full, requests pool in
+    ``_open`` and later cuts are fuller.  :meth:`on_committed` must be
+    called once per committed sequence number so pooled requests drain
+    into freed window slots.  All bookkeeping is dropped by :meth:`reset`
+    on view change / recovery — pending requests survive in the
+    protocol's ``_pending_requests`` map and re-enter via re-batching.
+    """
+
+    def __init__(self, replica: "BaseReplica", config: BatchConfig, propose: ProposeFn) -> None:
+        self.replica = replica
+        self.config = config
+        self._propose = propose
+        self._open: Deque[ClientRequest] = deque()
+        self._open_bytes = 0
+        self.inflight = 0
+        self.pending_keys: Set[Tuple[str, int]] = set()
+        self._delay_due = False  # the delay timer fired with requests pooled
+        self._timer_armed = False
+        self._timer_gen = 0  # invalidates timers armed before a reset
+        metrics = replica.group.metrics
+        gid = replica.group.group_id
+        self._size_hist = metrics.histogram(f"{gid}.batch.size")
+        self._inflight_gauge = metrics.gauge(f"{gid}.inflight")
+
+    # ------------------------------------------------------------------
+    def add(self, request: ClientRequest) -> None:
+        """Admit one request; may cut and propose a batch synchronously."""
+        self.pending_keys.add(request.key())
+        self._open.append(request)
+        self._open_bytes += request.wire_size()
+        self._pump()
+        self._maybe_arm_timer()
+
+    def on_committed(self) -> None:
+        """One proposed sequence number committed: free a window slot."""
+        if self.inflight > 0:
+            self.inflight -= 1
+            self._inflight_gauge.set(float(self.inflight))
+        self._pump()
+        self._maybe_arm_timer()
+
+    def flush(self) -> None:
+        """Dispatch everything pooled now, window permitting (view
+        installation / re-batching); any remainder pumps out on commits."""
+        while self._open and self._window_free():
+            self._cut()
+        self._maybe_arm_timer()
+
+    def reset(self) -> None:
+        """Drop all bookkeeping (view change, recovery, shutdown)."""
+        self._timer_gen += 1
+        self._timer_armed = False
+        self._delay_due = False
+        self._open.clear()
+        self._open_bytes = 0
+        self.pending_keys.clear()
+        self.inflight = 0
+        self._inflight_gauge.set(0.0)
+
+    # ------------------------------------------------------------------
+    def _window_free(self) -> bool:
+        return self.config.max_inflight == 0 or self.inflight < self.config.max_inflight
+
+    def _pump(self) -> None:
+        cfg = self.config
+        while self._open and self._window_free():
+            full = len(self._open) >= cfg.batch_size or (
+                cfg.batch_bytes > 0 and self._open_bytes >= cfg.batch_bytes
+            )
+            if not full and not self._delay_due:
+                break
+            partial = not full  # a partial cut consumes the delay credit
+            self._cut()
+            if partial:
+                self._delay_due = False
+
+    def _cut(self) -> None:
+        """Dispatch up to one batch_size worth of pooled requests."""
+        k = min(len(self._open), self.config.batch_size)
+        requests = [self._open.popleft() for _ in range(k)]
+        self._open_bytes -= sum(r.wire_size() for r in requests)
+        # A single request goes on the wire bare: batch_size=1 traffic is
+        # byte-identical to the unbatched protocol.
+        proposal = requests[0] if k == 1 else RequestBatch(tuple(requests))
+        self._size_hist.observe(float(k))
+        self.inflight += 1
+        self._inflight_gauge.set(float(self.inflight))
+        if not self._propose(proposal):
+            # Watermark full / demoted mid-batch: drop, free the slot —
+            # clients retransmit, exactly as with the unbatched protocols.
+            self.inflight -= 1
+            self._inflight_gauge.set(float(self.inflight))
+        for request in requests:
+            self.pending_keys.discard(request.key())
+
+    def _maybe_arm_timer(self) -> None:
+        if self._open and self.config.batch_delay > 0 and not self._timer_armed:
+            self._timer_armed = True
+            self.replica.sim.schedule(
+                self.config.batch_delay, self._on_delay, self._timer_gen
+            )
+
+    def _on_delay(self, gen: int) -> None:
+        if gen != self._timer_gen:
+            return  # armed before a reset
+        self._timer_armed = False
+        if self.replica.state.value == "crashed":
+            return
+        if self._open:
+            self._delay_due = True
+            self._pump()
+        self._maybe_arm_timer()

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Tuple
 
+from repro.bft.batching import BatchAccumulator, BatchConfig, resolve_batching
 from repro.bft.messages import (
     Append,
     AppendAck,
@@ -26,28 +27,41 @@ from repro.bft.messages import (
     CommitNotice,
     LeaderElect,
     LeaderElectAck,
+    Proposal,
+    proposal_digest,
+    proposal_keys,
+    requests_of,
 )
 from repro.bft.replica import BaseReplica, GroupContext
-from repro.crypto.mac import digest as request_digest
 from repro.sim.timers import Timeout
 from repro.soc.chip import is_corrupted
 
 
 @dataclass
 class CftConfig:
-    """Protocol knobs."""
+    """Protocol knobs.
+
+    ``batching`` enables request batching + a bounded in-flight window on
+    the leader (see :mod:`repro.bft.batching`); None keeps the classic
+    one-request-per-APPEND behaviour, byte for byte.
+    """
 
     election_timeout: float = 40_000.0
+    batching: Optional[BatchConfig] = None
 
 
 @dataclass(frozen=True)
 class _LogEntry:
-    """One appended (not necessarily committed) operation."""
+    """One appended (not necessarily committed) operation.
+
+    ``request`` is a proposal: a bare ClientRequest, or a RequestBatch
+    when the leader batches.
+    """
 
     term: int
     seq: int
     digest: bytes
-    request: ClientRequest
+    request: Proposal
 
 
 def required_replicas(f: int) -> int:
@@ -72,6 +86,9 @@ class CftReplica(BaseReplica):
         self._elect_votes: Dict[int, Dict[str, LeaderElectAck]] = {}
         self._elect_sent: set = set()
         self._election_timer = None
+        batching = resolve_batching(self.config.batching)
+        if batching is not None:
+            self.batcher = BatchAccumulator(self, batching, self._append_proposal)
 
     # ``view`` (BaseReplica) is used as the term so primary_of() works.
 
@@ -138,26 +155,42 @@ class CftReplica(BaseReplica):
             self.resend_cached_reply(request)
             return
         if self.is_primary:
-            self._append(request)
+            if self.batcher is not None:
+                if self._already_replicating(request) or request.key() in self.batcher.pending_keys:
+                    return
+                self.batcher.add(request)
+            else:
+                self._append(request)
         else:
             self.send(self.primary, request, request.wire_size())
             self._note_pending(request)
 
-    def _append(self, request: ClientRequest) -> None:
-        if any(
-            e.request.key() == request.key() and e.seq > self._committed_seq
+    def _already_replicating(self, request: ClientRequest) -> bool:
+        return any(
+            e.seq > self._committed_seq and request.key() in proposal_keys(e.request)
             for e in self._log.values()
-        ):
-            return  # already replicating
+        )
+
+    def _append(self, request: ClientRequest) -> None:
+        if self._already_replicating(request):
+            return
+        self._append_proposal(request)
+
+    def _append_proposal(self, proposal: Proposal) -> bool:
+        """Replicate one proposal (a bare request, or a RequestBatch)."""
+        if not self.is_primary:
+            return False  # demoted while the batch was queued
         self._next_seq += 1
         seq = self._next_seq
-        dig = request_digest((request.client, request.rid, request.op))
-        entry = _LogEntry(self.view, seq, dig, request)
+        dig = proposal_digest(proposal)
+        entry = _LogEntry(self.view, seq, dig, proposal)
         self._log[seq] = entry
         self._acks[seq] = {self.name}
-        self._note_pending(request)
-        message = Append(self.view, seq, request, self.name)
+        for request in requests_of(proposal):
+            self._note_pending(request)
+        message = Append(self.view, seq, proposal, self.name)
         self.broadcast(self.other_members(), message, message.wire_size())
+        return True
 
     def _handle_append(self, sender: str, message: Append) -> None:
         if message.term < self.view:
@@ -166,12 +199,11 @@ class CftReplica(BaseReplica):
             self._adopt_term(message.term)
         if sender != self.primary:
             return
-        dig = request_digest(
-            (message.request.client, message.request.rid, message.request.op)
-        )
+        dig = proposal_digest(message.request)
         self._log[message.seq] = _LogEntry(message.term, message.seq, dig, message.request)
         self._next_seq = max(self._next_seq, message.seq)
-        self._note_pending(message.request)
+        for request in requests_of(message.request):
+            self._note_pending(request)
         ack = AppendAck(message.term, message.seq, self.name)
         self.send(sender, ack, ack.wire_size())
 
@@ -198,7 +230,8 @@ class CftReplica(BaseReplica):
                 break  # hole: wait for the missing append
             self._committed_seq = next_seq
             self.commit_operation(entry.seq, entry.digest, entry.request)
-            self._note_executed(entry.request)
+            for request in requests_of(entry.request):
+                self._note_executed(request)
 
     # ------------------------------------------------------------------
     # Leader failover
@@ -262,12 +295,26 @@ class CftReplica(BaseReplica):
                 self._acks[seq] = {self.name}
                 message = Append(term, seq, entry.request, self.name)
                 self.broadcast(self.other_members(), message, message.wire_size())
+        if self.batcher is not None:
+            for request in list(self._pending_requests.values()):
+                if (
+                    not self.already_executed(request)
+                    and not self._already_replicating(request)
+                    and request.key() not in self.batcher.pending_keys
+                ):
+                    self.batcher.add(request)
+            self.batcher.flush()
+            return
         for request in list(self._pending_requests.values()):
             if not self.already_executed(request):
                 self._append(request)
 
     def _adopt_term(self, term: int) -> None:
         self.view = term
+        if self.batcher is not None:
+            # Term changed: in-flight accounting is stale; pending
+            # requests re-enter via re-batching or client retransmission.
+            self.batcher.reset()
         for stale in [t for t in self._elect_votes if t <= term]:
             del self._elect_votes[stale]
         timer = self._ensure_timer()

@@ -1,4 +1,10 @@
-"""Closed-loop clients: the workload driver for every experiment."""
+"""Clients: the workload driver for every experiment.
+
+Closed-loop by default (one request in flight, ``think_time`` between
+completions); ``ClientConfig.max_outstanding > 1`` switches to open-loop
+operation with a window of concurrently outstanding requests — the
+workload shape that keeps a batching primary's batches full (P2 bench).
+"""
 
 from __future__ import annotations
 
@@ -32,6 +38,13 @@ class ClientConfig:
     operations for the read fast path: matching ops are broadcast
     unordered and complete on ``read_quorum`` matching replies, falling
     back to the ordered path on timeout.
+
+    ``max_outstanding`` switches the client to **open-loop** operation:
+    up to that many requests are kept in flight concurrently, each voted
+    and completed independently (what keeps a batching primary's batches
+    full).  The default of 1 is the classic closed loop, byte for byte.
+    Keep it below the replicas' execution-ledger window (256) or replay
+    detection of very old rids degrades.
     """
 
     think_time: float = 100.0
@@ -41,6 +54,11 @@ class ClientConfig:
     backoff_factor: float = 2.0
     max_timeout: float = 480_000.0
     read_only_predicate: Optional[Callable[[Any], bool]] = None
+    max_outstanding: int = 1
+
+    def __post_init__(self) -> None:
+        if self.max_outstanding < 1:
+            raise ValueError(f"max_outstanding must be >= 1, got {self.max_outstanding}")
 
 
 class ClientNode(Node):
@@ -63,6 +81,10 @@ class ClientNode(Node):
         self._sent_at = 0.0
         self._timeout: Optional[Timeout] = None
         self._current_timeout = 0.0
+        # Open-loop state (max_outstanding > 1): rid-keyed request window.
+        self._outstanding: Dict[int, ClientRequest] = {}
+        self._open_votes: Dict[int, Dict[Any, set]] = {}
+        self._sent_times: Dict[int, float] = {}
         self.read_quorum = 1
         self.completed = 0
         self.fast_reads_completed = 0
@@ -92,7 +114,10 @@ class ClientNode(Node):
         self.running = True
         self._timeout = Timeout(self.sim, self.config.timeout, self._on_timeout)
         self._current_timeout = self.config.timeout
-        self._issue_next()
+        if self._open_loop:
+            self._fill_window()
+        else:
+            self._issue_next()
 
     def stop(self) -> None:
         """Stop issuing requests (the in-flight one is abandoned)."""
@@ -105,6 +130,63 @@ class ClientNode(Node):
     def primary_name(self) -> str:
         """The replica currently believed to be primary."""
         return self.replicas[self._primary_hint % len(self.replicas)]
+
+    @property
+    def _open_loop(self) -> bool:
+        return self.config.max_outstanding > 1
+
+    # ------------------------------------------------------------------
+    # Open-loop path (max_outstanding > 1)
+    # ------------------------------------------------------------------
+    def _fill_window(self) -> None:
+        if not self.running:
+            return
+        while len(self._outstanding) < self.config.max_outstanding:
+            if self.config.max_requests is not None and self._rid >= self.config.max_requests:
+                if not self._outstanding:
+                    self.running = False
+                break
+            self._issue_one()
+        assert self._timeout is not None
+        if self._outstanding:
+            if not self._timeout.armed:
+                self._timeout.duration = self._current_timeout
+                self._timeout.start()
+        else:
+            self._timeout.cancel()
+
+    def _issue_one(self) -> None:
+        op = self.config.op_factory(self._rid)
+        predicate = self.config.read_only_predicate
+        read_only = bool(predicate is not None and predicate(op))
+        request = ClientRequest(self.name, self._rid, op, read_only=read_only)
+        self._rid += 1
+        self._outstanding[request.rid] = request
+        self._open_votes[request.rid] = {}
+        self._sent_times[request.rid] = self.sim.now
+        if read_only:
+            self.broadcast(self.replicas, request, request.wire_size())
+        else:
+            self.send(self.primary_name, request, request.wire_size())
+
+    def _complete_one(self, request: ClientRequest, reply: ClientReply) -> None:
+        self._outstanding.pop(request.rid, None)
+        self._open_votes.pop(request.rid, None)
+        sent = self._sent_times.pop(request.rid, self.sim.now)
+        self.completed += 1
+        self.latencies.append(self.sim.now - sent)
+        self._completion_times.append(self.sim.now)
+        if self.replicas:
+            self._primary_hint = reply.view % len(self.replicas)
+        # Progress: reset backoff and give the rest a fresh window.
+        self._current_timeout = self.config.timeout
+        assert self._timeout is not None
+        if self._outstanding:
+            self._timeout.duration = self._current_timeout
+            self._timeout.start()
+        else:
+            self._timeout.cancel()
+        self.sim.schedule(self.config.think_time, self._fill_window)
 
     def _issue_next(self) -> None:
         if not self.running:
@@ -131,7 +213,12 @@ class ClientNode(Node):
         self._timeout.start()
 
     def _on_timeout(self) -> None:
-        if not self.running or self._inflight is None:
+        if not self.running:
+            return
+        if self._open_loop:
+            self._on_open_timeout()
+            return
+        if self._inflight is None:
             return
         self.timeouts += 1
         if self._inflight.read_only:
@@ -153,10 +240,48 @@ class ClientNode(Node):
         self._timeout.duration = self._current_timeout
         self._timeout.start()
 
+    def _on_open_timeout(self) -> None:
+        if not self._outstanding:
+            return
+        self.timeouts += 1
+        import dataclasses
+
+        # Suspect the primary; rebroadcast the whole window so every
+        # backup sees the stalled requests.
+        for rid in sorted(self._outstanding):
+            request = self._outstanding[rid]
+            if request.read_only:
+                self.read_fallbacks += 1
+                request = dataclasses.replace(request, read_only=False)
+                self._outstanding[rid] = request
+                self._open_votes[rid] = {}
+            self.broadcast(self.replicas, request, request.wire_size())
+        self._primary_hint += 1
+        self._current_timeout = min(
+            self._current_timeout * self.config.backoff_factor, self.config.max_timeout
+        )
+        assert self._timeout is not None
+        self._timeout.duration = self._current_timeout
+        self._timeout.start()
+
     def on_message(self, sender: str, message: Any) -> None:
         if is_corrupted(message):
             return
         if not isinstance(message, ClientReply):
+            return
+        if self._open_loop:
+            request = self._outstanding.get(message.rid)
+            if request is None:
+                return
+            if sender != message.replica or sender not in self.replicas:
+                return
+            votes = self._open_votes[message.rid].setdefault(message.match_key(), set())
+            votes.add(sender)
+            needed = self.read_quorum if request.read_only else self.reply_quorum
+            if len(votes) >= needed:
+                if request.read_only:
+                    self.fast_reads_completed += 1
+                self._complete_one(request, message)
             return
         if self._inflight is None or message.rid != self._inflight.rid:
             return

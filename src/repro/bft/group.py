@@ -43,14 +43,31 @@ class _Family:
     replicas_for: Callable[[int], int]
     reply_quorum_for: Callable[[int], int]
     byzantine_safe: bool
+    config_cls: Type[Any]
 
 
 FAMILIES: Dict[str, _Family] = {
-    "pbft": _Family(PbftReplica, pbft_n, lambda f: f + 1, True),
-    "minbft": _Family(MinBftReplica, minbft_n, lambda f: f + 1, True),
-    "cft": _Family(CftReplica, cft_n, lambda f: 1, False),
-    "passive": _Family(PassiveReplica, passive_n, lambda f: 1, False),
+    "pbft": _Family(PbftReplica, pbft_n, lambda f: f + 1, True, PbftConfig),
+    "minbft": _Family(MinBftReplica, minbft_n, lambda f: f + 1, True, MinBftConfig),
+    "cft": _Family(CftReplica, cft_n, lambda f: 1, False, CftConfig),
+    "passive": _Family(PassiveReplica, passive_n, lambda f: 1, False, PassiveConfig),
 }
+
+
+def protocol_config_for(protocol: str, batching: Optional[Any] = None, **kwargs: Any):
+    """Build the protocol family's config object, with optional batching.
+
+    A convenience for experiments/campaigns that sweep batching knobs
+    without caring which concrete config class each family uses::
+
+        cfg = protocol_config_for("minbft", batching=BatchConfig(batch_size=8))
+    """
+    family = FAMILIES.get(protocol)
+    if family is None:
+        raise ValueError(f"unknown protocol {protocol!r}; expected one of {sorted(FAMILIES)}")
+    if batching is not None:
+        kwargs["batching"] = batching
+    return family.config_cls(**kwargs)
 
 
 @dataclass
@@ -235,8 +252,10 @@ class ReplicaGroup:
         for client in self.clients:
             client.configure(self.members, self.reply_quorum, self.read_quorum)
 
-        # Charge switch time: a state-transfer round plus restart slack.
-        switch_cost = 2_000.0 + 50.0 * (len(donor["executed_requests"]) if donor else 0)
+        # Charge switch time: a state-transfer round plus restart slack,
+        # scaled by history length (executed sequence numbers — the
+        # executed-request ledger itself is bounded per client).
+        switch_cost = 2_000.0 + 50.0 * (donor["last_executed"] if donor else 0)
         self.chip.metrics.counter(f"{self.config.group_id}.protocol_switches").inc()
         return switch_cost
 

@@ -10,8 +10,9 @@ the usual BFT accounting: 8-byte ids/sequence numbers, 32-byte digests,
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Optional, Tuple
+from typing import Any, Iterator, Optional, Tuple
 
+from repro.crypto.mac import digest as _digest
 from repro.hybrids.usig import UI
 
 DIGEST_BYTES = 32
@@ -79,6 +80,72 @@ class ClientReply:
         return (self.rid, repr(self.result))
 
 
+@dataclass(frozen=True)
+class RequestBatch:
+    """An ordered bundle of client requests agreed on as *one* unit.
+
+    Batching amortizes the per-round protocol cost (one three-phase
+    exchange, one MAC vector, one USIG certificate) over ``len(requests)``
+    operations: the primary closes a batch by size, byte, or time bound
+    (see :class:`repro.bft.batching.BatchConfig`) and proposes it under a
+    single sequence number.  A committed batch executes its requests in
+    tuple order, each producing its own client reply.
+
+    A single-request batch is never put on the wire: the batching layer
+    unwraps it to the bare :class:`ClientRequest`, so ``batch_size=1``
+    produces byte-identical traffic to the unbatched protocol.
+    """
+
+    requests: Tuple[ClientRequest, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.requests) < 2:
+            raise ValueError("a RequestBatch carries at least two requests")
+
+    def wire_size(self) -> int:
+        return HEADER_BYTES + sum(r.wire_size() for r in self.requests)
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    def __iter__(self) -> Iterator[ClientRequest]:
+        return iter(self.requests)
+
+
+Proposal = Any
+"""What a primary orders at one sequence number: a bare
+:class:`ClientRequest` or a :class:`RequestBatch`."""
+
+
+def requests_of(proposal: Proposal) -> Tuple[ClientRequest, ...]:
+    """The client requests a proposal carries, in execution order."""
+    if isinstance(proposal, RequestBatch):
+        return proposal.requests
+    return (proposal,)
+
+
+def proposal_keys(proposal: Proposal) -> Tuple[Tuple[str, int], ...]:
+    """Dedup keys of every request in a proposal."""
+    return tuple(r.key() for r in requests_of(proposal))
+
+
+def proposal_digest(proposal: Proposal) -> bytes:
+    """The digest a proposal is ordered under.
+
+    For a bare request this is exactly the classic request digest
+    (``digest((client, rid, op))``), so unbatched traffic is unchanged;
+    for a batch it is one digest covering all request digests, computed
+    in a single pass.
+    """
+    if isinstance(proposal, RequestBatch):
+        return _digest(
+            tuple(
+                _digest((r.client, r.rid, r.op)) for r in proposal.requests
+            )
+        )
+    return _digest((proposal.client, proposal.rid, proposal.op))
+
+
 # ----------------------------------------------------------------------
 # State synchronisation (all families: rejuvenation catch-up, view-change
 # catch-up, protocol switching)
@@ -119,12 +186,16 @@ class StateResponse:
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class PrePrepare:
-    """Primary's ordering proposal; carries the full request."""
+    """Primary's ordering proposal; carries the full request (or batch).
+
+    ``request`` is a :data:`Proposal`: a bare :class:`ClientRequest` or a
+    :class:`RequestBatch`; ``digest`` is :func:`proposal_digest` of it.
+    """
 
     view: int
     seq: int
     digest: bytes
-    request: ClientRequest
+    request: Proposal
     auth_size: int = 0  # MAC-vector bytes, set by the sender for accounting
 
     def wire_size(self) -> int:
@@ -217,7 +288,7 @@ class MbPrepare:
     """
 
     view: int
-    request: ClientRequest
+    request: Proposal  # bare ClientRequest or RequestBatch
     digest: bytes
     ui: UI
     exec_seq: int = 0
@@ -294,11 +365,11 @@ class MbNewView:
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class Append:
-    """Leader replicates an operation at (term, seq)."""
+    """Leader replicates an operation (or batch) at (term, seq)."""
 
     term: int
     seq: int
-    request: ClientRequest
+    request: Proposal  # bare ClientRequest or RequestBatch
     leader: str
 
     def wire_size(self) -> int:
@@ -359,10 +430,10 @@ class LeaderElectAck:
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class StateUpdate:
-    """Primary ships the executed operation + resulting state digest."""
+    """Primary ships the executed operation(s) + resulting state digest."""
 
     seq: int
-    request: ClientRequest
+    request: Proposal  # bare ClientRequest or RequestBatch
     result: Any
     state_digest: bytes
 

@@ -22,6 +22,13 @@ Experiment E6 injects bitflips into the USIG counter register to show why
 the hybrid's storage must be ECC-protected: a plain register lets the
 counter jump, which the sequential check converts into a stall (and the
 halted-USIG case kills the replica outright).
+
+Optional request batching + pipelined agreement
+(``MinBftConfig.batching``, a :class:`~repro.bft.batching.BatchConfig`):
+one UI-signed PREPARE — one ``usig_create`` — orders a whole batch under
+a single batch digest, with a bounded in-flight window of concurrent
+counters.  ``batch_size=1`` reproduces the unbatched protocol
+event-for-event.
 """
 
 from __future__ import annotations
@@ -29,6 +36,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional, Tuple
 
+from repro.bft.batching import BatchAccumulator, BatchConfig, resolve_batching
 from repro.bft.messages import (
     ClientRequest,
     MbCommit,
@@ -36,9 +44,12 @@ from repro.bft.messages import (
     MbPrepare,
     MbReqViewChange,
     MbViewChange,
+    Proposal,
+    proposal_digest,
+    proposal_keys,
+    requests_of,
 )
 from repro.bft.replica import BaseReplica, GroupContext
-from repro.crypto.mac import digest as request_digest
 from repro.hybrids.usig import UI, Usig, UsigError, UsigVerifier
 from repro.sim.timers import Timeout
 from repro.soc.chip import is_corrupted
@@ -46,10 +57,17 @@ from repro.soc.chip import is_corrupted
 
 @dataclass
 class MinBftConfig:
-    """Protocol knobs."""
+    """Protocol knobs.
+
+    ``batching`` enables request batching + a bounded in-flight window on
+    the primary (see :mod:`repro.bft.batching`); None keeps the classic
+    one-request-per-UI-round behaviour, byte for byte.  Batching is where
+    the USIG pays off most: one usig_create certifies a whole batch.
+    """
 
     view_timeout: float = 40_000.0
     register_kind: str = "ecc"
+    batching: Optional[BatchConfig] = None
 
 
 @dataclass
@@ -118,6 +136,9 @@ class MinBftReplica(BaseReplica):
         self._in_view_change = False
         self._view_timer = None
         self.usig_failures = 0
+        batching = resolve_batching(self.config.batching)
+        if batching is not None:
+            self.batcher = BatchAccumulator(self, batching, self._propose_proposal)
 
     # ------------------------------------------------------------------
     @property
@@ -241,24 +262,40 @@ class MinBftReplica(BaseReplica):
             self._note_pending(request)
             return
         if self.is_primary:
-            self._propose(request)
+            if self.batcher is not None:
+                if self._already_ordering(request) or request.key() in self.batcher.pending_keys:
+                    return
+                self.batcher.add(request)
+            else:
+                self._propose(request)
         else:
             self.send(self.primary, request, request.wire_size())
             self._note_pending(request)
 
-    def _propose(self, request: ClientRequest) -> None:
-        for slot in self._slots.values():
-            if (
-                slot.prepare is not None
-                and slot.prepare.request.key() == request.key()
-                and not slot.committed
-            ):
-                return  # already in flight
-        dig = request_digest((request.client, request.rid, request.op))
-        delay = self.charge(self.costs.usig_create)
-        self.sim.schedule(delay, self._send_prepare, request, dig)
+    def _already_ordering(self, request: ClientRequest) -> bool:
+        return any(
+            slot.prepare is not None
+            and not slot.committed
+            and request.key() in proposal_keys(slot.prepare.request)
+            for slot in self._slots.values()
+        )
 
-    def _send_prepare(self, request: ClientRequest, dig: bytes) -> None:
+    def _propose(self, request: ClientRequest) -> None:
+        if self._already_ordering(request):
+            return
+        self._propose_proposal(request)
+
+    def _propose_proposal(self, proposal: Proposal) -> bool:
+        """Order one proposal (a bare request, or a RequestBatch): a single
+        usig_create charge covers the whole batch."""
+        if self._in_view_change or not self.is_primary:
+            return False  # demoted while the batch was queued
+        dig = proposal_digest(proposal)
+        delay = self.charge(self.costs.usig_create)
+        self.sim.schedule(delay, self._send_prepare, proposal, dig)
+        return True
+
+    def _send_prepare(self, proposal: Proposal, dig: bytes) -> None:
         if self.state.value == "crashed" or not self.is_primary or self._in_view_change:
             return
         self._next_exec_seq = max(self._next_exec_seq, self.last_executed) + 1
@@ -271,13 +308,14 @@ class MinBftReplica(BaseReplica):
         )
         if ui is None:
             return
-        message = MbPrepare(self.view, request, dig, ui, exec_seq)
+        message = MbPrepare(self.view, proposal, dig, ui, exec_seq)
         slot = self._slots.setdefault(message.seq, _MbSlot())
         slot.prepare = message
         slot.commit_votes[self.name] = dig  # prepare doubles as primary's vote
         if self._exec_cursor is None:
             self._exec_cursor = message.seq
-        self._note_pending(request)
+        for request in requests_of(proposal):
+            self._note_pending(request)
         self.broadcast(self.other_members(), message, message.wire_size())
         self._maybe_committed(message.seq)
 
@@ -286,10 +324,7 @@ class MinBftReplica(BaseReplica):
             return
         if sender != self.primary:
             return
-        expected = request_digest(
-            (message.request.client, message.request.rid, message.request.op)
-        )
-        if expected != message.digest:
+        if proposal_digest(message.request) != message.digest:
             self.group.metrics.counter(f"{self.group.group_id}.bad_digest").inc()
             return
         slot = self._slots.setdefault(message.seq, _MbSlot())
@@ -301,7 +336,8 @@ class MinBftReplica(BaseReplica):
             # hold-back queue guarantees it), so the first one seen in a
             # view is the view's lowest sequence.
             self._exec_cursor = message.seq
-        self._note_pending(message.request)
+        for request in requests_of(message.request):
+            self._note_pending(request)
         self._send_commit(message)
         self._maybe_committed(message.seq)
 
@@ -367,7 +403,8 @@ class MinBftReplica(BaseReplica):
                 # view; consuming it again would shift later numbering.
                 self._ready.pop(self._exec_cursor)
                 self._exec_cursor += 1
-                self._note_executed(prepare.request)
+                for request in requests_of(prepare.request):
+                    self._note_executed(request)
                 continue
             if prepare.exec_seq > self.last_executed + 1:
                 # We missed operations (joined/recovered mid-stream):
@@ -378,7 +415,8 @@ class MinBftReplica(BaseReplica):
             self._ready.pop(self._exec_cursor)
             self._exec_cursor += 1
             self.commit_operation(prepare.exec_seq, prepare.digest, prepare.request)
-            self._note_executed(prepare.request)
+            for request in requests_of(prepare.request):
+                self._note_executed(request)
 
     def on_state_synced(self) -> None:
         self._drain_ready()
@@ -463,6 +501,10 @@ class MinBftReplica(BaseReplica):
     def _enter_view(self, new_view: int) -> None:
         self.view = new_view
         self._in_view_change = False
+        if self.batcher is not None:
+            # Window accounting restarts in the new view; pending requests
+            # re-enter via _repropose_pending / client retransmission.
+            self.batcher.reset()
         self._slots = {s: slot for s, slot in self._slots.items() if slot.committed}
         self._exec_cursor = None  # next accepted prepare re-anchors it
         self._ready.clear()
@@ -479,6 +521,16 @@ class MinBftReplica(BaseReplica):
 
     def _repropose_pending(self) -> None:
         if not self.is_primary:
+            return
+        if self.batcher is not None:
+            for request in list(self._pending_requests.values()):
+                if (
+                    not self.already_executed(request)
+                    and not self._already_ordering(request)
+                    and request.key() not in self.batcher.pending_keys
+                ):
+                    self.batcher.add(request)
+            self.batcher.flush()
             return
         for request in list(self._pending_requests.values()):
             if not self.already_executed(request):

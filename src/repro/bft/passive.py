@@ -18,9 +18,17 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, Optional, Tuple
 
-from repro.bft.messages import ClientRequest, Heartbeat, StateAck, StateUpdate
+from repro.bft.batching import BatchAccumulator, BatchConfig, resolve_batching
+from repro.bft.messages import (
+    ClientRequest,
+    Heartbeat,
+    Proposal,
+    StateAck,
+    StateUpdate,
+    proposal_digest,
+    proposal_keys,
+)
 from repro.bft.replica import BaseReplica, GroupContext
-from repro.crypto.mac import digest as request_digest
 from repro.sim.timers import PeriodicTimer, Timeout
 from repro.soc.chip import is_corrupted
 
@@ -31,10 +39,14 @@ class PassiveConfig:
 
     The failure detector fires after ``detect_timeout`` without a
     heartbeat; detection accuracy vs speed is the E8 sweep axis.
+    ``batching`` amortizes one StateUpdate over a batch of executed
+    requests (see :mod:`repro.bft.batching`); None keeps the classic
+    one-update-per-operation behaviour, byte for byte.
     """
 
     heartbeat_period: float = 2_000.0
     detect_timeout: float = 10_000.0
+    batching: Optional[BatchConfig] = None
 
 
 def required_replicas(f: int) -> int:
@@ -57,6 +69,9 @@ class PassiveReplica(BaseReplica):
         self._heartbeat_timer: Optional[PeriodicTimer] = None
         self._detector: Optional[Timeout] = None
         self.promotions = 0
+        batching = resolve_batching(self.config.batching)
+        if batching is not None:
+            self.batcher = BatchAccumulator(self, batching, self._commit_proposal)
 
     # ------------------------------------------------------------------
     def start(self) -> None:
@@ -104,13 +119,24 @@ class PassiveReplica(BaseReplica):
             # Buffer: if we are promoted later, these get served.
             self._buffered[request.key()] = request
             return
+        if self.batcher is not None:
+            if request.key() in self.batcher.pending_keys:
+                return
+            self.batcher.add(request)
+            return
+        self._commit_proposal(request)
+
+    def _commit_proposal(self, proposal: Proposal) -> bool:
+        """Execute one proposal and ship one StateUpdate covering it."""
+        if self.role != "primary":
+            return False  # demoted/never promoted while the batch waited
         self._next_seq += 1
         seq = self._next_seq
-        dig = request_digest((request.client, request.rid, request.op))
-        self.commit_operation(seq, dig, request)
-        # Ship the executed operation to the backups.
-        update = StateUpdate(seq, request, None, self.app.state_digest())
+        self.commit_operation(seq, proposal_digest(proposal), proposal)
+        # Ship the executed operation(s) to the backups.
+        update = StateUpdate(seq, proposal, None, self.app.state_digest())
         self.broadcast(self.other_members(), update, update.wire_size())
+        return True
 
     # ------------------------------------------------------------------
     # Backup path
@@ -124,13 +150,12 @@ class PassiveReplica(BaseReplica):
             self._detector.start()  # any primary traffic proves liveness
         if message.seq <= self._applied_seq:
             return
-        dig = request_digest(
-            (message.request.client, message.request.rid, message.request.op)
-        )
+        dig = proposal_digest(message.request)
         self._applied_seq = message.seq
         self._next_seq = max(self._next_seq, message.seq)
         self.commit_operation(message.seq, dig, message.request)
-        self._buffered.pop(message.request.key(), None)
+        for key in proposal_keys(message.request):
+            self._buffered.pop(key, None)
         ack = StateAck(message.seq, self.name)
         self.send(sender, ack, ack.wire_size())
 

@@ -17,7 +17,12 @@ Implemented here with:
   checkpoints;
 * a view-change subprotocol: backups time-out on pending requests,
   broadcast VIEW-CHANGE, and the next primary installs NEW-VIEW with
-  re-proposals of prepared-but-unexecuted operations.
+  re-proposals of prepared-but-unexecuted operations;
+* optional request batching + pipelined agreement
+  (``PbftConfig.batching``, a :class:`~repro.bft.batching.BatchConfig`):
+  the primary orders a whole batch under one digest and one MAC vector
+  per phase, with a bounded in-flight window.  ``batch_size=1``
+  reproduces the unbatched protocol event-for-event.
 """
 
 from __future__ import annotations
@@ -25,6 +30,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Set, Tuple
 
+from repro.bft.batching import BatchAccumulator, BatchConfig, resolve_batching
 from repro.bft.messages import (
     Checkpoint,
     ClientReply,
@@ -33,21 +39,31 @@ from repro.bft.messages import (
     NewView,
     PrePrepare,
     Prepare,
+    Proposal,
     ViewChange,
+    proposal_digest,
+    proposal_keys,
+    requests_of,
 )
 from repro.bft.replica import BaseReplica, GroupContext
-from repro.crypto.mac import MAC_LENGTH, digest as request_digest
+from repro.crypto.mac import MAC_LENGTH
 from repro.sim.timers import Timeout
 from repro.soc.chip import is_corrupted
 
 
 @dataclass
 class PbftConfig:
-    """Protocol knobs."""
+    """Protocol knobs.
+
+    ``batching`` enables request batching + a bounded in-flight window on
+    the primary (see :mod:`repro.bft.batching`); None (the default) keeps
+    the classic one-request-per-round behaviour, byte for byte.
+    """
 
     checkpoint_interval: int = 64
     watermark_window: int = 256
     view_timeout: float = 40_000.0
+    batching: Optional[BatchConfig] = None
 
 
 @dataclass
@@ -87,6 +103,9 @@ class PbftReplica(BaseReplica):
         self._view_change_votes: Dict[int, Dict[str, ViewChange]] = {}
         self._in_view_change = False
         self._view_timer = None  # created lazily (needs sim, i.e. placement)
+        batching = resolve_batching(self.config.batching)
+        if batching is not None:
+            self.batcher = BatchAccumulator(self, batching, self._propose_proposal)
 
     # ------------------------------------------------------------------
     # Quorums
@@ -186,32 +205,48 @@ class PbftReplica(BaseReplica):
             self._note_pending(request)
             return
         if self.is_primary:
-            self._propose(request)
+            if self.batcher is not None:
+                if self._already_ordering(request) or request.key() in self.batcher.pending_keys:
+                    return
+                self.batcher.add(request)
+            else:
+                self._propose(request)
         else:
             # Forward to the primary and start watching for progress.
             self.send(self.primary, request, request.wire_size())
             self._note_pending(request)
 
-    def _propose(self, request: ClientRequest) -> None:
-        if any(
+    def _already_ordering(self, request: ClientRequest) -> bool:
+        return any(
             slot.pre_prepare is not None
-            and slot.pre_prepare.request.key() == request.key()
             and not slot.committed
+            and request.key() in proposal_keys(slot.pre_prepare.request)
             for slot in self._slots.values()
-        ):
-            return  # already being ordered
+        )
+
+    def _propose(self, request: ClientRequest) -> None:
+        if self._already_ordering(request):
+            return
+        self._propose_proposal(request)
+
+    def _propose_proposal(self, proposal: Proposal) -> bool:
+        """Order one proposal (a bare request, or a RequestBatch)."""
+        if self._in_view_change or not self.is_primary:
+            return False  # demoted while the batch was queued
         if self._next_seq - self._stable_seq >= self.config.watermark_window:
-            return  # window full; client will retry
+            return False  # window full; clients will retry
         self._next_seq += 1
         seq = self._next_seq
-        dig = request_digest((request.client, request.rid, request.op))
-        message = PrePrepare(self.view, seq, dig, request)
+        dig = proposal_digest(proposal)
+        message = PrePrepare(self.view, seq, dig, proposal)
         slot = self._slot(self.view, seq)
         slot.pre_prepare = message
-        self._note_pending(request)
+        for request in requests_of(proposal):
+            self._note_pending(request)
         self._auth_multicast(message)
         # The primary prepares implicitly via its pre-prepare.
         self._maybe_prepared(self.view, seq)
+        return True
 
     def _slot(self, view: int, seq: int) -> _SlotState:
         return self._slots.setdefault((view, seq), _SlotState())
@@ -225,17 +260,15 @@ class PbftReplica(BaseReplica):
             return
         if message.seq > self._stable_seq + self.config.watermark_window:
             return
-        expected = request_digest(
-            (message.request.client, message.request.rid, message.request.op)
-        )
-        if expected != message.digest:
+        if proposal_digest(message.request) != message.digest:
             self.group.metrics.counter(f"{self.group.group_id}.bad_digest").inc()
             return
         slot = self._slot(message.view, message.seq)
         if slot.pre_prepare is not None and slot.pre_prepare.digest != message.digest:
             return  # equivocation: keep the first binding
         slot.pre_prepare = message
-        self._note_pending(message.request)
+        for request in requests_of(message.request):
+            self._note_pending(request)
         if not slot.prepare_sent:
             slot.prepare_sent = True
             prepare = Prepare(message.view, message.seq, message.digest, self.name)
@@ -286,9 +319,10 @@ class PbftReplica(BaseReplica):
             return
         if len(slot.commits) >= self.commit_quorum:
             slot.committed = True
-            request = slot.pre_prepare.request
-            self.commit_operation(seq, slot.pre_prepare.digest, request)
-            self._note_executed(request)
+            proposal = slot.pre_prepare.request
+            self.commit_operation(seq, slot.pre_prepare.digest, proposal)
+            for request in requests_of(proposal):
+                self._note_executed(request)
             if seq % self.config.checkpoint_interval == 0:
                 self._emit_checkpoint(seq)
 
@@ -408,6 +442,10 @@ class PbftReplica(BaseReplica):
         self.view = new_view
         self._in_view_change = False
         self._next_seq = max(self._next_seq, self.last_executed)
+        if self.batcher is not None:
+            # Window accounting restarts in the new view; pending requests
+            # re-enter via _repropose_pending / client retransmission.
+            self.batcher.reset()
         for stale in [v for v in self._view_change_votes if v <= new_view]:
             del self._view_change_votes[stale]
         timer = self._ensure_timer()
@@ -419,11 +457,21 @@ class PbftReplica(BaseReplica):
     def _repropose_pending(self) -> None:
         if not self.is_primary:
             return
+        if self.batcher is not None:
+            for request in list(self._pending_requests.values()):
+                if (
+                    not self.already_executed(request)
+                    and not self._already_ordering(request)
+                    and request.key() not in self.batcher.pending_keys
+                ):
+                    self.batcher.add(request)
+            self.batcher.flush()
+            return
         for request in list(self._pending_requests.values()):
             if not self.already_executed(request):
                 self._propose(request)
 
-    def _find_request(self, dig: bytes) -> Optional[ClientRequest]:
+    def _find_request(self, dig: bytes) -> Optional[Proposal]:
         for slot in self._slots.values():
             if slot.pre_prepare is not None and slot.pre_prepare.digest == dig:
                 return slot.pre_prepare.request

@@ -6,12 +6,91 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.bft.app import StateMachine
-from repro.bft.messages import ClientReply, ClientRequest, StateRequest, StateResponse
+from repro.bft.messages import (
+    ClientReply,
+    ClientRequest,
+    Proposal,
+    StateRequest,
+    StateResponse,
+    requests_of,
+)
 from repro.bft.safety import SafetyRecorder
 from repro.crypto.mac import digest as payload_digest
 from repro.crypto.keys import KeyStore
 from repro.metrics import MetricsRegistry
 from repro.soc.node import Node, NodeState
+
+
+class ExecutionLedger:
+    """Bounded request-dedup state: per-client high-watermark + window.
+
+    The old unbounded ``{(client, rid): True}`` dict grew one entry per
+    executed request forever.  Client rids are monotone, so a per-client
+    **high-watermark** plus a small **out-of-order window** captures the
+    same ``already_executed`` answers in O(clients · window) memory:
+
+    * rid above the watermark       → not executed yet;
+    * rid inside the recent window  → executed iff recorded there;
+    * rid at/below watermark−window → an ancient replay, reported executed
+      (a client never advances its rid past an incomplete request by more
+      than its outstanding window, so nothing that old can still be live).
+
+    The window must exceed the largest client ``max_outstanding`` plus
+    re-ordering slack; the default of 256 dwarfs any configured pipeline.
+    """
+
+    DEFAULT_WINDOW = 256
+
+    def __init__(self, window: int = DEFAULT_WINDOW) -> None:
+        if window < 1:
+            raise ValueError(f"ledger window must be >= 1, got {window}")
+        self.window = window
+        self._high: Dict[str, int] = {}
+        self._recent: Dict[str, set] = {}
+
+    def contains(self, client: str, rid: int) -> bool:
+        """True if (client, rid) was executed (or is an ancient replay)."""
+        high = self._high.get(client)
+        if high is None or rid > high:
+            return False
+        if rid <= high - self.window:
+            return True
+        return rid in self._recent[client]
+
+    def add(self, client: str, rid: int) -> None:
+        """Record an execution.  Amortized O(1): pruning is deferred until
+        the recent set doubles past the window."""
+        recent = self._recent.setdefault(client, set())
+        high = self._high.get(client)
+        if high is None or rid > high:
+            self._high[client] = rid
+            high = rid
+        recent.add(rid)
+        if len(recent) > 2 * self.window:
+            floor = high - self.window
+            self._recent[client] = {r for r in recent if r > floor}
+
+    def export(self) -> Dict[str, Dict[str, Any]]:
+        """Snapshot for state transfer: fully pruned, deterministic."""
+        out: Dict[str, Dict[str, Any]] = {}
+        for client, high in self._high.items():
+            floor = high - self.window
+            recent = sorted(r for r in self._recent.get(client, ()) if r > floor)
+            out[client] = {"high": high, "recent": recent}
+        return out
+
+    @classmethod
+    def restore(cls, data: Dict[str, Dict[str, Any]], window: int = DEFAULT_WINDOW) -> "ExecutionLedger":
+        """Rebuild from :meth:`export` output."""
+        ledger = cls(window)
+        for client, entry in data.items():
+            ledger._high[client] = entry["high"]
+            ledger._recent[client] = set(entry["recent"])
+        return ledger
+
+    def __len__(self) -> int:
+        """Tracked clients (state-transfer cost accounting)."""
+        return len(self._high)
 
 
 @dataclass
@@ -58,20 +137,26 @@ class BaseReplica(Node):
     # Subclasses override: how many matching replies a client must collect.
     reply_quorum = 1
 
+    # Cached replies kept per client; must cover the client's outstanding
+    # pipeline so retransmits of any incomplete rid can be answered.
+    REPLY_CACHE_SIZE = 64
+
     def __init__(self, name: str, group: GroupContext) -> None:
         super().__init__(name)
         self.group = group
         self.app: StateMachine = group.app_factory()
         self.view = 0
         self.last_executed = 0
-        self._pending_execution: Dict[int, Tuple[bytes, ClientRequest]] = {}
-        self._last_reply: Dict[str, ClientReply] = {}
-        self._executed_requests: Dict[Tuple[str, int], bool] = {}
+        self._pending_execution: Dict[int, Tuple[bytes, Proposal]] = {}
+        self._last_reply: Dict[str, Dict[int, ClientReply]] = {}
+        self._executed = ExecutionLedger()
         self._state_offers: Dict[Tuple[int, bytes], Dict[str, Any]] = {}
         self._sync_current_votes: set = set()
         self.syncing = False
         self.commits = 0
         self.state_syncs = 0
+        # Installed by protocols that enable batching (primary side).
+        self.batcher = None
 
     # ------------------------------------------------------------------
     @property
@@ -91,40 +176,59 @@ class BaseReplica(Node):
     # ------------------------------------------------------------------
     # Execution pipeline
     # ------------------------------------------------------------------
-    def commit_operation(self, seq: int, digest: bytes, request: ClientRequest) -> None:
-        """Protocol callback: ``request`` is committed at ``seq``.
+    def commit_operation(self, seq: int, digest: bytes, proposal: Proposal) -> None:
+        """Protocol callback: ``proposal`` is committed at ``seq``.
 
-        Executes in order; out-of-order commits are buffered until the
-        gap closes.  Duplicate commits for an executed seq are ignored.
+        ``proposal`` is a bare request or a :class:`RequestBatch`; a
+        committed batch executes its k requests in order under the one
+        sequence number.  Executes in seq order; out-of-order commits are
+        buffered until the gap closes.  Duplicate commits for an executed
+        seq are ignored.
         """
         if seq <= self.last_executed:
             return
-        self._pending_execution[seq] = (digest, request)
+        self._pending_execution[seq] = (digest, proposal)
         while self.last_executed + 1 in self._pending_execution:
             next_seq = self.last_executed + 1
-            pending_digest, pending_request = self._pending_execution.pop(next_seq)
-            self._execute(next_seq, pending_digest, pending_request)
+            pending_digest, pending_proposal = self._pending_execution.pop(next_seq)
+            self._execute(next_seq, pending_digest, pending_proposal)
         if not self.syncing and len(self._pending_execution) >= 4:
             # A real execution gap (not mere reordering): an operation we
             # never saw committed below us.  Catch up by state transfer.
             self.request_state_sync()
 
-    def _execute(self, seq: int, digest: bytes, request: ClientRequest) -> None:
+    def _execute(self, seq: int, digest: bytes, proposal: Proposal) -> None:
         self.group.safety.record_commit(self.name, seq, digest, self.is_correct)
         self.commits += 1
         self.last_executed = seq
-        if self._executed_requests.get(request.key()):
+        requests = requests_of(proposal)
+        self.group.metrics.counter(f"{self.group.group_id}.committed_ops").inc(
+            len(requests)
+        )
+        for request in requests:
+            self._apply_request(request)
+        if self.batcher is not None:
+            self.batcher.on_committed()
+
+    def _apply_request(self, request: ClientRequest) -> None:
+        if self._executed.contains(*request.key()):
             return  # replayed request re-ordered at a later seq: no-op
-        self._executed_requests[request.key()] = True
+        self._executed.add(*request.key())
         # Apply to the app state *now* so snapshots taken at any instant
         # are consistent with last_executed; only the reply is delayed by
         # the execution cost.
         result = self.app.execute(request.op)
         reply = ClientReply(self.name, request.client, request.rid, result, self.view)
-        self._last_reply[request.client] = reply
+        self._cache_reply(reply)
         self.group.metrics.counter(f"{self.group.group_id}.executions").inc()
         delay = self.charge(self.costs.execute_request)
         self.sim.schedule(delay, self._send_reply, reply)
+
+    def _cache_reply(self, reply: ClientReply) -> None:
+        cache = self._last_reply.setdefault(reply.client, {})
+        cache[reply.rid] = reply
+        while len(cache) > self.REPLY_CACHE_SIZE:
+            del cache[min(cache)]
 
     def _send_reply(self, reply: ClientReply) -> None:
         if self.state.value == "crashed" or self.chip is None:
@@ -135,15 +239,15 @@ class BaseReplica(Node):
 
     def resend_cached_reply(self, request: ClientRequest) -> bool:
         """Resend the cached reply for a retransmitted, executed request."""
-        cached = self._last_reply.get(request.client)
-        if cached is not None and cached.rid == request.rid:
+        cached = self._last_reply.get(request.client, {}).get(request.rid)
+        if cached is not None:
             self.send(request.client, cached, cached.wire_size())
             return True
         return False
 
     def already_executed(self, request: ClientRequest) -> bool:
         """True if the request was executed (dedup check)."""
-        return bool(self._executed_requests.get(request.key()))
+        return self._executed.contains(*request.key())
 
     # ------------------------------------------------------------------
     # State transfer (rejuvenation / protocol switch)
@@ -153,8 +257,8 @@ class BaseReplica(Node):
         return {
             "snapshot": self.app.snapshot(),
             "last_executed": self.last_executed,
-            "executed_requests": dict(self._executed_requests),
-            "last_reply": dict(self._last_reply),
+            "executed_requests": self._executed.export(),
+            "last_reply": {c: dict(replies) for c, replies in self._last_reply.items()},
             "view": self.view,
             "protocol_tag": type(self).__name__,
             "protocol_extra": self.export_protocol_state(),
@@ -170,13 +274,20 @@ class BaseReplica(Node):
         """
         self.app.restore(state["snapshot"])
         self.last_executed = state["last_executed"]
-        self._executed_requests = dict(state["executed_requests"])
-        self._last_reply = dict(state["last_reply"])
+        self._executed = ExecutionLedger.restore(
+            state["executed_requests"], window=self._executed.window
+        )
+        self._last_reply = {c: dict(replies) for c, replies in state["last_reply"].items()}
         self.view = max(self.view, state["view"])
         self._pending_execution = {
             s: v for s, v in self._pending_execution.items() if s > self.last_executed
         }
         self.group.safety.reset_replica(self.name, self.last_executed)
+        if self.batcher is not None:
+            # In-flight accounting is stale relative to the adopted state;
+            # pending requests survive in the protocol's pending map and
+            # re-enter through re-batching.
+            self.batcher.reset()
         if state.get("protocol_tag") == type(self).__name__:
             self.import_protocol_state(state.get("protocol_extra", {}))
         self.on_state_imported()
@@ -202,6 +313,8 @@ class BaseReplica(Node):
         self.state = NodeState.CRASHED
         self.syncing = False
         self.reset_protocol_state()
+        if self.batcher is not None:
+            self.batcher.reset()
 
     def on_recover(self) -> None:
         """After rejuvenation the replica rejoins with its durable state.
@@ -214,6 +327,8 @@ class BaseReplica(Node):
         self._pending_execution.clear()
         self.group.safety.reset_replica(self.name, self.last_executed)
         self.reset_protocol_state()
+        if self.batcher is not None:
+            self.batcher.reset()
         if self.chip is not None:
             self.sim.call_soon(self.request_state_sync)
 

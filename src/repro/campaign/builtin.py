@@ -12,6 +12,9 @@ Three built-ins, graded by size:
 * ``shard-scaling`` — 3 shard counts × 3 seeds of the C2 throughput
   story: the same aggregate client load over 1, 2, then 4 independent
   replica groups (``repro.shard``), committed ops scaling near-linearly.
+* ``consensus-batching`` — batch size × client window sweep of the P2
+  consensus hot path on PBFT and MinBFT: how far request batching and
+  pipelined agreement lift committed ops/sec over the closed loop.
 * ``scaling``    — 20 deliberately I/O-bound selftest trials used to
   measure the executor's parallel speedup.  Simulation trials are
   CPU-bound, so their speedup needs as many cores as workers; this
@@ -88,6 +91,33 @@ def _shard_scaling(n_seeds: int = 3, campaign_seed: int = 0) -> CampaignSpec:
     )
 
 
+def _consensus_batching(n_seeds: int = 3, campaign_seed: int = 0) -> CampaignSpec:
+    return CampaignSpec(
+        name="consensus-batching",
+        runner="consensus_batching",
+        mode="grid",
+        axes={
+            "protocol": ["pbft", "minbft"],
+            "batch_size": [1, 4, 8],
+            "max_outstanding": [1, 16],
+        },
+        base={
+            "duration": 240_000.0,
+            "n_clients": 4,
+            "think_time": 100.0,
+            "max_inflight": 8,
+            # Without a delay bound, only a full batch dispatches — a
+            # closed-loop window smaller than batch_size would stall.
+            "batch_delay": 200.0,
+            "f": 1,
+        },
+        n_seeds=n_seeds,
+        campaign_seed=campaign_seed,
+        trial_timeout=600.0,
+        description="P2 hot path: batch size x client window, pbft + minbft",
+    )
+
+
 def _smoke(n_seeds: int = 4, campaign_seed: int = 0) -> CampaignSpec:
     return CampaignSpec(
         name="smoke",
@@ -121,6 +151,7 @@ BUILTIN_CAMPAIGNS: Dict[str, Callable[..., CampaignSpec]] = {
     "rejuv-apt": _rejuv_apt,
     "scaling": _scaling,
     "shard-scaling": _shard_scaling,
+    "consensus-batching": _consensus_batching,
     "smoke": _smoke,
 }
 

@@ -11,6 +11,8 @@ Built-ins:
 
 * ``throughput`` — protocol/f sweep over :class:`repro.core.ResilientSystem`:
   completed ops, sim-time throughput, latency, safety.
+* ``consensus_batching`` — the P2 hot-path sweep: request batching and
+  pipelining on the primary against open-loop client windows.
 * ``rejuv_apt`` — the rejuvenation-vs-APT survival race of E4, exposing
   period/diversify/relocate and attacker effort as sweep axes.
 * ``selftest`` — a microscopic deterministic workload with optional
@@ -94,6 +96,77 @@ def run_throughput(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
         "mean_latency_ms": mean_lat,
         "p95_latency_ms": p95,
         "replicas": len(system.group.members),
+        "safe": 1 if system.is_safe else 0,
+    }
+
+
+@register_runner("consensus_batching")
+def run_consensus_batching(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    """One batching/pipelining throughput trial (the P2 sweep).
+
+    Sweeps the consensus hot-path knobs: the primary's ``batch_size`` /
+    ``max_inflight`` (see :mod:`repro.bft.batching`) against the clients'
+    ``max_outstanding`` open-loop window.  ``batch_size=1`` with
+    ``max_outstanding=1`` is the classic closed-loop baseline.
+
+    Params: ``protocol``, ``f``, ``batch_size``, ``batch_delay``,
+    ``max_inflight``, ``max_outstanding``, ``duration`` (sim ms),
+    ``n_clients``, ``think_time``, ``warmup``, ``width``, ``height``.
+    """
+    from repro.bft.batching import BatchConfig
+    from repro.bft.client import ClientConfig
+    from repro.bft.group import protocol_config_for
+    from repro.core import OrchestratorConfig, ResilientSystem
+
+    duration = float(params.get("duration", 240_000.0))
+    warmup = float(params.get("warmup", 40_000.0))
+    protocol = params.get("protocol", "minbft")
+    batch_size = int(params.get("batch_size", 1))
+    max_inflight = int(params.get("max_inflight", 0))
+    batch_delay = float(params.get("batch_delay", 0.0))
+    batching = None
+    if batch_size > 1 or max_inflight > 0 or batch_delay > 0:
+        batching = BatchConfig(
+            batch_size=batch_size, batch_delay=batch_delay, max_inflight=max_inflight
+        )
+    system = ResilientSystem(
+        OrchestratorConfig(
+            seed=seed,
+            protocol=protocol,
+            f=int(params.get("f", 1)),
+            width=int(params.get("width", 6)),
+            height=int(params.get("height", 6)),
+            enable_rejuvenation=False,
+            protocol_config=protocol_config_for(protocol, batching=batching),
+        )
+    )
+    clients = [
+        system.add_client(
+            f"c{i}",
+            ClientConfig(
+                think_time=float(params.get("think_time", 100.0)),
+                max_outstanding=int(params.get("max_outstanding", 1)),
+            ),
+        )
+        for i in range(int(params.get("n_clients", 4)))
+    ]
+    system.start(warmup=warmup)
+    start = system.sim.now
+    system.run(duration)
+    ops = sum(c.completions_in(start, system.sim.now) for c in clients)
+    latencies = sorted(
+        lat for c in clients for lat in c.latencies_in(start, system.sim.now)
+    )
+    batch_hist = system.chip.metrics.histogram("sys.batch.size")
+    inflight_gauge = system.chip.metrics.gauge("sys.inflight")
+    return {
+        "ops": ops,
+        "ops_per_sec": ops / (duration / 1000.0),
+        "mean_latency_ms": sum(latencies) / len(latencies) if latencies else 0.0,
+        "p95_latency_ms": latencies[int(0.95 * (len(latencies) - 1))] if latencies else 0.0,
+        "committed_ops": system.chip.metrics.counter("sys.committed_ops").value,
+        "mean_batch_size": batch_hist.mean(),
+        "peak_inflight": inflight_gauge.peak,
         "safe": 1 if system.is_safe else 0,
     }
 

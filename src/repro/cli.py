@@ -47,6 +47,7 @@ EXPERIMENTS = [
     ("C1", "campaign engine: sweep-scale evaluation", "bench_campaign_smoke.py"),
     ("C2", "SII: sharding scales throughput across replica groups", "bench_c2_shard_scaling.py"),
     ("P1", "perf: NoC express path + kernel hot-path overhaul", "bench_p1_hotpath.py"),
+    ("P2", "perf: consensus batching + pipelined agreement", "bench_p2_consensus.py"),
 ]
 
 

@@ -10,7 +10,7 @@ complete architecture of the paper in one call.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Any, Callable, List, Optional
 
 from repro.bft.app import KeyValueStore, StateMachine
 from repro.bft.client import ClientConfig, ClientNode
@@ -43,6 +43,9 @@ class OrchestratorConfig:
     enable_rejuvenation: bool = True
     enable_adaptation: bool = False
     functionality: str = "service"
+    # Family-specific protocol config (e.g. PbftConfig/MinBftConfig with
+    # a BatchConfig); None uses the family defaults.
+    protocol_config: Optional[Any] = None
 
 
 class ResilientSystem:
@@ -66,6 +69,7 @@ class ResilientSystem:
                 f=cfg.f,
                 group_id="sys",
                 app_factory=cfg.app_factory,
+                protocol_config=cfg.protocol_config,
             )
         )
         self.clients: List[ClientNode] = []

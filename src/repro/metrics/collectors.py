@@ -28,22 +28,35 @@ class Counter:
 
 
 class Gauge:
-    """A last-value-wins instantaneous reading."""
+    """A last-value-wins instantaneous reading with a high-water mark.
+
+    ``peak`` tracks the largest value ever set — e.g. the deepest a
+    primary's in-flight agreement window got during a run, which the
+    instantaneous value (usually back to 0 by measurement time) hides.
+    """
 
     def __init__(self, name: str, initial: float = 0.0) -> None:
         self.name = name
         self.value = initial
+        self.peak = initial
 
     def set(self, value: float) -> None:
         """Record the new instantaneous value."""
         self.value = value
+        if value > self.peak:
+            self.peak = value
 
     def add(self, delta: float) -> None:
         """Adjust the value by ``delta`` (e.g. active-replica count)."""
-        self.value += delta
+        self.set(self.value + delta)
+
+    def reset(self) -> None:
+        """Zero the reading and its high-water mark."""
+        self.value = 0.0
+        self.peak = 0.0
 
     def __repr__(self) -> str:  # pragma: no cover
-        return f"<Gauge {self.name}={self.value}>"
+        return f"<Gauge {self.name}={self.value} peak={self.peak}>"
 
 
 class Histogram:

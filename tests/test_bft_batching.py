@@ -1,0 +1,329 @@
+"""Consensus hot path: batching, pipelining, and open-loop clients.
+
+Covers the P2 machinery end-to-end:
+
+* batch_size=1 is *exactly* the legacy protocol (event-identical runs);
+* real batches order many requests per agreement round, converge, and
+  survive primary crashes / view changes;
+* open-loop clients keep a window outstanding and complete everything;
+* the bounded execution ledger keeps replay semantics (satellite 1);
+* checkpoint log truncation composed with a view change neither
+  resurrects truncated slots nor re-executes operations (satellite 3).
+"""
+
+import pytest
+
+from repro.bft import ClientConfig, ClientNode, GroupConfig, build_group
+from repro.bft.batching import BatchAccumulator, BatchConfig, resolve_batching
+from repro.bft.group import protocol_config_for
+from repro.bft.messages import ClientRequest, RequestBatch, proposal_digest, requests_of
+from repro.bft.pbft import PbftConfig
+from repro.bft.replica import ExecutionLedger
+from repro.crypto.mac import digest
+from repro.sim import Simulator
+from repro.soc import Chip, ChipConfig
+
+ALL_PROTOCOLS = ["pbft", "minbft", "cft", "passive"]
+LEADER_PROTOCOLS = ["pbft", "minbft", "cft"]
+
+
+def build(protocol, f=1, seed=1, width=5, height=5, client_cfg=None, protocol_config=None):
+    sim = Simulator(seed=seed)
+    chip = Chip(sim, ChipConfig(width=width, height=height))
+    group = build_group(
+        chip,
+        GroupConfig(protocol=protocol, f=f, group_id="g", protocol_config=protocol_config),
+    )
+    client = ClientNode("c0", client_cfg or ClientConfig(think_time=50, timeout=20_000))
+    group.attach_client(client)
+    return sim, chip, group, client
+
+
+def run_workload(protocol, protocol_config=None, max_outstanding=1, n_requests=30,
+                 seed=1, until=1_500_000):
+    cfg = ClientConfig(
+        think_time=50, timeout=20_000,
+        max_requests=n_requests, max_outstanding=max_outstanding,
+    )
+    sim, chip, group, client = build(
+        protocol, seed=seed, client_cfg=cfg, protocol_config=protocol_config
+    )
+    client.start()
+    sim.run(until=until)
+    return sim, chip, group, client
+
+
+# ----------------------------------------------------------------------
+# Exactness: batch_size=1 through the machinery == the legacy code path
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("protocol", ALL_PROTOCOLS)
+def test_batch_size_one_is_event_identical(protocol):
+    legacy = run_workload(protocol, protocol_config=None)
+    forced = run_workload(
+        protocol, protocol_config=protocol_config_for(protocol, BatchConfig(batch_size=1))
+    )
+    sim_a, _, group_a, client_a = legacy
+    sim_b, _, group_b, client_b = forced
+    assert client_a.completed == client_b.completed == 30
+    assert sim_a.now == sim_b.now
+    assert sim_a.events_fired == sim_b.events_fired
+    assert client_a.latencies == client_b.latencies
+    digests_a = [r.app.state_digest() for r in group_a.correct_replicas()]
+    digests_b = [r.app.state_digest() for r in group_b.correct_replicas()]
+    assert digests_a == digests_b
+
+
+def test_env_override_parses_and_disables(monkeypatch):
+    monkeypatch.setenv("REPRO_CONSENSUS_BATCH", "8x16@200")
+    cfg = BatchConfig.from_env()
+    assert (cfg.batch_size, cfg.max_inflight, cfg.batch_delay) == (8, 16, 200.0)
+    monkeypatch.setenv("REPRO_CONSENSUS_BATCH", "0")
+    assert BatchConfig.from_env() is None
+    monkeypatch.delenv("REPRO_CONSENSUS_BATCH")
+    assert BatchConfig.from_env() is None
+    # An explicit protocol config wins over the environment.
+    monkeypatch.setenv("REPRO_CONSENSUS_BATCH", "4")
+    explicit = BatchConfig(batch_size=2)
+    assert resolve_batching(explicit) is explicit
+    assert resolve_batching(None).batch_size == 4
+
+
+def test_batch_config_validation():
+    with pytest.raises(ValueError):
+        BatchConfig(batch_size=0)
+    with pytest.raises(ValueError):
+        BatchConfig(batch_delay=-1)
+    with pytest.raises(ValueError):
+        ClientConfig(max_outstanding=0)
+    with pytest.raises(ValueError):
+        RequestBatch((ClientRequest("c", 0, "op"),))  # batches carry >= 2
+
+
+def test_proposal_digest_matches_bare_request_digest():
+    request = ClientRequest("c0", 3, ("put", "k", 1))
+    assert proposal_digest(request) == digest((request.client, request.rid, request.op))
+    batch = RequestBatch((request, ClientRequest("c1", 0, ("get", "k"))))
+    assert proposal_digest(batch) != proposal_digest(request)
+    assert requests_of(batch) == batch.requests
+    assert requests_of(request) == (request,)
+
+
+# ----------------------------------------------------------------------
+# Real batching: correctness and convergence under load
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("protocol", ALL_PROTOCOLS)
+def test_batched_open_loop_executes_everything(protocol):
+    batching = BatchConfig(batch_size=4, batch_delay=100, max_inflight=4)
+    sim, chip, group, client = run_workload(
+        protocol,
+        protocol_config=protocol_config_for(protocol, batching),
+        max_outstanding=8,
+        n_requests=60,
+    )
+    assert client.completed == 60
+    assert group.safety.is_safe
+    digests = {r.app.state_digest() for r in group.correct_replicas()}
+    assert len(digests) == 1
+    # The batch histogram saw real batches on the primary.
+    hist = chip.metrics.histogram("g.batch.size")
+    assert hist.count > 0
+    assert hist.max() > 1
+    # committed_ops counts operations, not rounds: every replica applied
+    # each of the 60 ops exactly once.
+    n_correct = len(group.correct_replicas())
+    assert chip.metrics.counter("g.committed_ops").value == 60 * n_correct
+    assert chip.metrics.counter("g.executions").value == 60 * n_correct
+
+
+def test_batching_fewer_rounds_than_ops():
+    batching = BatchConfig(batch_size=8, batch_delay=100, max_inflight=4)
+    sim, chip, group, client = run_workload(
+        "minbft",
+        protocol_config=protocol_config_for("minbft", batching),
+        max_outstanding=16,
+        n_requests=64,
+    )
+    assert client.completed == 64
+    # Sequence numbers advanced far less than one per operation.
+    primary = group.replicas[group.members[0]]
+    assert primary.last_executed < 40
+    assert chip.metrics.gauge("g.inflight").peak >= 2  # pipelined
+    assert chip.metrics.gauge("g.inflight").value == 0  # drained at the end
+
+
+def test_open_loop_client_is_faster_than_closed_loop():
+    closed = run_workload("minbft", n_requests=40, until=3_000_000)
+    open_ = run_workload("minbft", n_requests=40, max_outstanding=8, until=3_000_000)
+    assert closed[3].completed == open_[3].completed == 40
+    # Same work, wider window: the open loop finishes strictly earlier.
+    assert open_[3]._completion_times[-1] < closed[3]._completion_times[-1]
+
+
+# ----------------------------------------------------------------------
+# Faults under batched load
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("protocol", LEADER_PROTOCOLS)
+def test_batched_primary_crash_recovers_liveness(protocol):
+    batching = BatchConfig(batch_size=4, batch_delay=100, max_inflight=4)
+    cfg = ClientConfig(think_time=50, timeout=20_000, max_outstanding=8)
+    sim, chip, group, client = build(
+        protocol, client_cfg=cfg, protocol_config=protocol_config_for(protocol, batching)
+    )
+    client.start()
+    sim.schedule_at(40_000, group.crash, group.members[0])
+    sim.run(until=3_000_000)
+    assert client.completed > 100
+    assert group.safety.is_safe
+    client.stop()
+    sim.run(until=sim.now + 500_000)  # drain in-flight rounds
+    digests = {r.app.state_digest() for r in group.correct_replicas()}
+    assert len(digests) == 1
+
+
+def test_batched_backup_recovery_catches_up():
+    batching = BatchConfig(batch_size=4, batch_delay=100, max_inflight=4)
+    cfg = ClientConfig(think_time=50, timeout=20_000, max_outstanding=8)
+    sim, chip, group, client = build(
+        "minbft", client_cfg=cfg, protocol_config=protocol_config_for("minbft", batching)
+    )
+    client.start()
+    victim = group.members[1]
+    sim.schedule_at(40_000, group.crash, victim)
+    sim.schedule_at(120_000, group.replicas[victim].recover)
+    sim.run(until=1_200_000)
+    client.stop()
+    sim.run(until=sim.now + 400_000)
+    assert group.safety.is_safe
+    recovered = group.replicas[victim]
+    primary = group.replicas[group.members[0]]
+    assert recovered.last_executed == primary.last_executed
+    assert recovered.app.state_digest() == primary.app.state_digest()
+
+
+# ----------------------------------------------------------------------
+# Satellite 3: checkpoint log truncation x view change
+# ----------------------------------------------------------------------
+def test_pbft_truncated_slots_stay_dead_across_view_change():
+    config = PbftConfig(checkpoint_interval=8)
+    cfg = ClientConfig(think_time=50, timeout=20_000)
+    sim, chip, group, client = build("pbft", client_cfg=cfg, protocol_config=config)
+    client.start()
+    sim.schedule_at(120_000, group.crash, group.members[0])  # force a view change
+    sim.run(until=2_000_000)
+    assert client.completed > 60  # checkpoints fired both sides of the switch
+    assert group.safety.is_safe
+    for replica in group.correct_replicas():
+        assert replica.view > 0  # the view change actually happened
+        assert replica._stable_seq > 0  # truncation actually happened
+        # No slot at or below the stable checkpoint was resurrected by
+        # the new view's re-proposals.
+        assert all(seq > replica._stable_seq for (_, seq) in replica._slots)
+    # No re-execution: each op applied once per live correct replica.
+    executions = chip.metrics.counter("g.executions").value
+    assert executions <= client.completed * len(group.members)
+
+
+def test_pbft_batched_checkpoint_view_change_consistent():
+    config = PbftConfig(
+        checkpoint_interval=8,
+        batching=BatchConfig(batch_size=4, batch_delay=100, max_inflight=4),
+    )
+    cfg = ClientConfig(think_time=50, timeout=20_000, max_outstanding=8)
+    sim, chip, group, client = build("pbft", client_cfg=cfg, protocol_config=config)
+    client.start()
+    sim.schedule_at(120_000, group.crash, group.members[0])
+    sim.run(until=2_500_000)
+    assert client.completed > 60
+    assert group.safety.is_safe
+    digests = {r.app.state_digest() for r in group.correct_replicas()}
+    assert len(digests) == 1
+    for replica in group.correct_replicas():
+        assert all(seq > replica._stable_seq for (_, seq) in replica._slots)
+
+
+# ----------------------------------------------------------------------
+# Satellite 1: the bounded execution ledger
+# ----------------------------------------------------------------------
+def test_execution_ledger_basic_replay_semantics():
+    ledger = ExecutionLedger(window=8)
+    assert not ledger.contains("c0", 0)
+    ledger.add("c0", 0)
+    assert ledger.contains("c0", 0)
+    assert not ledger.contains("c0", 1)
+    assert not ledger.contains("c1", 0)
+    assert len(ledger) == 1  # one tracked client
+
+
+def test_execution_ledger_out_of_order_window():
+    ledger = ExecutionLedger(window=8)
+    for rid in (5, 3, 7, 4, 6):
+        ledger.add("c0", rid)
+    for rid in (3, 4, 5, 6, 7):
+        assert ledger.contains("c0", rid)
+    assert not ledger.contains("c0", 2)  # inside the window, never executed
+    assert not ledger.contains("c0", 8)
+
+
+def test_execution_ledger_ancient_rids_report_executed():
+    ledger = ExecutionLedger(window=8)
+    for rid in range(100):
+        ledger.add("c0", rid)
+    # Far below the high-watermark window: treated as executed (replay).
+    assert ledger.contains("c0", 0)
+    assert ledger.contains("c0", 91)
+    assert ledger.contains("c0", 99)
+    assert not ledger.contains("c0", 100)
+    # The recent set is pruned: bounded by 2x the window, not by history.
+    assert len(ledger._recent["c0"]) <= 2 * ledger.window
+
+
+def test_execution_ledger_export_restore_roundtrip():
+    ledger = ExecutionLedger(window=8)
+    for rid in (0, 1, 2, 5):
+        ledger.add("c0", rid)
+    ledger.add("c1", 9)
+    restored = ExecutionLedger.restore(ledger.export(), window=8)
+    for client, rid in (("c0", 0), ("c0", 5), ("c1", 9)):
+        assert restored.contains(client, rid)
+    assert not restored.contains("c0", 3)
+    assert not restored.contains("c0", 4)
+    assert not restored.contains("c1", 8)
+
+
+def test_replica_reply_cache_bounded_per_client():
+    sim, chip, group, client = run_workload("minbft", n_requests=100, max_outstanding=4,
+                                            until=3_000_000)
+    assert client.completed == 100
+    primary = group.replicas[group.members[0]]
+    cache = primary._last_reply["c0"]
+    assert len(cache) <= primary.REPLY_CACHE_SIZE
+    assert max(cache) == 99  # the newest replies are retained
+    # The ledger still answers replay checks for every historical rid.
+    for rid in (0, 50, 99):
+        assert primary.already_executed(ClientRequest("c0", rid, ("get", "k0")))
+
+
+# ----------------------------------------------------------------------
+# Accumulator unit behaviour
+# ----------------------------------------------------------------------
+def test_accumulator_pools_under_full_window():
+    """While the in-flight window is full, requests pool and later cuts
+    are fuller — the property the P2 speedup rides on."""
+    sim, chip, group, _ = build("minbft")
+    primary = group.replicas[group.members[0]]
+    proposed = []
+    acc = BatchAccumulator(
+        primary, BatchConfig(batch_size=3, max_inflight=1),
+        lambda proposal: proposed.append(proposal) or True,
+    )
+    for rid in range(7):
+        acc.add(ClientRequest("cx", rid, ("put", "k", rid)))
+    # Window of 1: the first cut went out (partial is impossible here —
+    # size bound met at rid=2), the rest pooled.
+    assert len(proposed) == 1
+    assert len(acc._open) == 4
+    acc.on_committed()  # frees the slot: next cut is a full batch
+    assert len(proposed) == 2
+    assert len(requests_of(proposed[1])) == 3
+    acc.reset()
+    assert acc.inflight == 0 and not acc._open and not acc.pending_keys
