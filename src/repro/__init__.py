@@ -15,6 +15,8 @@ deterministic discrete-event simulation:
   (:mod:`repro.bft`),
 * benign and malicious fault models — aging, bitflips, trojans,
   Byzantine strategies, APTs (:mod:`repro.faults`),
+* statistical fault-injection campaigns with outcome classification
+  and dependability reporting (:mod:`repro.faultspace`),
 * consensual reconfiguration (:mod:`repro.recon`),
 * the paper's resilience orchestration: replication, diversity,
   rejuvenation, adaptation, hybridization (:mod:`repro.core`), and
@@ -42,6 +44,7 @@ __all__ = [
     "crypto",
     "fabric",
     "faults",
+    "faultspace",
     "hybrids",
     "metrics",
     "noc",

@@ -118,6 +118,28 @@ def _consensus_batching(n_seeds: int = 3, campaign_seed: int = 0) -> CampaignSpe
     )
 
 
+def _faultspace(n_seeds: int = 12, campaign_seed: int = 0) -> CampaignSpec:
+    """Fixed-size fault-space sweep (no early stopping).
+
+    ``n_seeds`` is the per-stratum draw budget — each seed repetition of
+    a stratum point is one sampled injection.  This is the fixed-size
+    baseline the sequential ``repro faultspace`` driver is measured
+    against; run it through ``campaign run`` for an exhaustive sweep at
+    a fixed budget, or use the CLI driver for CI-driven early stopping.
+    """
+    from repro.faultspace.driver import FaultspaceConfig, build_spec
+
+    return build_spec(
+        FaultspaceConfig(
+            max_per_stratum=n_seeds,
+            min_per_stratum=min(n_seeds, 8),
+            campaign_seed=campaign_seed,
+            duration=45_000.0,
+            warmup=40_000.0,
+        )
+    )
+
+
 def _smoke(n_seeds: int = 4, campaign_seed: int = 0) -> CampaignSpec:
     return CampaignSpec(
         name="smoke",
@@ -152,6 +174,7 @@ BUILTIN_CAMPAIGNS: Dict[str, Callable[..., CampaignSpec]] = {
     "scaling": _scaling,
     "shard-scaling": _shard_scaling,
     "consensus-batching": _consensus_batching,
+    "faultspace": _faultspace,
     "smoke": _smoke,
 }
 

@@ -32,7 +32,7 @@ from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Any, Callable, Deque, Dict, List, Optional
+from typing import Any, Callable, Deque, Dict, List, Optional, Set
 
 from repro.campaign.runners import get_runner
 from repro.campaign.spec import CampaignSpec, TrialSpec
@@ -134,17 +134,26 @@ class CampaignExecutor:
         self.progress = progress
 
     # ------------------------------------------------------------------
-    def run(self, limit: Optional[int] = None) -> CampaignRunStats:
+    def run(
+        self,
+        limit: Optional[int] = None,
+        select: Optional[Set[str]] = None,
+    ) -> CampaignRunStats:
         """Execute pending trials; returns run statistics.
 
         ``limit`` caps how many pending trials this call attempts (used
         to exercise interruption/resume paths deterministically); the
-        rest stay pending for a later run.
+        rest stay pending for a later run.  ``select`` restricts the run
+        to the named trial IDs — sequential drivers (the fault-space
+        campaign) use it to release trials in rounds while keeping the
+        full-budget spec, and with it the trial identities, fixed.
         """
         started = time.perf_counter()
         trials = self.spec.trials()
         completed = self.store.completed_ids()
         pending = [t for t in trials if t.trial_id not in completed]
+        if select is not None:
+            pending = [t for t in pending if t.trial_id in select]
         if limit is not None:
             pending = pending[:limit]
         stats = CampaignRunStats(

@@ -304,6 +304,22 @@ def run_rejuv_apt(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
     }
 
 
+@register_runner("faultspace")
+def run_faultspace(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    """One sampled fault injection, classified (the C3 campaign).
+
+    Params: ``system`` (resilient|sharded), ``stratum`` (a stratum key
+    or ``uniform``), ``protocol``, ``f``, ``width``, ``height``,
+    ``duration``, ``warmup``, ``n_clients``, ``think_time``,
+    ``rejuvenation``, ``rejuvenation_period``, ``n_shards``.  The
+    concrete fault point is drawn inside the trial from its derived
+    seed; see :mod:`repro.faultspace.classify`.
+    """
+    from repro.faultspace.classify import run_faultspace_trial
+
+    return run_faultspace_trial(params, seed)
+
+
 @register_runner("selftest")
 def run_selftest(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
     """A microscopic trial for engine tests and the CI smoke campaign.

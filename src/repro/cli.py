@@ -19,6 +19,12 @@ Commands
     The sweep-scale evaluation engine (:mod:`repro.campaign`): run
     built-in campaigns in parallel, resume interrupted ones, and
     aggregate results across seeds.
+``faultspace``
+    The C3 statistical fault-injection campaign (:mod:`repro.faultspace`):
+    sample the chip's fault space per stratum, classify every injection
+    into {masked, SDC, detected-recovered, unavailable}, stop each
+    stratum once its confidence interval is tight enough, and write the
+    byte-stable dependability summary.
 """
 
 from __future__ import annotations
@@ -46,6 +52,7 @@ EXPERIMENTS = [
     ("A2", "ablation: severity-detector tuning", "bench_a2_severity_ablation.py"),
     ("C1", "campaign engine: sweep-scale evaluation", "bench_campaign_smoke.py"),
     ("C2", "SII: sharding scales throughput across replica groups", "bench_c2_shard_scaling.py"),
+    ("C3", "statistical fault injection: outcome CIs + MTTF bounds", "bench_c3_faultspace.py"),
     ("P1", "perf: NoC express path + kernel hot-path overhaul", "bench_p1_hotpath.py"),
     ("P2", "perf: consensus batching + pipelined agreement", "bench_p2_consensus.py"),
 ]
@@ -197,6 +204,45 @@ def cmd_experiments(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_faultspace(args: argparse.Namespace) -> int:
+    """Run the C3 statistical fault-injection campaign."""
+    from repro.faultspace import FaultspaceConfig, SequentialCampaign, render_report
+
+    try:
+        cfg = FaultspaceConfig(
+            name=args.name,
+            system=args.system,
+            protocol=args.protocol,
+            f=args.f,
+            strata=args.strata or None,
+            include_uniform=args.uniform,
+            max_per_stratum=args.max_per_stratum,
+            min_per_stratum=args.min_per_stratum,
+            round_size=args.round_size,
+            target_half_width=args.target_half_width,
+            confidence=args.confidence,
+            ci_method=args.method,
+            early_stop=not args.no_early_stop,
+            duration=args.duration,
+            warmup=args.warmup,
+            campaign_seed=args.campaign_seed,
+            workers=args.workers,
+        )
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    progress = None if args.quiet else print
+    campaign = SequentialCampaign(cfg, args.out, progress=progress, fresh=args.fresh)
+    summary = campaign.run()
+    print()
+    print(render_report(summary))
+    print(
+        f"results: {campaign.store.results_path}  "
+        f"summary: {campaign.store.summary_path}"
+    )
+    return 0 if summary["overall"]["outcomes"]["sdc"]["count"] == 0 else 1
+
+
 # ----------------------------------------------------------------------
 # campaign subcommands
 # ----------------------------------------------------------------------
@@ -343,6 +389,51 @@ def build_parser() -> argparse.ArgumentParser:
         help="check the index against benchmarks/ and fail on drift",
     )
     experiments.set_defaults(fn=cmd_experiments)
+
+    faultspace = sub.add_parser(
+        "faultspace",
+        help="run the C3 statistical fault-injection campaign",
+    )
+    faultspace.add_argument("--name", default="faultspace",
+                            help="campaign name (directory under --out)")
+    faultspace.add_argument("--system", choices=["resilient", "sharded"],
+                            default="resilient")
+    faultspace.add_argument("--protocol",
+                            choices=["minbft", "pbft", "cft", "passive"],
+                            default="minbft")
+    faultspace.add_argument("--f", type=int, default=1,
+                            help="fault threshold per replica group")
+    faultspace.add_argument("--strata", nargs="*", default=None, metavar="KEY",
+                            help="restrict to these strata "
+                            "(e.g. node:crash link:link_fail)")
+    faultspace.add_argument("--uniform", action="store_true",
+                            help="add the population-weighted uniform estimator")
+    faultspace.add_argument("--max-per-stratum", type=int, default=40,
+                            help="per-stratum injection budget")
+    faultspace.add_argument("--min-per-stratum", type=int, default=8,
+                            help="floor before a stratum may stop early")
+    faultspace.add_argument("--round-size", type=int, default=4,
+                            help="trials released per stratum per round")
+    faultspace.add_argument("--target-half-width", type=float, default=0.15,
+                            help="CI half-width at which a stratum closes")
+    faultspace.add_argument("--confidence", type=float, default=0.95)
+    faultspace.add_argument("--method", choices=["wilson", "clopper-pearson"],
+                            default="wilson", help="binomial interval method")
+    faultspace.add_argument("--no-early-stop", action="store_true",
+                            help="always spend the full per-stratum budget")
+    faultspace.add_argument("--duration", type=float, default=60_000.0,
+                            help="post-warmup observation horizon (sim ms)")
+    faultspace.add_argument("--warmup", type=float, default=40_000.0)
+    faultspace.add_argument("--campaign-seed", type=int, default=0)
+    faultspace.add_argument("--workers", type=int, default=1,
+                            help="parallel worker processes (1 = inline serial)")
+    faultspace.add_argument("--out", default="campaigns",
+                            help="root directory for campaign results")
+    faultspace.add_argument("--fresh", action="store_true",
+                            help="discard previous results for this campaign")
+    faultspace.add_argument("--quiet", action="store_true",
+                            help="suppress per-trial progress lines")
+    faultspace.set_defaults(fn=cmd_faultspace)
 
     campaign = sub.add_parser(
         "campaign", help="run sweep-scale experiment campaigns"

@@ -43,6 +43,15 @@ class RejuvenationPolicy:
     diversify: bool = True
     relocate: bool = True
     detector_mask: float = 50_000.0
+    #: Proactive recovery: when a group member is crashed or compromised,
+    #: the next tick rejuvenates *it* instead of the round-robin target —
+    #: taking a correct replica down while another is already faulty
+    #: would drop the group below its liveness quorum (n - f), and a
+    #: freshly rejuvenated replica could not even complete state sync
+    #: (f + 1 matching peer offers) against a single live peer.  Off by
+    #: default to preserve the pure round-robin schedule the §II.C
+    #: experiments race against APT speed.
+    heal_first: bool = False
 
     def __post_init__(self) -> None:
         if self.period <= 0:
@@ -108,6 +117,24 @@ class RejuvenationScheduler:
         members = self.group.members
         if not members:
             return
+        if self.policy.heal_first:
+            unhealthy = [
+                m
+                for m in members
+                if not (
+                    self.group.chip.has_node(m) and self.group.replicas[m].is_correct
+                )
+            ]
+            if unhealthy:
+                # Heal the faulty member; if it cannot be healed (evicted
+                # from the chip, region dead) defer the proactive pass —
+                # rejuvenating a *correct* replica now would take the
+                # group below quorum.  The cursor does not advance, so
+                # the round-robin order resumes where it left off.
+                healable = [m for m in unhealthy if self.group.chip.has_node(m)]
+                if healable:
+                    self._rejuvenate(healable[0])
+                return
         name = members[self._cursor % len(members)]
         self._cursor += 1
         self._rejuvenate(name)

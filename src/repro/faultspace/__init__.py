@@ -1,0 +1,61 @@
+"""Statistical fault-injection campaigns with dependability reporting.
+
+The C3 subsystem: turn the simulator into a statistical fault-injection
+rig in the DAVOS tradition.  Instead of a handful of hand-picked
+injections per bench, a campaign *samples* the chip's fault space —
+(layer × component × time × fault class) — runs one trial per sampled
+point, classifies every outcome into exactly one of
+{masked, SDC, detected-recovered, unavailable}, and reports
+dependability metrics (outcome proportions with confidence intervals,
+availability, MTTF bounds, per-ingredient coverage) instead of
+anecdotes.
+
+* :mod:`repro.faultspace.space` — the enumerable fault-space model and
+  its stratified/uniform samplers (seeded, fully reproducible).
+* :mod:`repro.faultspace.classify` — one injected trial, classified.
+* :mod:`repro.faultspace.driver` — the sequential campaign driver with
+  CI-driven early stopping per stratum, on top of the generic
+  :mod:`repro.campaign` engine (process pool, resumable store).
+* :mod:`repro.faultspace.report` — the byte-stable dependability
+  summary and its text rendering.
+"""
+
+from repro.faultspace.classify import DETECTION_COUNTERS, OUTCOMES, run_faultspace_trial
+from repro.faultspace.driver import (
+    FaultspaceConfig,
+    SequentialCampaign,
+    StratumStatus,
+    build_spec,
+)
+from repro.faultspace.report import build_summary, render_report, write_outputs
+from repro.faultspace.space import (
+    STRATA,
+    STRATUM_KEYS,
+    UNIFORM,
+    FaultPoint,
+    FaultSpace,
+    Stratum,
+    default_strata,
+    stratum_by_key,
+)
+
+__all__ = [
+    "DETECTION_COUNTERS",
+    "FaultPoint",
+    "FaultSpace",
+    "FaultspaceConfig",
+    "OUTCOMES",
+    "STRATA",
+    "STRATUM_KEYS",
+    "SequentialCampaign",
+    "Stratum",
+    "StratumStatus",
+    "UNIFORM",
+    "build_spec",
+    "build_summary",
+    "default_strata",
+    "render_report",
+    "run_faultspace_trial",
+    "stratum_by_key",
+    "write_outputs",
+]

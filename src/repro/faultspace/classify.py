@@ -1,0 +1,436 @@
+"""One injected trial, classified into exactly one outcome bucket.
+
+:func:`run_faultspace_trial` is the body of the ``faultspace`` campaign
+runner: build a system (``ResilientSystem`` or ``ShardedSystem``), warm
+it up, sample one fault point from the trial's own seeded stream, inject
+it through :class:`~repro.faults.injector.FaultInjector`, run out the
+observation horizon, and bucket the result:
+
+* **sdc** — silent data corruption: the SMR safety recorder saw replicas
+  commit divergent state.  The one outcome the architecture must never
+  produce within its fault budget.
+* **unavailable** — the service stopped: no client completions in the
+  tail window, a group below its liveness quorum, or a shard still
+  degraded at the horizon.
+* **detected_recovered** — the service survived *and* a resilience
+  mechanism visibly acted: a detection counter moved (view changes,
+  elections, promotions, USIG halts, rejected UIs, bad digests, protocol
+  switches, shard degradations), the severity detector escalated, or the
+  victim component was restored by rejuvenation.
+* **masked** — the fault had no visible effect: redundancy absorbed it
+  silently (spare replicas, NoC rerouting, ECC correction).
+
+Precedence is sdc > unavailable > detected_recovered > masked, evaluated
+as an if/elif chain — every trial lands in exactly one bucket, which is
+the accounting invariant the report and bench cross-check against the
+injector's counters.
+
+Masked/recovered outcomes are additionally attributed to the resilience
+ingredient that plausibly handled them: register faults to the
+**hybrid** (ECC/TMR gating), restored victims to **rejuvenation**, and
+everything else — spare-replica masking and NoC rerouting — to the
+**replication** umbrella.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+#: Outcome buckets in report order.  ``outcome_index`` in the trial
+#: metrics indexes into this tuple.
+OUTCOMES: Tuple[str, ...] = ("masked", "sdc", "detected_recovered", "unavailable")
+
+#: Per-group metric counters whose movement counts as "detection".
+DETECTION_COUNTERS: Tuple[str, ...] = (
+    "view_changes",
+    "elections",
+    "promotions",
+    "usig_halted",
+    "ui_rejected",
+    "bad_digest",
+    "protocol_switches",
+)
+
+#: Availability is the fraction of these equal post-injection sub-windows
+#: that saw at least one client completion.
+AVAILABILITY_WINDOWS = 8
+
+#: Injection window as fractions of the observation horizon: early enough
+#: that at least half the horizon observes the aftermath.
+INJECT_WINDOW = (0.05, 0.5)
+
+#: Default failover timeout (ms) injected trials configure on the
+#: protocol.  The stock 40 s view/election timeouts are longer than a
+#: trial's post-injection horizon, so primary-crash recovery would never
+#: be *observable* in-trial; the campaign measures the mechanisms, not
+#: the production timer calibration.
+FAILOVER_TIMEOUT = 8_000.0
+
+
+def _failover_protocol_config(protocol: str, timeout: float):
+    """Protocol config with its failover timer scaled to the trial.
+
+    Each family names its suspicion timer differently; everything else
+    stays at the family default.
+    """
+    from repro.bft.group import protocol_config_for
+
+    knob = {
+        "minbft": "view_timeout",
+        "pbft": "view_timeout",
+        "cft": "election_timeout",
+        "passive": "detect_timeout",
+    }.get(protocol)
+    if knob is None:
+        return None
+    return protocol_config_for(protocol, **{knob: timeout})
+
+
+class _ResilientTarget:
+    """Adapter: one replica group behind closed-loop clients."""
+
+    kind = "resilient"
+
+    def __init__(self, params: Dict[str, Any], seed: int) -> None:
+        from repro.bft.client import ClientConfig
+        from repro.core import OrchestratorConfig, ResilientSystem
+        from repro.core.rejuvenation import RejuvenationPolicy
+
+        enable_rejuv = bool(params.get("rejuvenation", True))
+        policy = None
+        if enable_rejuv:
+            # heal_first: the campaign measures the architecture *with*
+            # proactive recovery — a crashed victim is restored at the
+            # next tick instead of waiting out the round-robin cycle.
+            policy = RejuvenationPolicy(
+                period=float(params.get("rejuvenation_period", 20_000.0)),
+                heal_first=True,
+            )
+        protocol = params.get("protocol", "minbft")
+        self.system = ResilientSystem(
+            OrchestratorConfig(
+                seed=seed,
+                protocol=protocol,
+                f=int(params.get("f", 1)),
+                width=int(params.get("width", 6)),
+                height=int(params.get("height", 6)),
+                enable_rejuvenation=enable_rejuv,
+                rejuvenation=policy,
+                protocol_config=_failover_protocol_config(
+                    protocol,
+                    float(params.get("failover_timeout", FAILOVER_TIMEOUT)),
+                ),
+            )
+        )
+        self.clients = [
+            self.system.add_client(
+                f"c{i}",
+                ClientConfig(
+                    think_time=float(params.get("think_time", 200.0)),
+                    # Short enough that a closed-loop client whose request
+                    # died with the primary retransmits within the trial
+                    # horizon instead of sitting out the observation.
+                    timeout=float(params.get("client_timeout", 3_000.0)),
+                ),
+            )
+            for i in range(int(params.get("n_clients", 2)))
+        ]
+        self.sim = self.system.sim
+        self.chip = self.system.chip
+        self.groups = [self.system.group]
+        self.detectors = [self.system.detector]
+
+    def start(self, warmup: float) -> None:
+        self.system.start(warmup=warmup)
+
+    def run(self, duration: float) -> None:
+        self.system.run(duration)
+
+    @property
+    def is_safe(self) -> bool:
+        return self.system.is_safe
+
+    def completions_in(self, start: float, end: float) -> int:
+        return sum(c.completions_in(start, end) for c in self.clients)
+
+    def quorums_met(self) -> bool:
+        return all(
+            len(g.correct_replicas()) >= len(g.members) - g.f for g in self.groups
+        )
+
+    def degraded_count(self) -> int:
+        return 0
+
+    def counter_names(self) -> List[str]:
+        return [
+            f"{g.config.group_id}.{c}"
+            for g in self.groups
+            for c in DETECTION_COUNTERS
+        ]
+
+
+class _ShardedTarget:
+    """Adapter: N independent shards behind router clients."""
+
+    kind = "sharded"
+
+    def __init__(self, params: Dict[str, Any], seed: int) -> None:
+        from repro.core.rejuvenation import RejuvenationPolicy
+        from repro.shard import RouterClientConfig, ShardConfig, ShardedSystem
+        from repro.shard.router import RouterConfig
+
+        protocol = params.get("protocol", "minbft")
+        self.system = ShardedSystem(
+            ShardConfig(
+                seed=seed,
+                n_shards=int(params.get("n_shards", 2)),
+                protocol=protocol,
+                f=int(params.get("f", 1)),
+                width=int(params.get("width", 8)),
+                height=int(params.get("height", 8)),
+                enable_rejuvenation=bool(params.get("rejuvenation", True)),
+                # relocate=False keeps replicas inside their shard region;
+                # heal_first as in _ResilientTarget.
+                rejuvenation=RejuvenationPolicy(
+                    period=float(params.get("rejuvenation_period", 20_000.0)),
+                    relocate=False,
+                    heal_first=True,
+                ),
+                protocol_config=_failover_protocol_config(
+                    protocol,
+                    float(params.get("failover_timeout", FAILOVER_TIMEOUT)),
+                ),
+                # Retransmit within the trial horizon (see _ResilientTarget).
+                router=RouterConfig(timeout=float(params.get("client_timeout", 3_000.0))),
+            )
+        )
+        self.clients = [
+            self.system.add_client(
+                f"c{i}",
+                RouterClientConfig(think_time=float(params.get("think_time", 200.0))),
+            )
+            for i in range(int(params.get("n_clients", 2)))
+        ]
+        self.sim = self.system.sim
+        self.chip = self.system.chip
+        shards = [self.system.shards[sid] for sid in sorted(self.system.shards)]
+        self.groups = [s.group for s in shards]
+        self.detectors = [s.detector for s in shards]
+
+    def start(self, warmup: float) -> None:
+        self.system.start(warmup=warmup)
+
+    def run(self, duration: float) -> None:
+        self.system.run(duration)
+
+    @property
+    def is_safe(self) -> bool:
+        return self.system.is_safe
+
+    def completions_in(self, start: float, end: float) -> int:
+        return sum(c.completions_in(start, end) for c in self.clients)
+
+    def quorums_met(self) -> bool:
+        return all(
+            len(g.correct_replicas()) >= len(g.members) - g.f for g in self.groups
+        )
+
+    def degraded_count(self) -> int:
+        return len(self.system.directory.degraded_shards())
+
+    def counter_names(self) -> List[str]:
+        names = [
+            f"{g.config.group_id}.{c}"
+            for g in self.groups
+            for c in DETECTION_COUNTERS
+        ]
+        names.append("shard.degraded_transitions")
+        return names
+
+
+def _build_target(params: Dict[str, Any], seed: int):
+    kind = params.get("system", "resilient")
+    if kind == "resilient":
+        return _ResilientTarget(params, seed)
+    if kind == "sharded":
+        return _ShardedTarget(params, seed)
+    raise ValueError(f"unknown system kind {kind!r}; expected resilient|sharded")
+
+
+def _find_replica(target, name: Optional[str]):
+    if name is None:
+        return None
+    for group in target.groups:
+        replica = group.replicas.get(name)
+        if replica is not None:
+            return replica
+    return None
+
+
+def _current_coord(target, name: Optional[str]):
+    if name is None:
+        return None
+    for group in target.groups:
+        coord = group.placement.get(name)
+        if coord is not None:
+            return coord
+    return None
+
+
+def _fire(target, injector, space, point) -> None:
+    """Apply the sampled fault, resolving the victim at fire time.
+
+    Rejuvenation rebuilds replica objects and may relocate them, so the
+    component sampled at warmup is re-resolved when the event fires.  The
+    fallback chain ends in a link fault (which always applies) so every
+    trial injects *exactly one* fault — the accounting invariant.
+    """
+    if point.layer == "link" and point.link is not None:
+        injector.fail_link_now(*point.link)
+        return
+    if point.layer == "register":
+        replica = _find_replica(target, point.node)
+        usig = getattr(replica, "usig", None)
+        if usig is not None and point.bit is not None:
+            injector.flip_register_bit_now(usig, point.bit % usig.physical_bits)
+            return
+    elif point.layer == "node":
+        if injector.crash_node_now(point.node):
+            return
+        coord = _current_coord(target, point.node) or point.coord
+        if coord is not None and injector.crash_tile_now(coord):
+            return
+    elif point.layer == "tile" and point.coord is not None:
+        if point.fault_class == "degrade":
+            if injector.degrade_tile_now(point.coord):
+                return
+        elif injector.crash_tile_now(point.coord):
+            return
+    injector.fail_link_now(*space.links[0])
+
+
+def _victim_recovered(target, point) -> bool:
+    """Did rejuvenation restore the sampled victim by the horizon?"""
+    if point.fault_class == "link_fail":
+        return False
+    if point.layer == "register":
+        return False
+    name = point.node
+    if name is None:
+        return False
+    replica = _find_replica(target, name)
+    if replica is None or not target.chip.has_node(name):
+        return False
+    if not replica.is_correct:
+        return False
+    if point.fault_class == "degrade":
+        # Recovery from wear-out means the replica was walked off the
+        # degraded tile; a correct replica still on it is merely masked.
+        return _current_coord(target, name) != point.coord
+    if point.layer == "tile":
+        # The tile stays dead; recovery means the hosted replica was
+        # respawned elsewhere.
+        return _current_coord(target, name) != point.coord
+    return True  # node crash: the victim is back and correct
+
+
+def run_faultspace_trial(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    """Sample, inject, observe, classify.  Returns flat numeric metrics.
+
+    ``params["stratum"]`` names the stratum to draw from (or
+    ``"uniform"`` for the population-weighted estimator); the concrete
+    fault point is drawn from ``RngStream(seed, "faultspace.sample")``,
+    so the trial is fully reproducible from its derived seed.
+    """
+    from repro.faults.injector import FaultInjector
+    from repro.faultspace.space import (
+        STRATUM_KEYS,
+        UNIFORM,
+        FaultSpace,
+        default_strata,
+    )
+    from repro.sim.rng import RngStream
+
+    duration = float(params.get("duration", 60_000.0))
+    warmup = float(params.get("warmup", 40_000.0))
+    target = _build_target(params, seed)
+    target.start(warmup)
+    t0 = target.sim.now
+
+    window = (t0 + INJECT_WINDOW[0] * duration, t0 + INJECT_WINDOW[1] * duration)
+    space = FaultSpace(target.chip, target.groups, window)
+    rng = RngStream(seed, "faultspace.sample")
+    requested = params.get("stratum", UNIFORM)
+    if requested == UNIFORM:
+        keys = space.valid_strata(default_strata(params.get("protocol", "minbft")))
+        point = space.sample_uniform(keys, rng)
+    else:
+        point = space.sample(requested, rng)
+
+    injector = FaultInjector(target.sim, target.chip)
+    baseline = {
+        name: target.chip.metrics.counter(name).value
+        for name in target.counter_names()
+    }
+    escalations0 = sum(d.escalations for d in target.detectors)
+    target.sim.schedule_at(point.time, _fire, target, injector, space, point)
+    target.run(duration)
+    injector.stop()
+    end = target.sim.now
+
+    detection_delta = sum(
+        target.chip.metrics.counter(name).value - baseline[name]
+        for name in target.counter_names()
+    )
+    escalation_delta = sum(d.escalations for d in target.detectors) - escalations0
+    recovered = _victim_recovered(target, point)
+
+    span = end - point.time
+    tail_ops = target.completions_in(end - span / 4.0, end)
+    healthy = target.quorums_met() and target.degraded_count() == 0
+
+    # Precedence: sdc > unavailable > detected_recovered > masked.  The
+    # if/elif chain is the exactly-one-bucket guarantee.
+    if not target.is_safe:
+        outcome = "sdc"
+    elif tail_ops == 0 or not healthy:
+        outcome = "unavailable"
+    elif detection_delta > 0 or escalation_delta > 0 or recovered:
+        outcome = "detected_recovered"
+    else:
+        outcome = "masked"
+
+    window_span = span / AVAILABILITY_WINDOWS
+    live_windows = sum(
+        1
+        for i in range(AVAILABILITY_WINDOWS)
+        if target.completions_in(
+            point.time + i * window_span, point.time + (i + 1) * window_span
+        )
+        > 0
+    )
+
+    handled = outcome in ("masked", "detected_recovered")
+    by_hybrid = handled and point.layer == "register"
+    by_rejuvenation = handled and not by_hybrid and recovered
+    by_replication = handled and not by_hybrid and not by_rejuvenation
+
+    metrics: Dict[str, Any] = {
+        "outcome_index": OUTCOMES.index(outcome),
+        "stratum_index": STRATUM_KEYS.index(point.stratum),
+        "inject_time": round(point.time, 6),
+        "available_fraction": live_windows / AVAILABILITY_WINDOWS,
+        "detected_signals": detection_delta,
+        "escalations": escalation_delta,
+        "recovered": int(recovered),
+        "completions_after": target.completions_in(point.time, end),
+        "tail_completions": tail_ops,
+        "safe": int(target.is_safe),
+        "by_replication": int(by_replication),
+        "by_rejuvenation": int(by_rejuvenation),
+        "by_hybrid": int(by_hybrid),
+    }
+    for name in OUTCOMES:
+        metrics[f"outcome_{name}"] = int(outcome == name)
+    metrics.update(injector.counters())
+    return metrics

@@ -1,0 +1,220 @@
+"""The fault-space model: strata, populations, and reproducible samplers.
+
+A *fault point* is one concrete injectable fault: a layer (tile, NoC
+link, hybrid register, or softcore node), a component instance on the
+built chip, an injection instant inside the campaign's time window, and a
+fault class (crash, transient bitflip, link-fail, degrade).  The space is
+organised into **strata** — (layer, fault class) pairs — because the
+paper's resilience ingredients act per layer: replication masks node and
+tile losses, the NoC reroutes around dead links, ECC/TMR registers absorb
+bitflips, rejuvenation restores whatever was lost.
+
+:class:`FaultSpace` is built over a *live* system after warmup, so its
+populations are the components that actually exist (replica tiles, mesh
+links, USIG register bits), and every draw comes from a caller-supplied
+:class:`~repro.sim.rng.RngStream` — seed the stream from the trial seed
+(``derive_trial_seed``) and the sampled point is reproducible forever.
+
+Two samplers: :meth:`FaultSpace.sample` draws inside one stratum
+(stratified campaigns give every stratum its own confidence interval);
+:meth:`FaultSpace.sample_uniform` draws a stratum weighted by population
+size first (the classic uniform-over-faults SBFI estimator).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
+
+from repro.noc.topology import Coord
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.bft.group import ReplicaGroup
+    from repro.sim.rng import RngStream
+    from repro.soc.chip import Chip
+
+
+@dataclass(frozen=True)
+class Stratum:
+    """One (layer, fault class) slice of the fault space."""
+
+    key: str
+    layer: str
+    fault_class: str
+
+
+#: The full stratum catalogue, sorted by key.  ``register:bitflip`` only
+#: has a population on protocols whose replicas carry a USIG register
+#: (minbft); :func:`default_strata` filters accordingly.
+STRATA: Tuple[Stratum, ...] = (
+    Stratum("link:link_fail", "link", "link_fail"),
+    Stratum("node:crash", "node", "crash"),
+    Stratum("register:bitflip", "register", "bitflip"),
+    Stratum("tile:crash", "tile", "crash"),
+    Stratum("tile:degrade", "tile", "degrade"),
+)
+
+STRATUM_KEYS: Tuple[str, ...] = tuple(s.key for s in STRATA)
+
+#: Sentinel stratum name: sample the stratum itself, population-weighted.
+UNIFORM = "uniform"
+
+_BY_KEY: Dict[str, Stratum] = {s.key: s for s in STRATA}
+
+
+def stratum_by_key(key: str) -> Stratum:
+    """Look up a stratum, with a helpful error."""
+    try:
+        return _BY_KEY[key]
+    except KeyError:
+        raise KeyError(
+            f"unknown stratum {key!r}; available: {', '.join(STRATUM_KEYS)}"
+        )
+
+
+def default_strata(protocol: str) -> List[str]:
+    """The strata that have a population under ``protocol``."""
+    keys = list(STRATUM_KEYS)
+    if protocol != "minbft":
+        keys.remove("register:bitflip")
+    return keys
+
+
+@dataclass(frozen=True)
+class FaultPoint:
+    """One sampled, concrete injectable fault."""
+
+    stratum: str
+    layer: str
+    fault_class: str
+    time: float
+    node: Optional[str] = None
+    coord: Optional[Coord] = None
+    link: Optional[Tuple[Coord, Coord]] = None
+    bit: Optional[int] = None
+
+    def label(self) -> str:
+        """Human-readable description for logs and reports."""
+        if self.layer == "link" and self.link is not None:
+            a, b = self.link
+            where = f"({a.x},{a.y})-({b.x},{b.y})"
+        elif self.layer == "register":
+            where = f"{self.node}[bit {self.bit}]"
+        elif self.layer == "tile" and self.coord is not None:
+            where = f"({self.coord.x},{self.coord.y})"
+        else:
+            where = str(self.node)
+        return f"{self.fault_class}@{where} t={self.time:.0f}"
+
+
+class FaultSpace:
+    """The enumerable fault population of one built system.
+
+    ``groups`` are the replica groups under test (one for a
+    ``ResilientSystem``, one per shard for a ``ShardedSystem``); tile and
+    node populations are restricted to *replica-hosting* components —
+    client and router tiles are measurement infrastructure, not the
+    system under test.  Link population is the whole mesh: any link can
+    carry replica traffic after rerouting or relocation.
+    """
+
+    def __init__(
+        self,
+        chip: "Chip",
+        groups: Sequence["ReplicaGroup"],
+        window: Tuple[float, float],
+    ) -> None:
+        if window[1] < window[0]:
+            raise ValueError(f"empty injection window {window}")
+        self.window = (float(window[0]), float(window[1]))
+        self.members: List[str] = sorted(m for g in groups for m in g.members)
+        if not self.members:
+            raise ValueError("fault space needs at least one replica group member")
+        self.coord_of: Dict[str, Coord] = {}
+        self.member_at: Dict[Coord, str] = {}
+        for group in groups:
+            for name, coord in group.placement.items():
+                self.coord_of[name] = coord
+                self.member_at[coord] = name
+        self.tiles: List[Coord] = sorted(self.member_at)
+        self.links: List[Tuple[Coord, Coord]] = sorted(chip.noc.links)
+        # (member, physical_bits) for every replica carrying a hybrid
+        # register an injector can reach (minbft's USIG counter).
+        self.registers: List[Tuple[str, int]] = sorted(
+            (name, replica.usig.physical_bits)
+            for group in groups
+            for name, replica in group.replicas.items()
+            if getattr(replica, "usig", None) is not None
+        )
+
+    # ------------------------------------------------------------------
+    def population(self, key: str) -> int:
+        """How many concrete faults the stratum contains (bits for
+        registers, component instances otherwise)."""
+        stratum = stratum_by_key(key)
+        if stratum.layer == "node":
+            return len(self.members)
+        if stratum.layer == "tile":
+            return len(self.tiles)
+        if stratum.layer == "link":
+            return len(self.links)
+        return sum(bits for _, bits in self.registers)
+
+    def valid_strata(self, keys: Sequence[str]) -> List[str]:
+        """The subset of ``keys`` with a non-empty population."""
+        return [k for k in keys if self.population(k) > 0]
+
+    # ------------------------------------------------------------------
+    def sample(self, key: str, rng: "RngStream") -> FaultPoint:
+        """Draw one fault point uniformly inside a stratum."""
+        stratum = stratum_by_key(key)
+        if self.population(key) == 0:
+            raise ValueError(f"stratum {key!r} has an empty population")
+        time = rng.uniform(self.window[0], self.window[1])
+        if stratum.layer == "node":
+            node = self.members[rng.randint(0, len(self.members) - 1)]
+            return FaultPoint(
+                stratum=key, layer="node", fault_class=stratum.fault_class,
+                time=time, node=node, coord=self.coord_of.get(node),
+            )
+        if stratum.layer == "tile":
+            coord = self.tiles[rng.randint(0, len(self.tiles) - 1)]
+            return FaultPoint(
+                stratum=key, layer="tile", fault_class=stratum.fault_class,
+                time=time, coord=coord, node=self.member_at.get(coord),
+            )
+        if stratum.layer == "link":
+            link = self.links[rng.randint(0, len(self.links) - 1)]
+            return FaultPoint(
+                stratum=key, layer="link", fault_class=stratum.fault_class,
+                time=time, link=link,
+            )
+        # register: uniform over *bits*, so wider (ECC/TMR) codewords
+        # absorb proportionally more of the raw flip mass.
+        flat = rng.randint(0, sum(b for _, b in self.registers) - 1)
+        for node, bits in self.registers:
+            if flat < bits:
+                return FaultPoint(
+                    stratum=key, layer="register", fault_class=stratum.fault_class,
+                    time=time, node=node, bit=flat,
+                    coord=self.coord_of.get(node),
+                )
+            flat -= bits
+        raise AssertionError("register population walk fell off the end")
+
+    def sample_uniform(self, keys: Sequence[str], rng: "RngStream") -> FaultPoint:
+        """Draw a stratum weighted by population size, then a point in it.
+
+        This is the uniform-over-faults estimator: every concrete fault
+        in the union of ``keys`` is equally likely.
+        """
+        weighted = [(k, self.population(k)) for k in keys]
+        total = sum(w for _, w in weighted)
+        if total == 0:
+            raise ValueError(f"no population in any of {list(keys)}")
+        flat = rng.randint(0, total - 1)
+        for key, weight in weighted:
+            if flat < weight:
+                return self.sample(key, rng)
+            flat -= weight
+        raise AssertionError("uniform stratum walk fell off the end")

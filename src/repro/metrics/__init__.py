@@ -19,7 +19,17 @@ benches print uniform tables.  The design follows the usual triad:
 
 from repro.metrics.collectors import Counter, Gauge, Histogram, TimeSeries
 from repro.metrics.registry import MetricsRegistry
-from repro.metrics.stats import ci95_half_width, mean, stddev, summarize
+from repro.metrics.stats import (
+    binomial_half_width,
+    binomial_interval,
+    ci95_half_width,
+    clopper_pearson_interval,
+    mean,
+    normal_quantile,
+    stddev,
+    summarize,
+    wilson_interval,
+)
 from repro.metrics.tables import Table
 from repro.metrics.tracing import ProtocolTracer, TraceRecord
 
@@ -32,8 +42,13 @@ __all__ = [
     "Table",
     "TimeSeries",
     "TraceRecord",
+    "binomial_half_width",
+    "binomial_interval",
     "ci95_half_width",
+    "clopper_pearson_interval",
     "mean",
+    "normal_quantile",
     "stddev",
     "summarize",
+    "wilson_interval",
 ]

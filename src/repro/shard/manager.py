@@ -30,7 +30,7 @@ Notes on the per-shard machinery:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.bft.app import KeyValueStore, StateMachine
 from repro.bft.group import FAMILIES, GroupConfig, ReplicaGroup
@@ -63,6 +63,7 @@ class ShardConfig:
     n_shards: int = 2
     protocol: str = "minbft"
     f: int = 1
+    protocol_config: Optional[Any] = None
     n_variants: int = 6
     n_vendors: int = 3
     app_factory: Callable[[], StateMachine] = KeyValueStore
@@ -129,6 +130,7 @@ class ShardedSystem:
                     group_id=shard_id,
                     app_factory=cfg.app_factory,
                     placement=list(region.tiles),
+                    protocol_config=cfg.protocol_config,
                 )
             )
             detector = SeverityDetector(group, [], cfg.severity)

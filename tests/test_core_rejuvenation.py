@@ -132,3 +132,50 @@ def test_cycle_time():
         policy=RejuvenationPolicy(period=10_000)
     )
     assert scheduler.cycle_time == 30_000
+
+
+def test_heal_first_restores_crashed_member_before_round_robin():
+    sim, chip, fabric, diversity, group, scheduler = deployed_system(
+        policy=RejuvenationPolicy(
+            period=20_000, diversify=False, relocate=False, heal_first=True
+        )
+    )
+    victim = group.members[1]
+    scheduler.start()
+    sim.run(until=sim.now + 5_000)
+    group.replicas[victim].crash()
+    sim.run(until=sim.now + 20_000)  # one tick: the crashed member, healed
+    assert group.replicas[victim].is_correct
+    # The healing pass replaced the round-robin pass, not added to it.
+    assert scheduler.passes == 1
+
+
+def test_heal_first_defers_when_victim_is_unhealable():
+    sim, chip, fabric, diversity, group, scheduler = deployed_system(
+        policy=RejuvenationPolicy(
+            period=20_000, diversify=False, relocate=False, heal_first=True
+        )
+    )
+    victim = group.members[0]
+    scheduler.start()
+    sim.run(until=sim.now + 5_000)
+    group.replicas[victim].crash()
+    chip.remove_node(victim)  # evicted: cannot be healed in place
+    sim.run(until=sim.now + 45_000)
+    # No proactive pass ran: taking a healthy replica down would drop
+    # the group below quorum while a member is already missing.
+    assert scheduler.passes == 0
+
+
+def test_heal_first_off_keeps_round_robin_schedule():
+    sim, chip, fabric, diversity, group, scheduler = deployed_system(
+        policy=RejuvenationPolicy(period=20_000, diversify=False, relocate=False)
+    )
+    victim = group.members[2]
+    scheduler.start()
+    sim.run(until=sim.now + 5_000)
+    group.replicas[victim].crash()
+    sim.run(until=sim.now + 20_000)
+    # Pure round robin rejuvenates members[0] first, not the victim.
+    assert not group.replicas[victim].is_correct
+    assert scheduler.passes == 1

@@ -344,3 +344,71 @@ def test_common_mode_probability_validation():
         common_mode_probability([], 1)
     with pytest.raises(ValueError):
         worst_case_exploit({"r0": frozenset()})
+
+def test_injector_counters_export(chip):
+    node = Dummy("n")
+    chip.place_node(node, Coord(0, 0))
+    injector = FaultInjector(chip.sim, chip)
+    injector.crash_node_at("n", 10)
+    injector.fail_link_at(Coord(0, 0), Coord(1, 0), 10)
+    injector.degrade_tile_at(Coord(2, 2), 10)
+    chip.sim.run(until=20)
+    counters = injector.counters()
+    assert counters == {
+        "injected_crashes": 1,
+        "injected_bitflips": 0,
+        "injected_link_faults": 1,
+        "injected_degrades": 1,
+        "injected_total": 3,
+    }
+
+
+def test_injector_stop_cancels_pending_events(chip):
+    node = Dummy("n")
+    chip.place_node(node, Coord(0, 0))
+    injector = FaultInjector(chip.sim, chip)
+    injector.crash_node_at("n", 100)
+    injector.fail_link_at(Coord(0, 0), Coord(1, 0), 100)
+    chip.sim.run(until=50)
+    injector.stop()
+    chip.sim.run(until=200)
+    assert node.state == NodeState.OK
+    assert chip.noc.links[(Coord(0, 0), Coord(1, 0))].state.value == "up"
+    assert injector.counters()["injected_total"] == 0
+
+
+def test_injector_stop_preserves_applied_counters(chip):
+    injector = FaultInjector(chip.sim, chip)
+    injector.crash_tile_at(Coord(1, 1), 10)
+    chip.sim.run(until=20)
+    injector.stop()
+    assert injector.counters()["injected_crashes"] == 1
+
+
+def test_injector_degrade_tile(chip):
+    injector = FaultInjector(chip.sim, chip)
+    injector.degrade_tile_at(Coord(1, 1), 10)
+    chip.sim.run(until=20)
+    assert chip.tiles[Coord(1, 1)].state.value == "degraded"
+    # Degrading a non-ok tile is a no-op, not a double count.
+    assert injector.degrade_tile_now(Coord(1, 1)) is False
+    assert injector.counters()["injected_degrades"] == 1
+
+
+def test_injector_bitflip_register_at(chip):
+    from repro.crypto import KeyStore
+    from repro.hybrids import Usig
+
+    usig = Usig("r0", KeyStore(), "plain")
+    injector = FaultInjector(chip.sim, chip)
+    injector.bitflip_register_at(usig, 3, 10)
+    chip.sim.run(until=20)
+    assert injector.counters()["injected_bitflips"] == 1
+
+
+def test_injector_now_primitives_guard_invalid_targets(chip):
+    injector = FaultInjector(chip.sim, chip)
+    assert injector.crash_node_now("ghost") is False
+    assert injector.crash_tile_now(Coord(0, 0)) is True
+    assert injector.crash_tile_now(Coord(0, 0)) is False  # already crashed
+    assert injector.counters()["injected_crashes"] == 1

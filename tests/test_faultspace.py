@@ -1,0 +1,288 @@
+"""Tests for the C3 statistical fault-injection subsystem."""
+
+import json
+
+import pytest
+
+from repro.faultspace import (
+    OUTCOMES,
+    STRATUM_KEYS,
+    UNIFORM,
+    FaultSpace,
+    FaultspaceConfig,
+    SequentialCampaign,
+    build_spec,
+    build_summary,
+    default_strata,
+    render_report,
+    run_faultspace_trial,
+    stratum_by_key,
+)
+from repro.sim.rng import RngStream
+
+TRIAL_PARAMS = {"duration": 45_000.0, "warmup": 40_000.0}
+
+
+def _small_config(**overrides):
+    defaults = dict(
+        strata=["node:crash", "link:link_fail"],
+        max_per_stratum=4,
+        min_per_stratum=2,
+        round_size=2,
+        target_half_width=0.4,
+        duration=45_000.0,
+        warmup=40_000.0,
+    )
+    defaults.update(overrides)
+    return FaultspaceConfig(**defaults)
+
+
+def _space(protocol="minbft", seed=7):
+    from repro.core import OrchestratorConfig, ResilientSystem
+
+    system = ResilientSystem(OrchestratorConfig(seed=seed, protocol=protocol))
+    system.start(warmup=1_000.0)
+    return FaultSpace(system.chip, [system.group], (2_000.0, 10_000.0))
+
+
+# ----------------------------------------------------------------------
+# Fault-space model
+# ----------------------------------------------------------------------
+def test_space_populations_nonempty():
+    space = _space()
+    for key in default_strata("minbft"):
+        assert space.population(key) > 0, key
+
+
+def test_default_strata_gate_registers_on_protocol():
+    assert "register:bitflip" in default_strata("minbft")
+    assert "register:bitflip" not in default_strata("cft")
+
+
+def test_stratum_by_key_round_trip():
+    for key in STRATUM_KEYS:
+        stratum = stratum_by_key(key)
+        assert stratum.key == key
+    with pytest.raises(KeyError):
+        stratum_by_key("warp:core")
+
+
+def test_sample_is_deterministic_per_seed():
+    space = _space()
+    a = space.sample("node:crash", RngStream(5, "faultspace.sample"))
+    b = space.sample("node:crash", RngStream(5, "faultspace.sample"))
+    c = space.sample("node:crash", RngStream(6, "faultspace.sample"))
+    assert (a.node, a.time) == (b.node, b.time)
+    assert (a.node, a.time) != (c.node, c.time)
+
+
+def test_sample_lands_in_window_and_stratum():
+    space = _space()
+    rng = RngStream(3, "faultspace.sample")
+    for key in default_strata("minbft"):
+        point = space.sample(key, rng)
+        assert point.stratum == key
+        assert 2_000.0 <= point.time <= 10_000.0
+
+
+def test_uniform_sampler_weights_by_population():
+    space = _space()
+    keys = space.valid_strata(default_strata("minbft"))
+    rng = RngStream(11, "faultspace.sample")
+    seen = {space.sample_uniform(keys, rng).stratum for _ in range(200)}
+    # Links dominate the population; registers are tiny but present.
+    assert "link:link_fail" in seen
+    assert seen <= set(keys)
+
+
+def test_named_streams_are_independent():
+    a = RngStream(9, "faultspace.sample")
+    b = RngStream(9, "some.other.stream")
+    assert [a.uniform(0, 1) for _ in range(4)] != [
+        b.uniform(0, 1) for _ in range(4)
+    ]
+
+
+# ----------------------------------------------------------------------
+# Classifier
+# ----------------------------------------------------------------------
+def test_trial_injects_and_classifies_exactly_once():
+    metrics = run_faultspace_trial({"stratum": "link:link_fail", **TRIAL_PARAMS}, 1)
+    assert metrics["injected_total"] == 1
+    assert sum(metrics[f"outcome_{name}"] for name in OUTCOMES) == 1
+    assert 0.0 <= metrics["available_fraction"] <= 1.0
+    assert metrics["stratum_index"] == STRATUM_KEYS.index("link:link_fail")
+
+
+def test_trial_metrics_are_reproducible():
+    params = {"stratum": "node:crash", **TRIAL_PARAMS}
+    assert run_faultspace_trial(params, 2) == run_faultspace_trial(params, 2)
+
+
+def test_uniform_trial_resolves_a_concrete_stratum():
+    metrics = run_faultspace_trial({"stratum": UNIFORM, **TRIAL_PARAMS}, 4)
+    assert metrics["injected_total"] == 1
+    assert 0 <= metrics["stratum_index"] < len(STRATUM_KEYS)
+
+
+def test_sharded_trial_classifies():
+    metrics = run_faultspace_trial(
+        {"stratum": "node:crash", "system": "sharded", **TRIAL_PARAMS}, 3
+    )
+    assert metrics["injected_total"] == 1
+    assert sum(metrics[f"outcome_{name}"] for name in OUTCOMES) == 1
+
+
+def test_unknown_system_rejected():
+    with pytest.raises(ValueError):
+        run_faultspace_trial({"stratum": "node:crash", "system": "quantum"}, 0)
+
+
+# ----------------------------------------------------------------------
+# Config and spec
+# ----------------------------------------------------------------------
+def test_config_validation():
+    with pytest.raises(ValueError):
+        FaultspaceConfig(system="quantum")
+    with pytest.raises(ValueError):
+        FaultspaceConfig(min_per_stratum=9, max_per_stratum=4)
+    with pytest.raises(ValueError):
+        FaultspaceConfig(target_half_width=0.0)
+    with pytest.raises(ValueError):
+        FaultspaceConfig(ci_method="wald")
+
+
+def test_spec_covers_full_budget():
+    config = _small_config()
+    spec = build_spec(config)
+    trials = spec.trials()
+    assert len(trials) == 2 * 4
+    assert {t.params["stratum"] for t in trials} == {"node:crash", "link:link_fail"}
+    assert spec.base["client_timeout"] == config.client_timeout
+    assert spec.base["failover_timeout"] == config.failover_timeout
+
+
+def test_builtin_faultspace_campaign_accepts_small_seed_counts():
+    from repro.campaign.builtin import build_campaign
+
+    # `--seeds` below the default min_per_stratum must clamp, not raise.
+    spec = build_campaign("faultspace", n_seeds=2)
+    assert all(t.params["stratum"] for t in spec.trials())
+
+
+def test_include_uniform_appends_estimator():
+    config = _small_config(include_uniform=True)
+    assert config.resolved_strata()[-1] == UNIFORM
+
+
+# ----------------------------------------------------------------------
+# Sequential driver
+# ----------------------------------------------------------------------
+def test_sequential_campaign_early_stops_and_reports(tmp_path):
+    campaign = SequentialCampaign(_small_config(), tmp_path, fresh=True)
+    summary = campaign.run()
+    stop = summary["early_stopping"]
+    assert stop["enabled"] is True
+    assert stop["trials_executed"] <= stop["fixed_size_equivalent"] == 2 * 4
+    assert summary["classified_total"] == summary["n_trials"]
+    assert summary["injected_total"] == summary["n_trials"]
+    for block in summary["strata"].values():
+        assert block["n"] >= 2  # the min_per_stratum floor
+    assert campaign.store.summary_path.exists()
+    assert campaign.store.report_path.exists()
+
+
+def test_sequential_campaign_summary_is_byte_identical(tmp_path):
+    config = _small_config()
+    SequentialCampaign(config, tmp_path / "a", fresh=True).run()
+    SequentialCampaign(config, tmp_path / "b", fresh=True).run()
+    a = (tmp_path / "a" / config.name / "summary.json").read_bytes()
+    b = (tmp_path / "b" / config.name / "summary.json").read_bytes()
+    assert a == b
+
+
+def test_sequential_campaign_seed_changes_summary(tmp_path):
+    SequentialCampaign(_small_config(), tmp_path / "a", fresh=True).run()
+    SequentialCampaign(
+        _small_config(campaign_seed=99), tmp_path / "b", fresh=True
+    ).run()
+    a = json.loads((tmp_path / "a" / "faultspace" / "summary.json").read_text())
+    b = json.loads((tmp_path / "b" / "faultspace" / "summary.json").read_text())
+    assert a["spec_hash"] != b["spec_hash"]
+
+
+def test_no_early_stop_spends_full_budget(tmp_path):
+    campaign = SequentialCampaign(
+        _small_config(early_stop=False), tmp_path, fresh=True
+    )
+    summary = campaign.run()
+    assert summary["early_stopping"]["trials_executed"] == 2 * 4
+    for block in summary["strata"].values():
+        assert block["stopped_early"] is False
+
+
+def test_executor_select_restricts_pending():
+    from repro.campaign.executor import CampaignExecutor
+    from repro.campaign.spec import CampaignSpec
+    from repro.campaign.store import ResultStore
+
+    spec = CampaignSpec(
+        name="sel",
+        runner="selftest",
+        mode="grid",
+        axes={"batch": [0, 1]},
+        base={"sleep": 0.0, "draws": 10},
+        n_seeds=2,
+    )
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as root:
+        store = ResultStore(root, spec).open(fresh=True)
+        chosen = {spec.trials()[0].trial_id}
+        stats = CampaignExecutor(spec, store).run(select=chosen)
+        assert stats.succeeded == 1
+        assert store.completed_ids() == chosen
+        store.close()
+
+
+# ----------------------------------------------------------------------
+# Report
+# ----------------------------------------------------------------------
+def test_build_summary_empty_records():
+    spec = build_spec(_small_config())
+    summary = build_summary(spec, [])
+    assert summary["n_trials"] == 0
+    assert summary["dependability"]["fatal_proportion_upper"] == 1.0
+    assert render_report(summary).startswith("[C3]")
+
+
+def test_render_report_mentions_every_stratum(tmp_path):
+    campaign = SequentialCampaign(_small_config(), tmp_path, fresh=True)
+    summary = campaign.run()
+    text = render_report(summary)
+    for key in ("node:crash", "link:link_fail"):
+        assert key in text
+    assert "effective MTTF" in text
+
+
+def test_cli_faultspace_runs(tmp_path, capsys):
+    from repro.cli import main
+
+    code = main(
+        [
+            "faultspace",
+            "--strata", "link:link_fail",
+            "--max-per-stratum", "2",
+            "--min-per-stratum", "2",
+            "--round-size", "2",
+            "--target-half-width", "0.5",
+            "--duration", "45000",
+            "--out", str(tmp_path),
+            "--fresh",
+            "--quiet",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "link:link_fail" in out
+    assert (tmp_path / "faultspace" / "summary.json").exists()

@@ -199,3 +199,88 @@ def test_format_rate_and_geomean():
     assert abs(geometric_mean([2, 8]) - 4.0) < 1e-9
     assert geometric_mean([]) is None
     assert geometric_mean([1, 0]) is None
+
+
+# ----------------------------------------------------------------------
+# Binomial confidence intervals (C3 early stopping)
+# ----------------------------------------------------------------------
+def test_normal_quantile_z95():
+    from repro.metrics.stats import normal_quantile
+
+    assert abs(normal_quantile(0.975) - 1.9599639845400536) < 1e-9
+    assert abs(normal_quantile(0.5)) < 1e-12
+    assert abs(normal_quantile(0.025) + 1.9599639845400536) < 1e-9
+
+
+@pytest.mark.parametrize(
+    "successes,n,low,high",
+    [
+        (0, 10, 0.0, 0.277533),
+        (5, 10, 0.236593, 0.763407),
+        (10, 10, 0.722467, 1.0),
+        (1, 30, 0.005909, 0.166704),
+        (17, 20, 0.639581, 0.947631),
+        (50, 1000, 0.03813, 0.065314),
+    ],
+)
+def test_wilson_interval_reference_values(successes, n, low, high):
+    from repro.metrics.stats import wilson_interval
+
+    got_low, got_high = wilson_interval(successes, n, 0.95)
+    assert abs(got_low - low) < 1e-6
+    assert abs(got_high - high) < 1e-6
+
+
+@pytest.mark.parametrize(
+    "successes,n,low,high",
+    [
+        (0, 10, 0.0, 0.308497),
+        (5, 10, 0.187086, 0.812914),
+        (10, 10, 0.691503, 1.0),
+        (1, 30, 0.000844, 0.172169),
+        (17, 20, 0.621073, 0.967929),
+        (50, 1000, 0.037335, 0.06539),
+    ],
+)
+def test_clopper_pearson_reference_values(successes, n, low, high):
+    from repro.metrics.stats import clopper_pearson_interval
+
+    got_low, got_high = clopper_pearson_interval(successes, n, 0.95)
+    assert abs(got_low - low) < 1e-6
+    assert abs(got_high - high) < 1e-6
+
+
+def test_binomial_interval_dispatch_and_validation():
+    from repro.metrics.stats import binomial_half_width, binomial_interval
+
+    assert binomial_interval(5, 10, method="wilson") != binomial_interval(
+        5, 10, method="clopper-pearson"
+    )
+    with pytest.raises(ValueError):
+        binomial_interval(5, 10, method="wald")
+    with pytest.raises(ValueError):
+        binomial_interval(11, 10)
+    with pytest.raises(ValueError):
+        binomial_interval(-1, 10)
+    with pytest.raises(ValueError):
+        binomial_interval(0, 0)
+    low, high = binomial_interval(2, 40)
+    assert abs(binomial_half_width(2, 40) - (high - low) / 2.0) < 1e-12
+
+
+def test_intervals_bracket_the_point_estimate():
+    from repro.metrics.stats import BINOMIAL_METHODS, binomial_interval
+
+    for method in BINOMIAL_METHODS:
+        for successes, n in [(0, 7), (3, 7), (7, 7), (13, 201)]:
+            low, high = binomial_interval(successes, n, method=method)
+            assert 0.0 <= low <= successes / n <= high <= 1.0
+
+
+def test_clopper_pearson_wider_than_wilson():
+    from repro.metrics.stats import clopper_pearson_interval, wilson_interval
+
+    for successes, n in [(1, 30), (5, 10), (17, 20)]:
+        w_low, w_high = wilson_interval(successes, n)
+        cp_low, cp_high = clopper_pearson_interval(successes, n)
+        assert cp_high - cp_low > w_high - w_low
