@@ -25,8 +25,10 @@ story, not this one).
 
 from conftest import run_once
 
+from repro.mesoscale import PopulationConfig
 from repro.metrics import Table
-from repro.shard import RouterClientConfig, ShardConfig, ShardedSystem
+from repro.shard import ShardConfig, ShardedSystem
+from repro.workloads import FactoryWorkload
 
 SEED = 7
 N_CLIENTS = 8
@@ -52,8 +54,14 @@ def build_sharded(n_shards, seed=SEED):
         )
     )
     drivers = [
-        system.add_client(
-            f"c{i}", RouterClientConfig(think_time=THINK_TIME, op_factory=_op_factory)
+        system.attach_population(
+            f"c{i}",
+            PopulationConfig(
+                n_clients=1,
+                mode="closed",
+                think_time=THINK_TIME,
+                workload=FactoryWorkload(_op_factory, name="kv-c2"),
+            ),
         )
         for i in range(N_CLIENTS)
     ]

@@ -22,7 +22,10 @@ deterministic discrete-event simulation:
   rejuvenation, adaptation, hybridization (:mod:`repro.core`), and
 * a sharded service layer: many replica groups on disjoint tile
   regions of one chip, for linear throughput scaling
-  (:mod:`repro.shard`).
+  (:mod:`repro.shard`), and
+* a mesoscale workload engine: aggregated client populations (10^5–10^6
+  modeled clients per object) with arrival-process demand, admission
+  control, and load shedding (:mod:`repro.mesoscale`).
 
 Quickstart::
 
@@ -46,6 +49,7 @@ __all__ = [
     "faults",
     "faultspace",
     "hybrids",
+    "mesoscale",
     "metrics",
     "noc",
     "recon",

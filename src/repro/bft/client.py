@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.bft.messages import ClientReply, ClientRequest
+from repro.metrics.traffic import TrafficSource
 from repro.sim.timers import Timeout
 from repro.soc.chip import is_corrupted
 from repro.soc.node import Node
@@ -61,16 +62,21 @@ class ClientConfig:
             raise ValueError(f"max_outstanding must be >= 1, got {self.max_outstanding}")
 
 
-class ClientNode(Node):
+class ClientNode(Node, TrafficSource):
     """A closed-loop client of one replica group.
 
     Sends each request to the believed primary; collects replies until
     ``reply_quorum`` *matching* ones arrive (f+1 for BFT — at least one
     is from a correct replica); retransmits to all replicas on timeout.
+
+    Windowed measurement (``completions_in``/``latencies_in``/
+    ``max_completion_gap``) comes from the shared
+    :class:`~repro.metrics.traffic.TrafficSource` mixin.
     """
 
     def __init__(self, name: str, config: Optional[ClientConfig] = None) -> None:
-        super().__init__(name)
+        Node.__init__(self, name)
+        TrafficSource.__init__(self)
         self.config = config or ClientConfig()
         self.replicas: List[str] = []
         self.reply_quorum = 1
@@ -86,13 +92,10 @@ class ClientNode(Node):
         self._open_votes: Dict[int, Dict[Any, set]] = {}
         self._sent_times: Dict[int, float] = {}
         self.read_quorum = 1
-        self.completed = 0
         self.fast_reads_completed = 0
         self.read_fallbacks = 0
         self.timeouts = 0
         self.running = False
-        self.latencies: List[float] = []
-        self._completion_times: List[float] = []
 
     # ------------------------------------------------------------------
     def configure(
@@ -173,9 +176,7 @@ class ClientNode(Node):
         self._outstanding.pop(request.rid, None)
         self._open_votes.pop(request.rid, None)
         sent = self._sent_times.pop(request.rid, self.sim.now)
-        self.completed += 1
-        self.latencies.append(self.sim.now - sent)
-        self._completion_times.append(self.sim.now)
+        self.record_completion(self.sim.now, self.sim.now - sent)
         if self.replicas:
             self._primary_hint = reply.view % len(self.replicas)
         # Progress: reset backoff and give the rest a fresh window.
@@ -299,35 +300,8 @@ class ClientNode(Node):
         assert self._timeout is not None
         self._timeout.cancel()
         self._inflight = None
-        self.completed += 1
-        latency = self.sim.now - self._sent_at
-        self.latencies.append(latency)
-        self._completion_times.append(self.sim.now)
+        self.record_completion(self.sim.now, self.sim.now - self._sent_at)
         # Adopt the replier's view for primary targeting.
         if self.replicas:
             self._primary_hint = reply.view % len(self.replicas)
         self.sim.schedule(self.config.think_time, self._issue_next)
-
-    # ------------------------------------------------------------------
-    # Measurement helpers
-    # ------------------------------------------------------------------
-    def completions_in(self, start: float, end: float) -> int:
-        """Operations completed in a time window."""
-        return sum(1 for t in self._completion_times if start <= t < end)
-
-    def latencies_in(self, start: float, end: float) -> List[float]:
-        """Latencies of operations completed in a window."""
-        return [
-            lat
-            for t, lat in zip(self._completion_times, self.latencies)
-            if start <= t < end
-        ]
-
-    def max_completion_gap(self, start: float, end: float) -> float:
-        """Largest gap between consecutive completions in a window.
-
-        The E8 'failover gap' metric: how long the service was effectively
-        unavailable to this client.  Window edges count as events.
-        """
-        events = [start] + [t for t in self._completion_times if start <= t < end] + [end]
-        return max(b - a for a, b in zip(events, events[1:]))

@@ -15,6 +15,9 @@ Three built-ins, graded by size:
 * ``consensus-batching`` — batch size × client window sweep of the P2
   consensus hot path on PBFT and MinBFT: how far request batching and
   pipelined agreement lift committed ops/sec over the closed loop.
+* ``mesoscale`` — arrival process × population size sweep of the C4
+  aggregated-traffic engine: 10^5–5×10^5 modeled clients per trial
+  behind admission control on a 4-shard system.
 * ``scaling``    — 20 deliberately I/O-bound selftest trials used to
   measure the executor's parallel speedup.  Simulation trials are
   CPU-bound, so their speedup needs as many cores as workers; this
@@ -118,6 +121,33 @@ def _consensus_batching(n_seeds: int = 3, campaign_seed: int = 0) -> CampaignSpe
     )
 
 
+def _mesoscale(n_seeds: int = 3, campaign_seed: int = 0) -> CampaignSpec:
+    return CampaignSpec(
+        name="mesoscale",
+        runner="mesoscale",
+        mode="grid",
+        axes={
+            "process": ["poisson", "pareto", "flash"],
+            "n_clients": [100_000, 500_000],
+        },
+        base={
+            "duration": 240_000.0,
+            "warmup": 60_000.0,
+            "n_populations": 2,
+            "n_shards": 4,
+            "rate_per_client": 2e-6,
+            "tick": 100.0,
+            "max_inflight": 64,
+            "width": 8,
+            "height": 8,
+        },
+        n_seeds=n_seeds,
+        campaign_seed=campaign_seed,
+        trial_timeout=600.0,
+        description="C4 mesoscale traffic: arrival process x population size",
+    )
+
+
 def _faultspace(n_seeds: int = 12, campaign_seed: int = 0) -> CampaignSpec:
     """Fixed-size fault-space sweep (no early stopping).
 
@@ -174,6 +204,7 @@ BUILTIN_CAMPAIGNS: Dict[str, Callable[..., CampaignSpec]] = {
     "scaling": _scaling,
     "shard-scaling": _shard_scaling,
     "consensus-batching": _consensus_batching,
+    "mesoscale": _mesoscale,
     "faultspace": _faultspace,
     "smoke": _smoke,
 }

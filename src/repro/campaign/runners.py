@@ -13,6 +13,9 @@ Built-ins:
   completed ops, sim-time throughput, latency, safety.
 * ``consensus_batching`` — the P2 hot-path sweep: request batching and
   pipelining on the primary against open-loop client windows.
+* ``mesoscale`` — the C4 aggregated-population sweep: arrival-process
+  populations (10^5–10^6 modeled clients) with admission control and
+  load shedding over a sharded system.
 * ``rejuv_apt`` — the rejuvenation-vs-APT survival race of E4, exposing
   period/diversify/relocate and attacker effort as sweep axes.
 * ``selftest`` — a microscopic deterministic workload with optional
@@ -183,7 +186,9 @@ def run_shard_scaling(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
     ``think_time``, ``warmup``, ``width``, ``height``, ``protocol``,
     ``f``, ``key_space``, ``rejuvenation``.
     """
-    from repro.shard import RouterClientConfig, ShardConfig, ShardedSystem
+    from repro.mesoscale import PopulationConfig
+    from repro.shard import ShardConfig, ShardedSystem
+    from repro.workloads import FactoryWorkload
 
     duration = float(params.get("duration", 240_000.0))
     warmup = float(params.get("warmup", 60_000.0))
@@ -205,11 +210,13 @@ def run_shard_scaling(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
         )
     )
     drivers = [
-        system.add_client(
+        system.attach_population(
             f"c{i}",
-            RouterClientConfig(
+            PopulationConfig(
+                n_clients=1,
+                mode="closed",
                 think_time=float(params.get("think_time", 50.0)),
-                op_factory=op_factory,
+                workload=FactoryWorkload(op_factory, name="kv-scaling"),
             ),
         )
         for i in range(int(params.get("n_clients", 8)))
@@ -233,6 +240,127 @@ def run_shard_scaling(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
         "failed_ops": system.failed_operations(),
         "shard_ops_min": min(per_shard),
         "shard_ops_max": max(per_shard),
+        "degraded_shards": len(system.directory.degraded_shards()),
+        "safe": 1 if system.is_safe else 0,
+    }
+
+
+@register_runner("mesoscale")
+def run_mesoscale(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    """One aggregated-population traffic trial (the C4 mesoscale story).
+
+    Drives ``n_populations`` aggregated populations — together modeling
+    ``n_clients`` clients with O(populations) memory — through a sharded
+    system, optionally killing a shard mid-run to exercise admission
+    control's degraded-shard shedding.
+
+    Params: ``process`` (poisson|pareto|diurnal|flash),
+    ``rate_per_client`` (ops per client per sim ms), ``n_clients``
+    (modeled, split across populations), ``n_populations``, ``n_shards``,
+    ``tick``, ``max_inflight``, ``queue_limit``, ``duration``,
+    ``warmup``, ``kill_shard`` (shard id or empty), ``key_space``,
+    ``width``, ``height``, ``protocol``, ``f``.
+    """
+    from repro.metrics.traffic import (
+        aggregate_completions,
+        aggregate_latencies,
+        latency_percentiles,
+    )
+    from repro.mesoscale import PopulationConfig
+    from repro.shard import ShardConfig, ShardedSystem
+    from repro.workloads import (
+        DiurnalArrivals,
+        FlashCrowdArrivals,
+        ParetoArrivals,
+        PoissonArrivals,
+        kv_workload,
+    )
+
+    duration = float(params.get("duration", 240_000.0))
+    warmup = float(params.get("warmup", 60_000.0))
+    rate = float(params.get("rate_per_client", 2e-6))
+    process = str(params.get("process", "poisson"))
+    if process == "poisson":
+        arrivals: Any = PoissonArrivals(rate)
+    elif process == "pareto":
+        arrivals = ParetoArrivals(rate, alpha=float(params.get("alpha", 1.7)))
+    elif process == "diurnal":
+        arrivals = DiurnalArrivals(
+            rate,
+            amplitude=float(params.get("amplitude", 0.5)),
+            period=float(params.get("period", duration)),
+        )
+    elif process == "flash":
+        spike_duration = float(params.get("spike_duration", duration / 4.0))
+        arrivals = FlashCrowdArrivals(
+            rate,
+            spike_start=warmup + float(params.get("spike_after", duration / 4.0)),
+            spike_duration=spike_duration,
+            multiplier=float(params.get("multiplier", 10.0)),
+            ramp=float(params.get("ramp", spike_duration / 8.0)),
+        )
+    else:
+        raise ValueError(f"unknown arrival process {process!r}")
+
+    system = ShardedSystem(
+        ShardConfig(
+            seed=seed,
+            n_shards=int(params.get("n_shards", 4)),
+            protocol=params.get("protocol", "minbft"),
+            f=int(params.get("f", 1)),
+            width=int(params.get("width", 8)),
+            height=int(params.get("height", 8)),
+            enable_rejuvenation=False,
+        )
+    )
+    n_clients = int(params.get("n_clients", 100_000))
+    n_populations = max(1, int(params.get("n_populations", 2)))
+    per_pop = max(1, n_clients // n_populations)
+    populations = [
+        system.attach_population(
+            f"pop{i}",
+            PopulationConfig(
+                n_clients=per_pop,
+                workload=kv_workload(
+                    keys=int(params.get("key_space", 256)), arrivals=arrivals
+                ),
+                tick=float(params.get("tick", 100.0)),
+                max_inflight=int(params.get("max_inflight", 64)),
+                queue_limit=int(params.get("queue_limit", 4096)),
+            ),
+        )
+        for i in range(n_populations)
+    ]
+    system.start(warmup=warmup)
+    start = system.sim.now
+    kill_shard = str(params.get("kill_shard", "") or "")
+    if kill_shard:
+        system.sim.schedule(duration / 2.0, system.kill_shard, kill_shard)
+    system.run(duration)
+    end = system.sim.now
+    ops = aggregate_completions(populations, start, end)
+    pct = latency_percentiles(
+        aggregate_latencies(populations, start, end), (50.0, 99.0)
+    )
+    offered = sum(p.offered for p in populations)
+    admitted = sum(p.admitted for p in populations)
+    shed = sum(p.shed for p in populations)
+    shed_degraded = sum(
+        p.shed_by_reason.get("degraded", 0) for p in populations
+    )
+    return {
+        "ops": ops,
+        "ops_per_sec": ops / (duration / 1000.0),
+        "p50_latency_ms": pct["p50"],
+        "p99_latency_ms": pct["p99"],
+        "offered": offered,
+        "admitted": admitted,
+        "shed": shed,
+        "shed_degraded": shed_degraded,
+        "shed_fraction": shed / offered if offered else 0.0,
+        "backlog": sum(p.backlog for p in populations),
+        "failed_ops": system.failed_operations(),
+        "modeled_clients": sum(p.modeled_clients for p in populations),
         "degraded_shards": len(system.directory.degraded_shards()),
         "safe": 1 if system.is_safe else 0,
     }

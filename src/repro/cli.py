@@ -12,6 +12,11 @@ Commands
     Run the sharded service layer (N replica groups on one chip) and
     print the per-shard report; ``--kill-shard s1`` exercises
     shard-level failover.
+``mesoscale``
+    Drive aggregated client populations (10^5–10^6 modeled clients,
+    O(populations) memory) through the sharded service with admission
+    control and load shedding; ``--kill-shard s1`` shows demand being
+    shed at the source while survivors keep serving.
 ``experiments``
     List the experiment index (id, claim, bench target); ``--verify``
     checks the index against the actual ``benchmarks/`` directory.
@@ -53,6 +58,7 @@ EXPERIMENTS = [
     ("C1", "campaign engine: sweep-scale evaluation", "bench_campaign_smoke.py"),
     ("C2", "SII: sharding scales throughput across replica groups", "bench_c2_shard_scaling.py"),
     ("C3", "statistical fault injection: outcome CIs + MTTF bounds", "bench_c3_faultspace.py"),
+    ("C4", "mesoscale traffic: 10^5+ aggregated clients, admission + shedding", "bench_c4_mesoscale.py"),
     ("P1", "perf: NoC express path + kernel hot-path overhaul", "bench_p1_hotpath.py"),
     ("P2", "perf: consensus batching + pipelined agreement", "bench_p2_consensus.py"),
 ]
@@ -90,8 +96,10 @@ def cmd_demo(args: argparse.Namespace) -> int:
 
 def cmd_shard(args: argparse.Namespace) -> int:
     """Run a sharded-service scenario and print the per-shard report."""
+    from repro.mesoscale import PopulationConfig
     from repro.metrics.tables import Table
-    from repro.shard import RouterClientConfig, ShardConfig, ShardedSystem
+    from repro.shard import ShardConfig, ShardedSystem
+    from repro.workloads import FactoryWorkload
 
     def op_factory(i: int) -> Any:
         key = f"k{i % 256}"
@@ -108,9 +116,14 @@ def cmd_shard(args: argparse.Namespace) -> int:
         )
     )
     drivers = [
-        system.add_client(
+        system.attach_population(
             f"c{i}",
-            RouterClientConfig(think_time=args.think_time, op_factory=op_factory),
+            PopulationConfig(
+                n_clients=1,
+                mode="closed",
+                think_time=args.think_time,
+                workload=FactoryWorkload(op_factory, name="kv-shard"),
+            ),
         )
         for i in range(args.clients)
     ]
@@ -149,6 +162,114 @@ def cmd_shard(args: argparse.Namespace) -> int:
         )
         return 0 if degraded == [args.kill_shard] and survivors_ok else 1
     return 0 if system.is_safe and not degraded else 1
+
+
+def cmd_mesoscale(args: argparse.Namespace) -> int:
+    """Run aggregated client populations against the sharded service."""
+    from repro.mesoscale import PopulationConfig
+    from repro.metrics.tables import Table
+    from repro.metrics.traffic import (
+        aggregate_completions,
+        aggregate_latencies,
+        latency_percentiles,
+    )
+    from repro.shard import ShardConfig, ShardedSystem
+    from repro.workloads import (
+        DiurnalArrivals,
+        FlashCrowdArrivals,
+        ParetoArrivals,
+        PoissonArrivals,
+        kv_workload,
+    )
+
+    if args.process == "poisson":
+        arrivals: Any = PoissonArrivals(args.rate)
+    elif args.process == "pareto":
+        arrivals = ParetoArrivals(args.rate)
+    elif args.process == "diurnal":
+        arrivals = DiurnalArrivals(args.rate, period=args.duration)
+    else:
+        spike = args.duration / 4.0
+        arrivals = FlashCrowdArrivals(
+            args.rate,
+            spike_start=60_000.0 + spike,
+            spike_duration=spike,
+            ramp=spike / 8.0,
+        )
+    system = ShardedSystem(
+        ShardConfig(
+            seed=args.seed,
+            n_shards=args.shards,
+            protocol=args.protocol,
+            width=args.width,
+            height=args.height,
+            enable_rejuvenation=False,
+        )
+    )
+    per_pop = max(1, args.clients // args.populations)
+    populations = [
+        system.attach_population(
+            f"pop{i}",
+            PopulationConfig(
+                n_clients=per_pop,
+                workload=kv_workload(keys=256, arrivals=arrivals),
+                tick=args.tick,
+                max_inflight=args.max_inflight,
+            ),
+        )
+        for i in range(args.populations)
+    ]
+    system.start()
+    start = system.sim.now
+    if args.kill_shard is not None:
+        if args.kill_shard not in system.shards:
+            print(f"unknown shard {args.kill_shard!r}; have "
+                  f"{', '.join(system.directory.shard_ids)}", file=sys.stderr)
+            return 2
+        system.sim.schedule(args.duration / 2, system.kill_shard, args.kill_shard)
+    system.run(args.duration)
+    end = system.sim.now
+
+    table = Table(
+        "population",
+        ["population", "clients", "offered", "admitted", "shed", "ops",
+         "p50", "p99"],
+        title=(f"{args.populations} population(s), "
+               f"{per_pop * args.populations} modeled clients, "
+               f"{args.process} arrivals"),
+    )
+    for population in populations:
+        pct = latency_percentiles(
+            population.latencies_in(start, end), (50.0, 99.0)
+        )
+        table.add_row([
+            population.name, population.modeled_clients, population.offered,
+            population.admitted, population.shed,
+            population.completions_in(start, end),
+            round(pct["p50"], 1), round(pct["p99"], 1),
+        ])
+    print(table.render())
+    ops = aggregate_completions(populations, start, end)
+    pct = latency_percentiles(aggregate_latencies(populations, start, end),
+                              (50.0, 99.0))
+    shed = sum(p.shed for p in populations)
+    offered = sum(p.offered for p in populations)
+    print(f"\nmeasured window: {ops} ops "
+          f"({ops / (args.duration / 1000.0):.1f} ops/s sim), "
+          f"p50={pct['p50']:.1f}ms p99={pct['p99']:.1f}ms, "
+          f"shed {shed}/{offered} offered")
+    print(system.summary())
+    if args.kill_shard is not None:
+        shed_degraded = sum(
+            p.shed_by_reason.get("degraded", 0) for p in populations
+        )
+        survivors_ok = all(
+            system.shard_safe(s) for s in system.directory.live_shards()
+        )
+        ok = (system.directory.degraded_shards() == [args.kill_shard]
+              and shed_degraded > 0 and survivors_ok)
+        return 0 if ok else 1
+    return 0 if system.is_safe and ops > 0 else 1
 
 
 def benchmarks_dir() -> Path:
@@ -382,6 +503,36 @@ def build_parser() -> argparse.ArgumentParser:
     shard.add_argument("--no-rejuvenation", action="store_true",
                        help="disable per-shard proactive rejuvenation")
     shard.set_defaults(fn=cmd_shard)
+
+    mesoscale = sub.add_parser(
+        "mesoscale", help="drive aggregated client populations (C4)"
+    )
+    mesoscale.add_argument("--seed", type=int, default=42)
+    mesoscale.add_argument("--clients", type=int, default=100_000,
+                           help="total modeled clients across populations")
+    mesoscale.add_argument("--populations", type=int, default=2,
+                           help="number of aggregated population objects")
+    mesoscale.add_argument("--shards", type=int, default=4,
+                           help="number of independent replica groups")
+    mesoscale.add_argument("--process",
+                           choices=["poisson", "pareto", "diurnal", "flash"],
+                           default="poisson", help="arrival process shape")
+    mesoscale.add_argument("--rate", type=float, default=2e-6,
+                           help="ops per client per sim ms")
+    mesoscale.add_argument("--protocol",
+                           choices=["minbft", "pbft", "cft", "passive"],
+                           default="minbft")
+    mesoscale.add_argument("--duration", type=float, default=240_000.0)
+    mesoscale.add_argument("--tick", type=float, default=100.0,
+                           help="demand-sampling tick (sim ms)")
+    mesoscale.add_argument("--max-inflight", type=int, default=64,
+                           help="per-population concurrent submission cap")
+    mesoscale.add_argument("--width", type=int, default=8)
+    mesoscale.add_argument("--height", type=int, default=8)
+    mesoscale.add_argument("--kill-shard", default=None, metavar="SHARD",
+                           help="crash this shard mid-run and require "
+                           "degraded-shard shedding to engage")
+    mesoscale.set_defaults(fn=cmd_mesoscale)
 
     experiments = sub.add_parser("experiments", help="list the experiment index")
     experiments.add_argument(

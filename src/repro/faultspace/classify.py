@@ -175,9 +175,12 @@ class _ShardedTarget:
     kind = "sharded"
 
     def __init__(self, params: Dict[str, Any], seed: int) -> None:
+        from repro.bft.client import default_op_factory
         from repro.core.rejuvenation import RejuvenationPolicy
-        from repro.shard import RouterClientConfig, ShardConfig, ShardedSystem
+        from repro.mesoscale import PopulationConfig
+        from repro.shard import ShardConfig, ShardedSystem
         from repro.shard.router import RouterConfig
+        from repro.workloads import FactoryWorkload
 
         protocol = params.get("protocol", "minbft")
         self.system = ShardedSystem(
@@ -205,9 +208,15 @@ class _ShardedTarget:
             )
         )
         self.clients = [
-            self.system.add_client(
+            self.system.attach_population(
                 f"c{i}",
-                RouterClientConfig(think_time=float(params.get("think_time", 200.0))),
+                PopulationConfig(
+                    n_clients=1,
+                    mode="closed",
+                    think_time=float(params.get("think_time", 200.0)),
+                    # The historical default op stream, byte for byte.
+                    workload=FactoryWorkload(default_op_factory, name="kv-default"),
+                ),
             )
             for i in range(int(params.get("n_clients", 2)))
         ]

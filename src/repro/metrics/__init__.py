@@ -14,7 +14,10 @@ benches print uniform tables.  The design follows the usual triad:
 * :class:`~repro.metrics.registry.MetricsRegistry` — a namespace of the
   above, one per simulation,
 * :class:`~repro.metrics.tables.Table` — fixed-width table rendering used
-  by the benchmark harness to print the rows each experiment defines.
+  by the benchmark harness to print the rows each experiment defines,
+* :class:`~repro.metrics.traffic.TrafficSource` — the shared
+  completions/latencies measurement mixin every workload driver
+  (clients, routers, aggregated populations) exposes to benches.
 """
 
 from repro.metrics.collectors import Counter, Gauge, Histogram, TimeSeries
@@ -26,12 +29,19 @@ from repro.metrics.stats import (
     clopper_pearson_interval,
     mean,
     normal_quantile,
+    percentile,
     stddev,
     summarize,
     wilson_interval,
 )
 from repro.metrics.tables import Table
 from repro.metrics.tracing import ProtocolTracer, TraceRecord
+from repro.metrics.traffic import (
+    TrafficSource,
+    aggregate_completions,
+    aggregate_latencies,
+    latency_percentiles,
+)
 
 __all__ = [
     "Counter",
@@ -42,12 +52,17 @@ __all__ = [
     "Table",
     "TimeSeries",
     "TraceRecord",
+    "TrafficSource",
+    "aggregate_completions",
+    "aggregate_latencies",
     "binomial_half_width",
     "binomial_interval",
     "ci95_half_width",
     "clopper_pearson_interval",
+    "latency_percentiles",
     "mean",
     "normal_quantile",
+    "percentile",
     "stddev",
     "summarize",
     "wilson_interval",

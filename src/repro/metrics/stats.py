@@ -44,6 +44,24 @@ def ci95_half_width(values: Sequence[float]) -> float:
     return Z_95 * stddev(values) / math.sqrt(n)
 
 
+def percentile(values: Sequence[float], p: float) -> float:
+    """Nearest-rank p-th percentile (0 <= p <= 100); 0.0 when empty.
+
+    Matches :meth:`repro.metrics.collectors.Histogram.percentile` so a
+    runner computing p99 from a raw latency list and a report reading the
+    same figure from a histogram agree exactly.  Sorts a copy when the
+    input is unsorted, so already-sorted latency lists pay only the scan.
+    """
+    if not 0 <= p <= 100:
+        raise ValueError(f"percentile must be in [0, 100], got {p}")
+    if not values:
+        return 0.0
+    ordered = list(values)
+    ordered.sort()
+    rank = max(0, min(len(ordered) - 1, math.ceil(p / 100 * len(ordered)) - 1))
+    return ordered[rank]
+
+
 def normal_quantile(p: float) -> float:
     """Standard-normal quantile Φ⁻¹(p) via bisection on ``math.erf``.
 

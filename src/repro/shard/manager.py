@@ -32,6 +32,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional
 
+import warnings
+
 from repro.bft.app import KeyValueStore, StateMachine
 from repro.bft.group import FAMILIES, GroupConfig, ReplicaGroup
 from repro.core.adaptation import AdaptationController, AdaptationPolicy
@@ -40,6 +42,8 @@ from repro.core.rejuvenation import RejuvenationPolicy, RejuvenationScheduler
 from repro.core.replication import ReplicationManager
 from repro.core.severity import SeverityConfig, SeverityDetector, ThreatLevel
 from repro.fabric.fabric import FpgaFabric
+from repro.mesoscale.admission import AdmissionConfig, AdmissionController
+from repro.mesoscale.population import ClientPopulation, PopulationConfig
 from repro.shard.directory import ShardDirectory
 from repro.shard.placement import PlacementPlanner, ShardRegion
 from repro.shard.router import (
@@ -157,25 +161,25 @@ class ShardedSystem:
                 adaptation=adaptation,
             )
         self.routers: List[ShardRouter] = []
-        self.clients: List[RouterClient] = []
+        self.clients: List[ClientPopulation] = []
+        self.populations: List[ClientPopulation] = []
         self._health_timer: Optional[PeriodicTimer] = None
 
     # ------------------------------------------------------------------
-    # Clients
+    # Traffic attachment
     # ------------------------------------------------------------------
-    def add_client(
-        self,
-        name: str,
-        client_config: Optional[RouterClientConfig] = None,
-        router_config: Optional[RouterConfig] = None,
-    ) -> RouterClient:
-        """Create a router + closed-loop driver pair for one tenant.
+    def _place_router(
+        self, name: str, router_config: Optional[RouterConfig] = None
+    ) -> ShardRouter:
+        """Create, place, and fully bind one router front end.
 
-        Each tenant gets its *own* router node (routers serialize message
-        handling on their core, so a shared router would become the
-        scaling bottleneck the shards exist to remove).  The router is
-        placed on the free tile nearest the mesh centre to keep worst-case
-        hop counts down.
+        Each tenant/population gets its *own* router node (routers
+        serialize message handling on their core, so a shared router
+        would become the scaling bottleneck the shards exist to remove).
+        The router is placed on the free tile nearest the mesh centre to
+        keep worst-case hop counts down, and bound to every shard so the
+        group's reconfiguration path and each shard's severity detector
+        see it like any other client.
         """
         router = ShardRouter(
             name, self.directory, router_config or self.config.router
@@ -196,8 +200,68 @@ class ShardedSystem:
             )
             shard.group.clients.append(router.binding_for(shard_id))
             shard.detector.clients.append(router.shard_stats(shard_id))
-        driver = RouterClient(name, router, client_config)
         self.routers.append(router)
+        return router
+
+    def attach_population(
+        self,
+        name: str,
+        config: Optional[PopulationConfig] = None,
+        router_config: Optional[RouterConfig] = None,
+        admission: Optional[AdmissionConfig] = None,
+    ) -> ClientPopulation:
+        """Attach an aggregated client population behind its own router.
+
+        The primary traffic API: one population object models
+        ``config.n_clients`` clients (10^5–10^6 is the design point) with
+        O(1) state, sampling demand from its workload's arrival process.
+        Open-mode populations get an
+        :class:`~repro.mesoscale.admission.AdmissionController` wired to
+        the shard directory and every shard's severity detector, so
+        demand for degraded or threatened shards is shed at the source;
+        pass ``admission`` to tune the policy.  The population starts
+        with the system (see :meth:`start`).
+        """
+        router = self._place_router(name, router_config)
+        cfg = config or PopulationConfig()
+        controller: Optional[AdmissionController] = None
+        if cfg.mode == "open":
+            controller = AdmissionController(
+                self.directory,
+                {sid: shard.detector for sid, shard in self.shards.items()},
+                admission or AdmissionConfig(),
+                self.sim.rng.stream(f"mesoscale.{name}.admission"),
+            )
+        population = ClientPopulation(name, router, cfg, controller)
+        self.clients.append(population)
+        self.populations.append(population)
+        return population
+
+    def add_client(
+        self,
+        name: str,
+        client_config: Optional[RouterClientConfig] = None,
+        router_config: Optional[RouterConfig] = None,
+    ) -> RouterClient:
+        """Create a router + closed-loop driver pair for one tenant.
+
+        .. deprecated::
+            Per-client drivers are the legacy path; use
+            :meth:`attach_population` (a closed-mode
+            ``PopulationConfig(n_clients=1)`` reproduces this driver's
+            event pattern exactly, and open mode scales to mesoscale
+            client counts).  The old signature keeps working through
+            this shim.
+        """
+        warnings.warn(
+            "ShardedSystem.add_client is deprecated; use "
+            "ShardedSystem.attach_population (closed mode, n_clients=1 "
+            "for the same per-tenant behaviour)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        router = self._place_router(name, router_config)
+        driver = RouterClient(name, router, client_config)
         self.clients.append(driver)
         return driver
 

@@ -33,10 +33,13 @@ from typing import Any, Callable, Dict, List, Optional, Set, Union
 
 from repro.bft.client import OpFactory, default_op_factory
 from repro.bft.messages import ClientReply, ClientRequest
+from repro.mesoscale.population import ClientPopulation, PopulationConfig
+from repro.metrics.traffic import TrafficSource
 from repro.shard.directory import ShardDirectory
 from repro.sim.timers import Timeout
 from repro.soc.chip import is_corrupted
 from repro.soc.node import Node
+from repro.workloads.workload import FactoryWorkload
 
 
 def default_key_of(op: Any) -> Union[str, List[str]]:
@@ -161,7 +164,7 @@ class _RouterBinding:
         self.router.bind(self.shard_id, replicas, reply_quorum, read_quorum)
 
 
-class ShardRouter(Node):
+class ShardRouter(Node, TrafficSource):
     """Routes operations to their owning replica group over the NoC."""
 
     def __init__(
@@ -170,7 +173,8 @@ class ShardRouter(Node):
         directory: ShardDirectory,
         config: Optional[RouterConfig] = None,
     ) -> None:
-        super().__init__(name)
+        Node.__init__(self, name)
+        TrafficSource.__init__(self)
         self.directory = directory
         self.config = config or RouterConfig()
         self._views: Dict[str, _ShardView] = {}
@@ -179,11 +183,8 @@ class ShardRouter(Node):
         self._ticket_seq = 0
         self._subops: Dict[int, _SubOp] = {}
         self._tickets: Dict[int, _Ticket] = {}
-        self.completed = 0
         self.failed = 0
         self.timeouts = 0
-        self.latencies: List[float] = []
-        self._completion_times: List[float] = []
 
     # ------------------------------------------------------------------
     # Shard bindings
@@ -380,9 +381,7 @@ class ShardRouter(Node):
         latency = self.sim.now - ticket.started_at
         ok = not ticket.errors
         if ok:
-            self.completed += 1
-            self.latencies.append(latency)
-            self._completion_times.append(self.sim.now)
+            self.record_completion(self.sim.now, latency)
             if ticket.multi:
                 value: Any = dict(ticket.results)
             else:
@@ -414,21 +413,6 @@ class ShardRouter(Node):
     def _gauge_inflight(self, shard_id: str):
         return self.chip.metrics.gauge(f"shard.{shard_id}.inflight")
 
-    # ------------------------------------------------------------------
-    # Measurement helpers (window semantics match ClientNode)
-    # ------------------------------------------------------------------
-    def completions_in(self, start: float, end: float) -> int:
-        """Tickets completed successfully in a time window."""
-        return sum(1 for t in self._completion_times if start <= t < end)
-
-    def latencies_in(self, start: float, end: float) -> List[float]:
-        """Latencies of tickets completed in a window."""
-        return [
-            lat
-            for t, lat in zip(self._completion_times, self.latencies)
-            if start <= t < end
-        ]
-
 
 @dataclass
 class RouterClientConfig:
@@ -439,7 +423,7 @@ class RouterClientConfig:
     op_factory: OpFactory = default_op_factory
 
 
-class RouterClient:
+class RouterClient(ClientPopulation):
     """A closed-loop workload driver submitting through a router.
 
     Not a NoC node itself: it models a tenant application co-located with
@@ -447,6 +431,12 @@ class RouterClient:
     operation is in flight at a time; failures (degraded shard, exhausted
     retries) are counted and the loop continues — a real tenant retries
     other work even when part of the keyspace is down.
+
+    Since the mesoscale engine landed this is a thin compatibility shell:
+    a closed-mode :class:`~repro.mesoscale.population.ClientPopulation`
+    of exactly one client, sharing the population's submission and
+    measurement path while preserving the historical event pattern
+    (issue → complete → think → issue) operation for operation.
     """
 
     def __init__(
@@ -455,61 +445,17 @@ class RouterClient:
         router: ShardRouter,
         config: Optional[RouterClientConfig] = None,
     ) -> None:
-        self.name = name
-        self.router = router
-        self.config = config or RouterClientConfig()
-        self.running = False
-        self.completed = 0
-        self.failures = 0
-        self.latencies: List[float] = []
-        self._completion_times: List[float] = []
-        self._issued = 0
-
-    @property
-    def sim(self):
-        return self.router.sim
-
-    def start(self) -> None:
-        """Begin the closed loop."""
-        self.running = True
-        self._issue_next()
-
-    def stop(self) -> None:
-        """Stop after the in-flight operation resolves."""
-        self.running = False
-
-    def _issue_next(self) -> None:
-        if not self.running:
-            return
-        if (
-            self.config.max_requests is not None
-            and self._issued >= self.config.max_requests
-        ):
-            self.running = False
-            return
-        op = self.config.op_factory(self._issued)
-        self._issued += 1
-        self.router.submit(op, self._on_done)
-
-    def _on_done(self, result: TicketResult) -> None:
-        if result.ok:
-            self.completed += 1
-            self.latencies.append(result.latency)
-            self._completion_times.append(self.sim.now)
-        else:
-            self.failures += 1
-        if self.running:
-            self.sim.schedule(self.config.think_time, self._issue_next)
-
-    # ------------------------------------------------------------------
-    def completions_in(self, start: float, end: float) -> int:
-        """Operations completed in a time window."""
-        return sum(1 for t in self._completion_times if start <= t < end)
-
-    def latencies_in(self, start: float, end: float) -> List[float]:
-        """Latencies of operations completed in a window."""
-        return [
-            lat
-            for t, lat in zip(self._completion_times, self.latencies)
-            if start <= t < end
-        ]
+        self.client_config = config or RouterClientConfig()
+        super().__init__(
+            name,
+            router,
+            PopulationConfig(
+                n_clients=1,
+                mode="closed",
+                think_time=self.client_config.think_time,
+                max_requests=self.client_config.max_requests,
+                workload=FactoryWorkload(
+                    self.client_config.op_factory, name=f"{name}-ops"
+                ),
+            ),
+        )

@@ -1,0 +1,211 @@
+"""The unified `Workload` API: op mix + key distribution + arrival process.
+
+Historically a workload was a bare ``op_factory(i) -> op`` callable and
+the *demand side* (who issues how fast) lived in whichever driver you
+wired it to.  The mesoscale engine needs both halves in one object — a
+population samples demand from the workload's arrival process and turns
+each admitted slot into ``workload.op(i)``.  This module defines:
+
+* :class:`Workload` — the protocol every traffic consumer accepts:
+  ``op(i)``, an ``arrivals`` process, and a ``name``;
+* :class:`UniformKeys` / :class:`ZipfKeys` — deterministic key
+  distributions, factored out of the old generator closures;
+* :class:`KVWorkload` — the standard put/get mix over a key
+  distribution (the concrete workload every bench uses);
+* :class:`FactoryWorkload` — adapter wrapping a legacy ``OpFactory``;
+* :func:`as_workload` — the deprecation shim: bare callables keep
+  working everywhere a :class:`Workload` is expected, with a
+  ``DeprecationWarning`` pointing at the new API.
+
+Everything is a pure function of the op index ``i`` (plus explicit
+seeds), so the same workload replays identically against any protocol,
+shard count, or driver — the property every exactness check in this
+repo leans on.
+"""
+
+from __future__ import annotations
+
+import random
+import warnings
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Protocol, runtime_checkable
+
+from repro.workloads.arrivals import ArrivalProcess, PoissonArrivals
+
+OpFactory = Callable[[int], Any]
+
+
+@runtime_checkable
+class Workload(Protocol):
+    """One object answering both "what ops?" and "how fast?"."""
+
+    name: str
+    arrivals: Optional[ArrivalProcess]
+
+    def op(self, i: int) -> Any:
+        """The ``i``-th operation of the workload (pure in ``i``)."""
+        ...
+
+
+# ----------------------------------------------------------------------
+# Key distributions
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class UniformKeys:
+    """Round-robin over ``keys`` names — every key equally hot."""
+
+    keys: int = 64
+
+    def __post_init__(self) -> None:
+        if self.keys < 1:
+            raise ValueError("need at least one key")
+
+    def key(self, i: int) -> str:
+        return f"k{i % self.keys}"
+
+
+@dataclass(frozen=True)
+class ZipfKeys:
+    """Zipf-skewed popularity: a pre-drawn table keeps ``key`` pure in i."""
+
+    keys: int = 64
+    s: float = 1.1
+    seed: int = 0
+    table_size: int = 65536
+    _table: List[int] = field(default_factory=list, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.keys < 1:
+            raise ValueError("need at least one key")
+        if self.s <= 0:
+            raise ValueError("zipf exponent must be positive")
+        rng = random.Random(self.seed)
+        weights = [1.0 / (rank + 1) ** self.s for rank in range(self.keys)]
+        total = sum(weights)
+        probabilities = [w / total for w in weights]
+        table = rng.choices(range(self.keys), weights=probabilities, k=self.table_size)
+        object.__setattr__(self, "_table", table)
+
+    def key(self, i: int) -> str:
+        return f"k{self._table[i % len(self._table)]}"
+
+
+# ----------------------------------------------------------------------
+# Concrete workloads
+# ----------------------------------------------------------------------
+
+@dataclass
+class KVWorkload:
+    """The standard KV mix: deterministic put/get interleave over keys.
+
+    ``write_ratio`` is honored with the same stride trick as the old
+    ``kv_uniform_ops`` (``(i * 37) % 100``), so a migrated bench sees the
+    identical op sequence for the identical index stream.
+    """
+
+    name: str = "kv"
+    keys: Any = field(default_factory=UniformKeys)
+    write_ratio: float = 0.5
+    arrivals: Optional[ArrivalProcess] = None
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.write_ratio <= 1:
+            raise ValueError("write ratio must be in [0, 1]")
+        self._writes_per_period = round(self.write_ratio * 100)
+
+    def op(self, i: int) -> Any:
+        key = self.keys.key(i)
+        if (i * 37) % 100 < self._writes_per_period:
+            return ("put", key, i)
+        return ("get", key)
+
+
+@dataclass
+class FactoryWorkload:
+    """Adapter: a legacy ``op_factory`` exposed through the Workload API.
+
+    Internal compatibility paths construct this directly (no warning);
+    user code passing a bare callable to a Workload-typed parameter gets
+    here via :func:`as_workload`, which warns.
+    """
+
+    factory: OpFactory
+    name: str = "factory"
+    arrivals: Optional[ArrivalProcess] = None
+
+    def op(self, i: int) -> Any:
+        return self.factory(i)
+
+
+def kv_workload(
+    keys: int = 64,
+    write_ratio: float = 0.5,
+    zipf_s: Optional[float] = None,
+    seed: int = 0,
+    arrivals: Optional[ArrivalProcess] = None,
+    rate_per_client: Optional[float] = None,
+) -> KVWorkload:
+    """Build the standard KV workload in one call.
+
+    ``zipf_s`` switches the key distribution from uniform to Zipf;
+    ``rate_per_client`` is sugar for ``arrivals=PoissonArrivals(...)``.
+    """
+    if arrivals is not None and rate_per_client is not None:
+        raise ValueError("pass arrivals or rate_per_client, not both")
+    if rate_per_client is not None:
+        arrivals = PoissonArrivals(rate_per_client)
+    distribution: Any
+    if zipf_s is None:
+        distribution = UniformKeys(keys)
+    else:
+        distribution = ZipfKeys(keys=keys, s=zipf_s, seed=seed)
+    return KVWorkload(
+        name="kv-zipf" if zipf_s is not None else "kv-uniform",
+        keys=distribution,
+        write_ratio=write_ratio,
+        arrivals=arrivals,
+    )
+
+
+# ----------------------------------------------------------------------
+# The deprecation shim
+# ----------------------------------------------------------------------
+
+def as_workload(
+    obj: Any,
+    arrivals: Optional[ArrivalProcess] = None,
+    warn: bool = True,
+) -> Workload:
+    """Coerce a workload-like object to the :class:`Workload` API.
+
+    A real workload passes through (with ``arrivals`` filled in when it
+    had none); a bare ``op_factory`` callable is wrapped in a
+    :class:`FactoryWorkload` — the supported-but-deprecated path, which
+    emits a ``DeprecationWarning`` unless ``warn=False`` (internal
+    compatibility shims silence it; user code should migrate).
+    """
+    if obj is None:
+        return KVWorkload(arrivals=arrivals)
+    if isinstance(obj, Workload) and not callable(getattr(obj, "factory", None)):
+        if arrivals is not None and obj.arrivals is None:
+            obj.arrivals = arrivals
+        return obj
+    if isinstance(obj, FactoryWorkload):
+        if arrivals is not None and obj.arrivals is None:
+            obj.arrivals = arrivals
+        return obj
+    if callable(obj):
+        if warn:
+            warnings.warn(
+                "bare OpFactory callables are deprecated as workloads; wrap "
+                "the factory in repro.workloads.FactoryWorkload or build a "
+                "repro.workloads.kv_workload(...)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        return FactoryWorkload(obj, arrivals=arrivals)
+    raise TypeError(
+        f"cannot interpret {obj!r} as a Workload (need .op(i)/.arrivals or "
+        f"a callable op factory)"
+    )

@@ -174,3 +174,36 @@ def test_single_shard_matches_resilient_system_shape():
     drivers = serve(system, n_clients=1, duration=120_000)
     assert system.completed_operations() == drivers[0].completed > 0
     assert system.chip.metrics.counter("shard.s0.ops").value == drivers[0].completed
+
+
+# ----------------------------------------------------------------------
+# The traffic API redesign: attach_population primary, add_client shim
+# ----------------------------------------------------------------------
+def test_attach_population_is_primary_api():
+    from repro.mesoscale import ClientPopulation, PopulationConfig
+    from repro.workloads import kv_workload
+
+    system = ShardedSystem(ShardConfig(seed=30, n_shards=2, enable_rejuvenation=False))
+    pop = system.attach_population(
+        "edge",
+        PopulationConfig(
+            n_clients=10_000,
+            workload=kv_workload(keys=64, rate_per_client=4e-7),
+        ),
+    )
+    assert isinstance(pop, ClientPopulation)
+    assert pop in system.populations and pop in system.clients
+    system.start(warmup=60_000)
+    system.run(60_000)
+    assert pop.completed > 0
+    assert system.is_safe
+
+
+def test_add_client_is_deprecated_but_works():
+    system = ShardedSystem(ShardConfig(seed=31, n_shards=2, enable_rejuvenation=False))
+    with pytest.warns(DeprecationWarning, match="attach_population"):
+        driver = system.add_client("c0", RouterClientConfig(think_time=100.0))
+    system.start(warmup=60_000)
+    system.run(60_000)
+    assert driver.completed > 0
+    assert system.is_safe
