@@ -11,20 +11,35 @@ results, byte for byte, with the fast path on or off.
 
 Scenarios:
 
+The fast-path gate is *per compiled route*: a route batches iff every
+router and link it actually crosses is healthy, so one faulty link
+elsewhere on the mesh no longer drags unrelated traffic onto the
+slow path.
+
+Scenarios:
+
 * P1a — fault-free stream: a closed-loop corner-to-corner packet
   stream; wall-clock packets/sec and events/sec with express routing
   on vs off (best-of-N pairing to damp machine noise).
-* P1b — faulty mesh: one degraded off-route link clears ``fault_free``
-  and forces the hop-by-hop slow path in both configurations; the
-  express config must converge to baseline behaviour (identical event
-  counts and deliveries — asserted deterministically).
+* P1b — fault on the route: one degraded link *on* the stream's XY
+  path clears the route's ``fault_free`` and forces the hop-by-hop
+  slow path in both configurations; the express config must converge
+  to baseline behaviour (identical event counts and deliveries —
+  asserted deterministically).
 * P1c — exactness: the smoke campaign's ``summary.json`` must be
   byte-identical with ``REPRO_NOC_EXPRESS`` on and off.
+* P1d — fault elsewhere: the same degraded link as before the per-route
+  gate existed (off the stream's path); the stream's route stays
+  fault-free so express must keep its full event economy while
+  delivering the exact baseline outcome.
 
 Shape assertions:
 * express delivers >= 2x the packets/sec of hop-by-hop (the P1 gate);
 * express fires at most 1/5th the events of hop-by-hop (deterministic);
 * both modes end at the same simulated time with all packets delivered;
+* P1b (on-route fault) event counts match baseline exactly;
+* P1d (off-route fault) keeps the 1/5th event economy and the exact
+  baseline deliveries/sim time;
 * P1c summaries are byte-identical.
 
 Standalone (CI smoke): ``python benchmarks/bench_p1_hotpath.py --smoke``
@@ -65,8 +80,9 @@ def stream_run(express, n_packets, degrade=None):
 
     The delivery handler injects the next packet, so exactly one packet
     is in flight at a time and the express path sees the maximal
-    batching window.  ``degrade`` optionally names an off-route link to
-    put into corrupting mode before traffic starts (P1b).
+    batching window.  ``degrade`` optionally names a link to put into
+    corrupting mode before traffic starts — on the stream's route for
+    P1b, elsewhere on the mesh for P1d.
     """
     sim = Simulator()
     topo = MeshTopology(MESH_W, MESH_H)
@@ -162,18 +178,34 @@ def experiment(smoke=False):
         ])
     table.print()
 
-    # P1b: a degraded link off the XY route forces the slow path.
-    degrade = (Coord(0, 5), Coord(0, 6))
-    faulty_express = best_of(True, n_packets, 1, degrade)
-    faulty_baseline = best_of(False, n_packets, 1, degrade)
+    # P1b: a degraded link *on* the XY route (the X leg along y=0)
+    # clears the compiled route's fault_free and forces the slow path.
+    on_route = (Coord(5, 0), Coord(6, 0))
+    faulty_express = best_of(True, n_packets, 1, on_route)
+    faulty_baseline = best_of(False, n_packets, 1, on_route)
     fb = Table(
         "P1b",
         ["mode", "packets", "events", "pkt/s (wall)", "sim time"],
-        title="Same stream with one degraded off-route link (slow path forced)",
+        title="Same stream with one degraded on-route link (slow path forced)",
     )
     for label, r in (("express cfg", faulty_express), ("hop-by-hop", faulty_baseline)):
         fb.add_row([label, r["delivered"], r["events"], round(r["pkt_per_s"]), r["sim_now"]])
     fb.print()
+
+    # P1d: the same fault placed *off* the route (the y column at x=0,
+    # which the XY path from (0,0) never climbs).  The per-route gate
+    # must keep this stream on the express path.
+    off_route = (Coord(0, 5), Coord(0, 6))
+    elsewhere_express = best_of(True, n_packets, 1, off_route)
+    elsewhere_baseline = best_of(False, n_packets, 1, off_route)
+    fd = Table(
+        "P1d",
+        ["mode", "packets", "events", "pkt/s (wall)", "sim time"],
+        title="Same stream with one degraded link elsewhere (express kept)",
+    )
+    for label, r in (("express cfg", elsewhere_express), ("hop-by-hop", elsewhere_baseline)):
+        fd.add_row([label, r["delivered"], r["events"], round(r["pkt_per_s"]), r["sim_now"]])
+    fd.print()
 
     identity_duration = 20_000.0 if smoke else 60_000.0
     summary_on = campaign_summary_bytes(True, identity_duration)
@@ -187,19 +219,23 @@ def experiment(smoke=False):
     ic.add_row(["smoke", len(summary_on), "yes" if identical else "NO"])
     ic.print()
 
-    record_trajectory(smoke, express, baseline, faulty_express, ratio, identical)
+    record_trajectory(smoke, express, baseline, faulty_express,
+                      elsewhere_express, ratio, identical)
     return {
         "express": express,
         "baseline": baseline,
         "faulty_express": faulty_express,
         "faulty_baseline": faulty_baseline,
+        "elsewhere_express": elsewhere_express,
+        "elsewhere_baseline": elsewhere_baseline,
         "ratio": ratio,
         "ratio_gate": ratio_gate,
         "identical": identical,
     }
 
 
-def record_trajectory(smoke, express, baseline, faulty_express, ratio, identical):
+def record_trajectory(smoke, express, baseline, faulty_express,
+                      elsewhere_express, ratio, identical):
     """Append this run's numbers to BENCH_P1.json (the perf trajectory)."""
     history = []
     if os.path.exists(TRAJECTORY):
@@ -216,6 +252,7 @@ def record_trajectory(smoke, express, baseline, faulty_express, ratio, identical
         "express_events_per_s": round(express["events_per_s"], 1),
         "baseline_events_per_s": round(baseline["events_per_s"], 1),
         "faulty_pkt_per_s": round(faulty_express["pkt_per_s"], 1),
+        "elsewhere_pkt_per_s": round(elsewhere_express["pkt_per_s"], 1),
         "speedup": round(ratio, 3),
         "byte_identical": identical,
     })
@@ -238,12 +275,18 @@ def check(results):
     assert results["ratio"] >= results["ratio_gate"], (
         f"express speedup {results['ratio']:.2f}x below {results['ratio_gate']}x gate"
     )
-    # Under a fault the express config must behave exactly like the
-    # slow path: same events, same deliveries, same simulated time.
+    # Under an on-route fault the express config must behave exactly
+    # like the slow path: same events, same deliveries, same sim time.
     fe, fb = results["faulty_express"], results["faulty_baseline"]
     assert fe["events"] == fb["events"]
     assert fe["delivered"] == fb["delivered"]
     assert fe["sim_now"] == fb["sim_now"]
+    # A fault *elsewhere* must not cost this route its express path:
+    # full event economy, exact baseline outcome.
+    ee, eb = results["elsewhere_express"], results["elsewhere_baseline"]
+    assert ee["events"] * EVENT_FACTOR <= eb["events"]
+    assert ee["delivered"] == eb["delivered"]
+    assert ee["sim_now"] == eb["sim_now"]
     # Exactness at campaign scale: byte-identical summary.json.
     assert results["identical"]
 

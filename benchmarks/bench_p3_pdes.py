@@ -1,0 +1,248 @@
+"""P3 — perf: conservative PDES — parallel domains, byte-identical merge.
+
+Like P1/P2 this bench measures *wall-clock* performance of the
+simulator itself.  ``repro.pdes`` partitions one logical deployment
+into per-shard-region simulation domains, runs one kernel per domain
+across worker processes, and synchronizes them only at lookahead
+barriers derived from the minimum inter-region latency.  The
+conservative bound makes the parallelism *exact*: same seed, same
+canonical summary, byte for byte, whether the domains run inline in
+one process or spread across N workers.
+
+Scenarios:
+
+* P3a — worker scaling: the same 4-domain trial executed with 1
+  (serial reference), 2, and 4 worker processes; wall-clock seconds
+  and speedup per mode, byte-identity of every summary against the
+  serial reference asserted deterministically.
+* P3b — barrier-cost profile: the trial re-run with a barrier window
+  an order of magnitude narrower (10x the barriers), again serial and
+  parallel.  The window width is part of the trial's config — it
+  decides which messages are still crossing the interconnect when the
+  trial ends — so the *outcome* legitimately differs from P3a; what
+  must hold is the identity contract at the new width, and the wall
+  gap between the two serial runs bounds what synchronization alone
+  costs.
+
+Shape assertions:
+
+* at every worker count and window width, parallel summaries are
+  byte-identical to the serial reference for the same config;
+* simulated work really happened (ops completed, cross-domain traffic
+  flowed, all domains safe);
+* on hosts with >= 4 cores, 4 workers deliver >= the wall-clock
+  speedup gate over serial (2x full mode, a relaxed sanity floor in
+  smoke mode — shared CI runners are noisy and often undersized; on
+  smaller hosts the speedup is reported but not gated).
+
+Standalone (CI smoke): ``python benchmarks/bench_p3_pdes.py --smoke``
+runs a shorter horizon with the full determinism assertions and
+appends the measured numbers to ``benchmarks/BENCH_P3.json``.
+"""
+
+import dataclasses
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from conftest import run_once  # noqa: E402  (also sets REPRO_TABLE_LOG)
+
+from repro.metrics import Table  # noqa: E402
+from repro.pdes import PdesConfig, PdesCoordinator, summary_bytes  # noqa: E402
+
+N_DOMAINS = 4
+DURATION = 120_000.0
+WARMUP = 30_000.0
+SMOKE_DURATION = 20_000.0
+SMOKE_WARMUP = 10_000.0
+RATIO_GATE = 2.0
+SMOKE_RATIO_GATE = 1.2  # sanity floor only: shared CI runners are noisy
+MIN_CORES_FOR_GATE = 4
+TRAJECTORY = os.path.join(os.path.dirname(os.path.abspath(__file__)), "BENCH_P3.json")
+
+
+def base_config(smoke):
+    """The P3 workload: 4 saturated single-shard domains.
+
+    ``rate_per_tick=4`` holds every domain at its consensus-throughput
+    ceiling, so per-domain compute (not barrier chatter) dominates the
+    wall clock; ``inter_domain_hops=500`` gives a 1000-sim-ms lookahead
+    window — wide enough that a worker simulates several milliseconds
+    of wall time between synchronizations.
+    """
+    return PdesConfig(
+        seed=7,
+        n_domains=N_DOMAINS,
+        shards_per_domain=1,
+        duration=SMOKE_DURATION if smoke else DURATION,
+        warmup=SMOKE_WARMUP if smoke else WARMUP,
+        inter_domain_hops=500,
+        rate_per_tick=4.0,
+        max_inflight=256,
+        workers=1,
+    )
+
+
+def timed_run(config):
+    """One coordinator run; returns (summary, wall_seconds, n_windows)."""
+    coordinator = PdesCoordinator(config)
+    summary = coordinator.run()
+    return summary, coordinator.wall_seconds, coordinator.n_windows
+
+
+def best_wall(config, trials):
+    """Best wall-clock over ``trials`` runs (noise only slows runs); the
+    summary is asserted invariant across trials — determinism is not a
+    best-of property."""
+    best = None
+    reference = None
+    for _ in range(trials):
+        summary, wall, n_windows = timed_run(config)
+        if reference is None:
+            reference = summary_bytes(summary)
+        else:
+            assert summary_bytes(summary) == reference
+        if best is None or wall < best[1]:
+            best = (summary, wall, n_windows)
+    return best
+
+
+def experiment(smoke=False):
+    trials = 1 if smoke else 2
+    config = base_config(smoke)
+    modes = [1, 2, 4]
+
+    runs = {}
+    for workers in modes:
+        runs[workers] = best_wall(
+            dataclasses.replace(config, workers=workers), trials
+        )
+    serial_summary, serial_wall, n_windows = runs[1]
+    serial_ref = summary_bytes(serial_summary)
+
+    identical = {
+        workers: summary_bytes(summary) == serial_ref
+        for workers, (summary, _, _) in runs.items()
+    }
+    speedup = {workers: serial_wall / wall for workers, (_, wall, _) in runs.items()}
+
+    totals = serial_summary["totals"]
+    table = Table(
+        "P3a",
+        ["workers", "wall s", "speedup", "ops", "remote ops", "byte-identical"],
+        title=(f"{N_DOMAINS} domains x {n_windows} barrier windows, "
+               f"window={config.barrier_window:g} sim-ms, "
+               f"{os.cpu_count()} host cores"),
+    )
+    for workers in modes:
+        _, wall, _ = runs[workers]
+        table.add_row([
+            workers, round(wall, 3), round(speedup[workers], 2),
+            totals["completed_ok"], totals["remote_out"],
+            "yes" if identical[workers] else "NO",
+        ])
+    table.print()
+
+    # P3b: 10x the barriers — the identity contract must hold at the
+    # new width too, and the serial wall-time gap prices the barriers.
+    narrow = dataclasses.replace(config, window=config.lookahead / 10.0)
+    narrow_summary, narrow_wall, narrow_windows = timed_run(narrow)
+    narrow_parallel, narrow_parallel_wall, _ = timed_run(
+        dataclasses.replace(narrow, workers=4)
+    )
+    narrow_identical = summary_bytes(narrow_summary) == summary_bytes(
+        narrow_parallel
+    )
+    pb = Table(
+        "P3b",
+        ["window (sim-ms)", "barriers", "wall 1w s", "wall 4w s",
+         "byte-identical"],
+        title="Barrier window narrowed 10x (a different, equally exact trial)",
+    )
+    pb.add_row([config.barrier_window, n_windows, round(serial_wall, 3),
+                round(runs[4][1], 3), "yes" if identical[4] else "NO"])
+    pb.add_row([narrow.barrier_window, narrow_windows, round(narrow_wall, 3),
+                round(narrow_parallel_wall, 3),
+                "yes" if narrow_identical else "NO"])
+    pb.print()
+
+    results = {
+        "smoke": smoke,
+        "cores": os.cpu_count() or 1,
+        "n_windows": n_windows,
+        "serial_wall": serial_wall,
+        "walls": {w: runs[w][1] for w in modes},
+        "speedup": speedup,
+        "identical": identical,
+        "narrow_identical": narrow_identical,
+        "narrow_wall": narrow_wall,
+        "totals": totals,
+        "ratio_gate": SMOKE_RATIO_GATE if smoke else RATIO_GATE,
+    }
+    record_trajectory(results)
+    return results
+
+
+def record_trajectory(results):
+    """Append this run's numbers to BENCH_P3.json (the perf trajectory)."""
+    history = []
+    if os.path.exists(TRAJECTORY):
+        try:
+            with open(TRAJECTORY, "r", encoding="utf-8") as fh:
+                history = json.load(fh)
+        except (ValueError, OSError):
+            history = []
+    history.append({
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "smoke": results["smoke"],
+        "cores": results["cores"],
+        "serial_wall_s": round(results["serial_wall"], 3),
+        "wall_2w_s": round(results["walls"][2], 3),
+        "wall_4w_s": round(results["walls"][4], 3),
+        "speedup_2w": round(results["speedup"][2], 3),
+        "speedup_4w": round(results["speedup"][4], 3),
+        "ops": results["totals"]["completed_ok"],
+        "remote_ops": results["totals"]["remote_out"],
+        "byte_identical": all(results["identical"].values()),
+    })
+    with open(TRAJECTORY, "w", encoding="utf-8") as fh:
+        json.dump(history, fh, indent=2)
+        fh.write("\n")
+
+
+def check(results):
+    """The assertions shared by the pytest and standalone entrypoints."""
+    # Exactness is unconditional: every mode, byte for byte.
+    assert all(results["identical"].values()), results["identical"]
+    assert results["narrow_identical"]
+    # The trial did real cross-domain work and stayed safe.
+    assert results["totals"]["completed_ok"] > 0
+    assert results["totals"]["remote_out"] > 0
+    assert results["totals"]["safe"] == 1
+    # The wall-clock gate only binds where the cores exist to win them.
+    if results["cores"] >= MIN_CORES_FOR_GATE:
+        assert results["speedup"][4] >= results["ratio_gate"], (
+            f"4-worker speedup {results['speedup'][4]:.2f}x below "
+            f"{results['ratio_gate']}x gate on a {results['cores']}-core host"
+        )
+
+
+def test_p3_pdes(benchmark):
+    check(run_once(benchmark, lambda: experiment(smoke=True)))
+
+
+if __name__ == "__main__":
+    smoke = "--smoke" in sys.argv
+    outcome = experiment(smoke=smoke)
+    check(outcome)
+    gated = "gated" if outcome["cores"] >= MIN_CORES_FOR_GATE else (
+        f"ungated, {outcome['cores']} core(s)"
+    )
+    print(
+        f"P3 {'smoke ' if smoke else ''}OK: "
+        f"{outcome['speedup'][4]:.2f}x wall-clock at 4 workers ({gated}), "
+        f"byte-identical={all(outcome['identical'].values())}"
+    )

@@ -25,7 +25,10 @@ deterministic discrete-event simulation:
   (:mod:`repro.shard`), and
 * a mesoscale workload engine: aggregated client populations (10^5–10^6
   modeled clients per object) with arrival-process demand, admission
-  control, and load shedding (:mod:`repro.mesoscale`).
+  control, and load shedding (:mod:`repro.mesoscale`), and
+* conservative parallel discrete-event simulation: per-shard-region
+  domains in worker processes, synchronized at lookahead barriers,
+  byte-identical to the serial kernel (:mod:`repro.pdes`).
 
 Quickstart::
 
@@ -52,6 +55,7 @@ __all__ = [
     "mesoscale",
     "metrics",
     "noc",
+    "pdes",
     "recon",
     "shard",
     "sim",

@@ -12,9 +12,13 @@ Two traversal modes share one code path:
   eagerly only if its virtual time lies strictly before the next
   pending event (and within the run horizon), which makes the fast path
   *provably unobservable*: same seed produces byte-identical results
-  with express routing on or off.  Any fault (failed/degraded link,
-  failed router) disables batching entirely until repaired, so faulty
-  scenarios always take the original slow path.
+  with express routing on or off.  The gate is **per compiled route**: a
+  route whose routers and links were all healthy at compile time batches
+  eagerly, while a route that crosses a fault takes the original slow
+  path — so one faulty link only de-optimizes traffic that actually
+  crosses it.  Per-hop health checks still run on every committed hop,
+  which (with the lookahead bound pinning fault state for the whole
+  batch) keeps the gate exact even if the flag is stale.
 
 Routes on the fault-free mesh are memoized in a ``(src, dst)`` cache
 invalidated by ``fault_epoch``, which every fault/repair call bumps.
@@ -46,7 +50,7 @@ class CompiledRoute:
     Coord hashing on the hot path.
     """
 
-    __slots__ = ("coords", "routers", "links", "last")
+    __slots__ = ("coords", "routers", "links", "last", "fault_free")
 
     def __init__(
         self,
@@ -58,6 +62,13 @@ class CompiledRoute:
         self.routers = [routers[c] for c in coords]
         self.links = [links[(coords[i], coords[i + 1])] for i in range(len(coords) - 1)]
         self.last = len(coords) - 1
+        # Health of this route at compile time.  Entries live in the
+        # fault-epoch route cache, so the flag is recomputed whenever any
+        # fault state changes; it gates express batching per route rather
+        # than de-optimizing the whole mesh for one distant fault.
+        self.fault_free = not any(r.failed for r in self.routers) and all(
+            l.state is LinkState.UP for l in self.links
+        )
 
 
 def _express_default() -> bool:
@@ -81,6 +92,17 @@ class NocConfig:
     adaptive_routing: bool = False
     drop_corrupted_silently: bool = False
     express_routing: bool = field(default_factory=_express_default)
+
+    @property
+    def min_hop_latency(self) -> float:
+        """Lower bound on one switch+link traversal.
+
+        Contention and serialization only add to this, so ``hops *
+        min_hop_latency`` is a sound lookahead bound for any path of
+        ``hops`` hops — the quantity the conservative PDES layer turns
+        into its synchronization horizon.
+        """
+        return self.switch_latency + self.link_latency
 
 
 class NocNetwork:
@@ -184,7 +206,7 @@ class NocNetwork:
         enters :meth:`_hop` synchronously, saving one event per packet.
         """
         sim = self.sim
-        if self.config.express_routing and self.fault_free:
+        if self.config.express_routing and route.fault_free:
             limit = sim.lookahead_limit()
             if limit is not None and limit > sim.now:
                 self._hop(packet, route, 0)
@@ -329,7 +351,7 @@ class NocNetwork:
         hop-by-hop model did.
         """
         sim = self.sim
-        express = self.config.express_routing and self.fault_free
+        express = self.config.express_routing and route.fault_free
         if express:
             limit = sim.lookahead_limit()
             if limit is None:

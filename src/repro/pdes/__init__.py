@@ -1,0 +1,41 @@
+"""Conservative parallel discrete-event simulation of sharded systems.
+
+``repro.pdes`` partitions one logical deployment into per-shard-region
+simulation domains, runs one kernel per domain (inline, or across
+worker processes), and exchanges cross-domain operations only at
+lookahead barriers derived from the minimum inter-region link latency.
+A deterministic merge layer — globally ordered message delivery,
+per-domain seeds via :func:`repro.sim.rng.derive_domain_seed`, and
+commutative metrics-registry merges — makes the parallel run produce
+**byte-identical** summaries to the serial reference under the same
+seed: the same exactness contract the express-routing (P1) and
+batching (P2) fast paths enforce.
+
+Quickstart::
+
+    from repro.pdes import PdesConfig, run_pdes
+    from repro.pdes.merge import summary_bytes
+
+    serial = run_pdes(PdesConfig(seed=7, n_domains=4, workers=1))
+    parallel = run_pdes(PdesConfig(seed=7, n_domains=4, workers=4))
+    assert summary_bytes(serial) == summary_bytes(parallel)
+"""
+
+from repro.pdes.config import DomainSpec, PdesConfig
+from repro.pdes.coordinator import PdesCoordinator, run_pdes
+from repro.pdes.domain import SimDomain
+from repro.pdes.merge import build_summary, merged_registry, summary_bytes
+from repro.pdes.messages import RemoteOp, ordered
+
+__all__ = [
+    "DomainSpec",
+    "PdesConfig",
+    "PdesCoordinator",
+    "RemoteOp",
+    "SimDomain",
+    "build_summary",
+    "merged_registry",
+    "ordered",
+    "run_pdes",
+    "summary_bytes",
+]

@@ -1,0 +1,137 @@
+"""Configuration for the conservative PDES layer.
+
+A PDES trial partitions one logical deployment into ``n_domains``
+*simulation domains*.  Each domain is a complete :class:`ShardedSystem`
+(its own kernel, chip, NoC, replica groups, traffic) owning
+``shards_per_domain`` shards of one global keyspace.  Domains interact
+only through explicit cross-domain operations carried by a modeled
+inter-region interconnect whose minimum latency is the conservative
+synchronization *lookahead*: a message sent at time ``t`` cannot be
+observed by any other domain before ``t + lookahead``, so every domain
+may safely simulate a whole window of that width without hearing from
+its peers.
+
+The key determinism property: a domain's event sequence is a pure
+function of its derived seed and the ordered list of remote operations
+injected at each barrier.  The coordinator fixes that order globally
+(see :mod:`repro.pdes.coordinator`), so serial and parallel execution
+produce byte-identical summaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+#: Lower bound on one switch+link hop with the default NoC parameters
+#: (:attr:`repro.noc.network.NocConfig.min_hop_latency`).  Domains build
+#: their chips with the default NoC config, so the inter-region latency
+#: model is expressed in multiples of this.
+DEFAULT_HOP_LATENCY = 2.0
+
+
+@dataclass
+class PdesConfig:
+    """Everything needed to stand up and synchronize a domain fleet."""
+
+    seed: int = 0
+    n_domains: int = 4
+    shards_per_domain: int = 1
+    protocol: str = "minbft"
+    f: int = 1
+    #: Per-domain mesh dimensions (each domain gets its own chip).
+    width: int = 6
+    height: int = 6
+    duration: float = 120_000.0
+    warmup: float = 60_000.0
+    #: Cross-region distance in hop-times on the virtual global die:
+    #: domains model separate dies behind an interposer/serdes crossing,
+    #: so the minimum inter-region latency is ``inter_domain_hops *
+    #: DEFAULT_HOP_LATENCY``.  Contention only adds latency, never
+    #: removes it, which is what makes the bound a sound lookahead.
+    inter_domain_hops: int = 100
+    #: Barrier window width.  Must be ``<= lookahead``; ``None`` uses the
+    #: full lookahead (fewest barriers the conservative bound allows).
+    window: Optional[float] = None
+    #: Traffic: one open-loop generator per domain, drawing
+    #: ``poisson(rate_per_tick)`` operations every ``tick`` over a global
+    #: keyspace of ``key_space`` keys.
+    tick: float = 100.0
+    rate_per_tick: float = 2.0
+    key_space: int = 256
+    max_inflight: int = 64
+    vnodes: int = 64
+    #: 1 = serial reference (domains stepped inline, one kernel at a
+    #: time); >= 2 = that many worker processes, domains spread across
+    #: them.  Both modes share one barrier loop and one merge path.
+    workers: int = 1
+
+    def __post_init__(self) -> None:
+        if self.n_domains < 1:
+            raise ValueError("n_domains must be >= 1")
+        if self.shards_per_domain < 1:
+            raise ValueError("shards_per_domain must be >= 1")
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.inter_domain_hops < 1:
+            raise ValueError("inter_domain_hops must be >= 1")
+        if self.duration <= 0:
+            raise ValueError("duration must be positive")
+        if self.window is not None:
+            if self.window <= 0:
+                raise ValueError("window must be positive")
+            if self.window > self.lookahead:
+                raise ValueError(
+                    f"window {self.window} exceeds lookahead {self.lookahead}: "
+                    "a message sent late in one window could be due before "
+                    "the next barrier, breaking conservatism"
+                )
+
+    @property
+    def lookahead(self) -> float:
+        """Minimum inter-region latency — the synchronization horizon."""
+        return self.inter_domain_hops * DEFAULT_HOP_LATENCY
+
+    @property
+    def barrier_window(self) -> float:
+        """The window actually used between barriers."""
+        return self.window if self.window is not None else self.lookahead
+
+    def domain_ids(self) -> List[str]:
+        """All domain ids, in synchronization order."""
+        return [f"d{i}" for i in range(self.n_domains)]
+
+    def global_shard_ids(self) -> List[str]:
+        """The global shard-id universe every domain's ring hashes."""
+        return [
+            f"d{i}.s{j}"
+            for i in range(self.n_domains)
+            for j in range(self.shards_per_domain)
+        ]
+
+
+@dataclass
+class DomainSpec:
+    """Everything one worker needs to build and run a single domain.
+
+    Plain data only (no callables, no live objects): specs cross the
+    process boundary to worker processes.
+    """
+
+    pdes: PdesConfig
+    domain_id: str
+    index: int
+    #: The single global consistent-hash salt, drawn once by the
+    #: coordinator; every domain's local directory is the restriction of
+    #: this one ring (see :mod:`repro.pdes.domain`).
+    salt: int
+    #: The trial's master seed (domain seeds derive from it).
+    trial_seed: int
+
+    def local_shard_ids(self) -> List[str]:
+        return [
+            f"{self.domain_id}.s{j}" for j in range(self.pdes.shards_per_domain)
+        ]
+
+
+__all__ = ["PdesConfig", "DomainSpec", "DEFAULT_HOP_LATENCY"]

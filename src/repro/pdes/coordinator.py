@@ -1,0 +1,150 @@
+"""The lookahead-barrier coordinator.
+
+One loop drives every domain host (inline or worker processes) through
+the same sequence of barrier windows:
+
+1. hand each host the horizon and the remote operations addressed to
+   its domains (in the globally fixed order),
+2. wait for every host to reach the horizon and drain its outboxes,
+3. sort all collected messages by ``(send_time, origin, seq)`` and
+   bucket them per destination for the next window.
+
+Conservatism: the window never exceeds the lookahead, so a message sent
+at ``t`` inside window *k* is due at ``t + lookahead > k·W`` — always
+strictly after the barrier that collects it.  No domain ever needs an
+event it hasn't been handed yet, which is the entire synchronization
+argument; there is no rollback.
+
+Determinism: domain kernels are pure functions of (seed, per-barrier
+injected message lists), the injection order is fixed by the global
+sort, and the merge folds results in sorted domain order — so
+``workers=1`` and ``workers=N`` produce byte-identical summaries.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.pdes.config import DomainSpec, PdesConfig
+from repro.pdes.merge import build_summary
+from repro.pdes.messages import RemoteOp, ordered
+from repro.pdes.worker import InlineHost, ProcessHost
+from repro.sim.rng import RngStream
+
+
+def _horizons(config: PdesConfig) -> List[float]:
+    """Every barrier time, warmup-relative, last one exactly at the end."""
+    start = config.warmup
+    end = config.warmup + config.duration
+    window = config.barrier_window
+    horizons: List[float] = []
+    t = start
+    while t < end:
+        t = min(t + window, end)
+        horizons.append(t)
+    return horizons
+
+
+def _build_specs(config: PdesConfig, trial_seed: int) -> List[DomainSpec]:
+    # One global ring salt for the whole fleet, drawn from a stream
+    # derived off the trial seed — every domain's directory restricts
+    # the same ring, and the draw itself is reproducible.
+    salt = RngStream(trial_seed, "pdes.directory").getrandbits(64)
+    return [
+        DomainSpec(
+            pdes=config,
+            domain_id=domain_id,
+            index=index,
+            salt=salt,
+            trial_seed=trial_seed,
+        )
+        for index, domain_id in enumerate(config.domain_ids())
+    ]
+
+
+def _partition(specs: List[DomainSpec], n_hosts: int) -> List[List[DomainSpec]]:
+    """Contiguous, near-even spec chunks, one per host."""
+    chunks: List[List[DomainSpec]] = [[] for _ in range(n_hosts)]
+    for index, spec in enumerate(specs):
+        chunks[index % n_hosts].append(spec)
+    return [chunk for chunk in chunks if chunk]
+
+
+class PdesCoordinator:
+    """Builds the domain fleet, runs the barrier loop, merges results."""
+
+    def __init__(self, config: PdesConfig, trial_seed: Optional[int] = None) -> None:
+        self.config = config
+        self.trial_seed = config.seed if trial_seed is None else trial_seed
+        self.wall_seconds: Optional[float] = None
+        self.n_windows = 0
+
+    def run(self) -> Dict[str, Any]:
+        """Execute the trial; returns the canonical (mergeable) summary.
+
+        Wall-clock time is recorded on ``self.wall_seconds`` — outside
+        the summary, which must stay mode-independent.
+        """
+        config = self.config
+        specs = _build_specs(config, self.trial_seed)
+        parallel = config.workers > 1 and config.n_domains > 1
+        if parallel:
+            n_hosts = min(config.workers, config.n_domains)
+            hosts: List[Any] = [
+                ProcessHost(chunk) for chunk in _partition(specs, n_hosts)
+            ]
+        else:
+            hosts = [InlineHost(specs)]
+        started = time.perf_counter()
+        try:
+            for host in hosts:
+                host.start()
+            for host in hosts:
+                host.wait_ready()
+            horizons = _horizons(config)
+            self.n_windows = len(horizons)
+            incoming: Dict[str, List[RemoteOp]] = {}
+            for until in horizons:
+                for host in hosts:
+                    host.send_advance(
+                        until,
+                        {
+                            domain_id: incoming[domain_id]
+                            for domain_id in host.domain_ids
+                            if domain_id in incoming
+                        },
+                    )
+                outboxes: Dict[str, List[RemoteOp]] = {}
+                for host in hosts:
+                    outboxes.update(host.recv_window())
+                incoming = {}
+                for message in ordered(
+                    m for domain_id in sorted(outboxes)
+                    for m in outboxes[domain_id]
+                ):
+                    incoming.setdefault(message.dest, []).append(message)
+            # Messages collected at the final barrier are still in
+            # flight on the inter-region links when the trial ends;
+            # they are dropped identically in every mode.
+            in_flight_at_end = sum(len(v) for v in incoming.values())
+            results: Dict[str, Dict[str, Any]] = {}
+            for host in hosts:
+                host.send_finish()
+            for host in hosts:
+                results.update(host.recv_result())
+        finally:
+            for host in hosts:
+                host.close()
+        self.wall_seconds = time.perf_counter() - started
+        return build_summary(config, results, self.n_windows, in_flight_at_end)
+
+
+def run_pdes(
+    config: PdesConfig, trial_seed: Optional[int] = None
+) -> Dict[str, Any]:
+    """Convenience wrapper: one coordinator, one trial, one summary."""
+    return PdesCoordinator(config, trial_seed).run()
+
+
+__all__ = ["PdesCoordinator", "run_pdes"]

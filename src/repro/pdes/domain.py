@@ -1,0 +1,221 @@
+"""One simulation domain: a ShardedSystem plus its PDES boundary.
+
+A :class:`SimDomain` wraps one complete :class:`ShardedSystem` — its own
+kernel, chip, NoC, replica groups — together with the three things the
+PDES layer adds:
+
+* **A globally consistent keyspace split.**  Every domain builds the
+  same *global* consistent-hash directory (all ``n_domains *
+  shards_per_domain`` shard ids, one shared salt) to decide which domain
+  owns a key.  Its local :class:`ShardDirectory` uses the *same salt*
+  over only the local shard ids.  Consistent hashing gives the
+  restriction property that makes this exact: removing other shards'
+  ring points never changes the owner of a key whose owner remains —
+  the owner's vnode was the first point at-or-after the key's hash, so
+  no removed point can sit between them.  Hence any key the global ring
+  assigns to a local shard routes to that same shard locally.
+
+* **An open-loop traffic generator** drawing from the domain's own
+  seeded streams.  Locally owned operations go straight to the domain's
+  shard router; remotely owned ones become :class:`RemoteOp` messages in
+  the outbox, to be forwarded by the coordinator at the next barrier.
+
+* **The barrier surface**: :meth:`advance` steps the kernel to a
+  horizon, :meth:`deliver` schedules incoming remote operations at
+  ``send_time + lookahead``, :meth:`take_outbox` drains outgoing ones.
+
+Determinism: everything a domain does is a pure function of its derived
+seed and the ordered message lists passed to :meth:`deliver`.  No wall
+clock, no process-global state, no cross-domain object sharing.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.pdes.config import DomainSpec
+from repro.pdes.messages import RemoteOp
+from repro.shard.directory import ShardDirectory
+from repro.shard.manager import ShardConfig, ShardedSystem
+from repro.sim.rng import derive_domain_seed
+from repro.sim.timers import PeriodicTimer
+
+
+class SimDomain:
+    """One conservatively synchronized simulation domain."""
+
+    def __init__(self, spec: DomainSpec) -> None:
+        self.spec = spec
+        p = spec.pdes
+        self.domain_id = spec.domain_id
+        self.lookahead = p.lookahead
+        self.global_directory = ShardDirectory(
+            p.global_shard_ids(), salt=spec.salt, vnodes=p.vnodes
+        )
+        self.seed = derive_domain_seed(spec.trial_seed, spec.domain_id)
+        self.system = ShardedSystem(
+            ShardConfig(
+                seed=self.seed,
+                width=p.width,
+                height=p.height,
+                n_shards=p.shards_per_domain,
+                shard_ids=spec.local_shard_ids(),
+                directory_salt=spec.salt,
+                protocol=p.protocol,
+                f=p.f,
+                vnodes=p.vnodes,
+                enable_rejuvenation=False,
+            )
+        )
+        self.sim = self.system.sim
+        self.router = self.system.place_router(f"{spec.domain_id}.router")
+        self._rng = self.sim.rng.stream("pdes.traffic")
+        self._outbox: List[RemoteOp] = []
+        self._out_seq = 0
+        self._op_seq = 0
+        metrics = self.system.chip.metrics
+        self._local_submitted = metrics.counter("pdes.local_submitted")
+        self._remote_out = metrics.counter("pdes.remote_out")
+        self._remote_in = metrics.counter("pdes.remote_in")
+        self._completed_ok = metrics.counter("pdes.completed_ok")
+        self._completed_failed = metrics.counter("pdes.completed_failed")
+        self._shed = metrics.counter("pdes.shed")
+        self._latency = metrics.histogram("pdes.latency")
+        self._remote_latency = metrics.histogram("pdes.remote_latency")
+        self._timer: PeriodicTimer = None  # type: ignore[assignment]
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Warm the system up and start the traffic generator.
+
+        Every domain uses the same warmup, so all kernels sit at the
+        same simulated time when the first barrier window opens.
+        """
+        self.system.start(warmup=self.spec.pdes.warmup)
+        self._timer = PeriodicTimer(self.sim, self.spec.pdes.tick, self._tick)
+
+    # ------------------------------------------------------------------
+    # Traffic
+    # ------------------------------------------------------------------
+    def _tick(self) -> None:
+        p = self.spec.pdes
+        arrivals = self._rng.poisson(p.rate_per_tick)
+        now = self.sim.now
+        for _ in range(arrivals):
+            key = f"k{self._rng.randint(0, p.key_space - 1)}"
+            if self._rng.bernoulli(0.5):
+                op: Any = ("put", key, self._op_seq)
+            else:
+                op = ("get", key)
+            self._op_seq += 1
+            owner = self.global_directory.shard_for(key)
+            owner_domain = owner.split(".", 1)[0]
+            if owner_domain == self.domain_id:
+                self._submit_local(op, now)
+            else:
+                self._remote_out.inc()
+                self._outbox.append(
+                    RemoteOp(now, self.domain_id, self._out_seq, owner_domain, op)
+                )
+                self._out_seq += 1
+
+    def _submit_local(self, op: Any, issued_at: float) -> None:
+        if self.router.inflight >= self.spec.pdes.max_inflight:
+            self._shed.inc()
+            return
+        self._local_submitted.inc()
+        self.router.submit(op, lambda result: self._on_done(issued_at, result))
+
+    def _on_done(self, issued_at: float, result: Any) -> None:
+        if result.ok:
+            self._completed_ok.inc()
+            self._latency.observe(self.sim.now - issued_at)
+        else:
+            self._completed_failed.inc()
+
+    # ------------------------------------------------------------------
+    # Barrier surface
+    # ------------------------------------------------------------------
+    def deliver(self, incoming: List[RemoteOp]) -> None:
+        """Schedule remote operations received at a barrier.
+
+        Each lands at ``send_time + lookahead`` — strictly inside a
+        future window, because the coordinator's window never exceeds
+        the lookahead.  Scheduling happens in list order, which the
+        coordinator has already fixed globally; that assignment of
+        event sequence numbers is what keeps serial and parallel
+        kernels in lockstep.
+        """
+        for message in incoming:
+            self.sim.schedule_at(
+                message.send_time + self.lookahead, self._arrive_remote, message
+            )
+
+    def _arrive_remote(self, message: RemoteOp) -> None:
+        if self.router.inflight >= self.spec.pdes.max_inflight:
+            self._shed.inc()
+            return
+        self._remote_in.inc()
+        self.router.submit(
+            message.op,
+            lambda result: self._on_remote_done(message.send_time, result),
+        )
+
+    def _on_remote_done(self, send_time: float, result: Any) -> None:
+        if result.ok:
+            self._completed_ok.inc()
+            # End-to-end: origin's send time to completion here, the
+            # inter-region crossing included.
+            self._remote_latency.observe(self.sim.now - send_time)
+        else:
+            self._completed_failed.inc()
+
+    def advance(self, until: float) -> None:
+        """Run the kernel to the barrier horizon."""
+        self.sim.run_to(until)
+
+    def take_outbox(self) -> List[RemoteOp]:
+        """Drain this window's outgoing remote operations."""
+        out = self._outbox
+        self._outbox = []
+        return out
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    def finish(self) -> Dict[str, Any]:
+        """The domain's contribution to the merged trial result.
+
+        Plain data only — this payload crosses the process boundary
+        back to the coordinator.  No wall-clock times: the payload must
+        be identical however the domain was hosted.
+        """
+        metrics = self.system.chip.metrics
+        per_shard = {
+            sid: metrics.counter(f"shard.{sid}.ops").value
+            for sid in self.system.directory.shard_ids
+        }
+        summary = {
+            "seed": self.seed,
+            "sim_now": self.sim.now,
+            "local_submitted": self._local_submitted.value,
+            "remote_out": self._remote_out.value,
+            "remote_in": self._remote_in.value,
+            "completed_ok": self._completed_ok.value,
+            "completed_failed": self._completed_failed.value,
+            "shed": self._shed.value,
+            "shard_ops": per_shard,
+            "degraded_shards": len(self.system.directory.degraded_shards()),
+            "safe": 1 if self.system.is_safe else 0,
+            "events_fired": self.sim.events_fired,
+        }
+        return {
+            "domain": self.domain_id,
+            "summary": summary,
+            "registry": metrics.dump(),
+        }
+
+
+__all__ = ["SimDomain"]

@@ -1,0 +1,110 @@
+"""Deterministic merge of per-domain results into one trial summary.
+
+The merge is the other half of the byte-identity contract: per-domain
+payloads are already mode-independent (see :meth:`SimDomain.finish`),
+so the only way serial and parallel runs could diverge is the merge
+itself.  It is kept deterministic the boring way — every iteration is
+over sorted domain ids, registries fold in that fixed order, and the
+canonical encoding is ``json.dumps(sort_keys=True)`` — and robust the
+structural way: the collector merge rules are commutative/associative
+(see :meth:`MetricsRegistry.merge`), so even a *different* merge order
+would yield the same values.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from repro.metrics import MetricsRegistry
+from repro.pdes.config import PdesConfig
+
+
+def merged_registry(results: Dict[str, Dict[str, Any]]) -> MetricsRegistry:
+    """Fold every domain's registry payload into one registry.
+
+    Shard-scoped names (``shard.d2.s0.latency``) are globally unique, so
+    they pass through; chip-wide names (``noc.delivered``,
+    ``pdes.latency``) collide across domains and combine under the
+    collector merge rules — counters sum, histograms take the multiset
+    union.
+    """
+    merged = MetricsRegistry()
+    for domain_id in sorted(results):
+        merged.load(results[domain_id]["registry"])
+    return merged
+
+
+def _histogram_stats(registry: MetricsRegistry, name: str) -> Dict[str, float]:
+    histogram = registry.histogram(name)
+    return {
+        "count": float(histogram.count),
+        "mean": histogram.mean(),
+        "p50": histogram.percentile(50),
+        "p95": histogram.percentile(95),
+        "p99": histogram.percentile(99),
+    }
+
+
+def build_summary(
+    config: PdesConfig,
+    results: Dict[str, Dict[str, Any]],
+    n_windows: int,
+    in_flight_at_end: int,
+) -> Dict[str, Any]:
+    """The canonical trial summary.
+
+    Contains **no** wall-clock times, worker counts, or host layout —
+    nothing that differs between serial and parallel execution.  The
+    ``repro pdes`` CLI and the P3 bench report wall time alongside, not
+    inside, this structure.
+    """
+    registry = merged_registry(results)
+    domains = {did: results[did]["summary"] for did in sorted(results)}
+    totals: Dict[str, Any] = {
+        "completed_ok": sum(d["completed_ok"] for d in domains.values()),
+        "completed_failed": sum(d["completed_failed"] for d in domains.values()),
+        "local_submitted": sum(d["local_submitted"] for d in domains.values()),
+        "remote_out": sum(d["remote_out"] for d in domains.values()),
+        "remote_in": sum(d["remote_in"] for d in domains.values()),
+        "shed": sum(d["shed"] for d in domains.values()),
+        "events_fired": sum(d["events_fired"] for d in domains.values()),
+        "in_flight_at_end": in_flight_at_end,
+        "degraded_shards": sum(d["degraded_shards"] for d in domains.values()),
+        "safe": 1 if all(d["safe"] for d in domains.values()) else 0,
+    }
+    totals["ops_per_sec"] = totals["completed_ok"] / (config.duration / 1000.0)
+    return {
+        "config": {
+            "seed": config.seed,
+            "n_domains": config.n_domains,
+            "shards_per_domain": config.shards_per_domain,
+            "protocol": config.protocol,
+            "f": config.f,
+            "width": config.width,
+            "height": config.height,
+            "duration": config.duration,
+            "warmup": config.warmup,
+            "lookahead": config.lookahead,
+            "window": config.barrier_window,
+            "tick": config.tick,
+            "rate_per_tick": config.rate_per_tick,
+            "key_space": config.key_space,
+            "max_inflight": config.max_inflight,
+            "vnodes": config.vnodes,
+        },
+        "n_windows": n_windows,
+        "domains": domains,
+        "totals": totals,
+        "latency": _histogram_stats(registry, "pdes.latency"),
+        "remote_latency": _histogram_stats(registry, "pdes.remote_latency"),
+        "metrics": registry.snapshot(),
+    }
+
+
+def summary_bytes(summary: Dict[str, Any]) -> bytes:
+    """Canonical encoding — the unit of the byte-identity contract."""
+    return (json.dumps(summary, sort_keys=True, indent=2) + "\n").encode("utf-8")
+
+
+__all__ = ["merged_registry", "build_summary", "summary_bytes"]

@@ -1,0 +1,46 @@
+"""Cross-domain messages and their global delivery order.
+
+Only one kind of traffic crosses domains: a :class:`RemoteOp`, an
+operation whose owning shard (per the *global* directory) lives in
+another domain.  The origin stamps it with its send time and a
+per-domain sequence number; the coordinator collects every domain's
+outbox at each barrier and re-injects the messages in one globally
+fixed order — ``(send_time, origin, seq)`` — which is what pins event
+sequence numbers in the destination kernels and makes serial and
+parallel execution indistinguishable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, List, Tuple
+
+
+@dataclass(frozen=True)
+class RemoteOp:
+    """One operation in flight between domains."""
+
+    send_time: float
+    origin: str
+    seq: int
+    dest: str
+    op: Any
+
+    def sort_key(self) -> Tuple[float, str, int]:
+        """The total order all barriers deliver in.
+
+        ``send_time`` first (causality), then ``(origin, seq)`` as a
+        deterministic tiebreak — two messages from one origin can share
+        a send time (one traffic tick emits several), and messages from
+        different origins can collide on time; the key is unique because
+        ``seq`` is unique per origin.
+        """
+        return (self.send_time, self.origin, self.seq)
+
+
+def ordered(messages: Iterable[RemoteOp]) -> List[RemoteOp]:
+    """All messages in the global delivery order."""
+    return sorted(messages, key=RemoteOp.sort_key)
+
+
+__all__ = ["RemoteOp", "ordered"]

@@ -1,0 +1,181 @@
+"""Domain hosts: the same barrier interface, in-process or out.
+
+The coordinator drives every domain through one tiny protocol —
+*start*, then repeated *(advance to horizon, incoming messages) →
+outboxes*, then *finish → payloads* — and never touches domain state
+directly.  Two hosts implement it:
+
+* :class:`InlineHost` keeps its domains in the coordinator's process
+  (the ``workers=1`` serial reference mode).
+* :class:`ProcessHost` runs them in a dedicated worker process behind a
+  pipe, mirroring the campaign executor's process-pool discipline: a
+  module-level entry point (:func:`_worker_main`), plain-data messages
+  only, and worker death surfaced as a descriptive error rather than a
+  hang.
+
+Both advance their domains in the same (spec) order and speak the same
+message shapes, so the coordinator's barrier loop — and therefore the
+merged summary — is literally the same code in both modes.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import traceback
+from typing import Any, Dict, List
+
+from repro.pdes.config import DomainSpec
+from repro.pdes.messages import RemoteOp
+
+
+class WorkerError(RuntimeError):
+    """A domain host failed; carries the remote traceback when known."""
+
+
+def _run_window(
+    domains: List[Any], until: float, incoming: Dict[str, List[RemoteOp]]
+) -> Dict[str, List[RemoteOp]]:
+    """Deliver, advance, and drain each domain for one barrier window."""
+    outboxes: Dict[str, List[RemoteOp]] = {}
+    for domain in domains:
+        domain.deliver(incoming.get(domain.domain_id, []))
+        domain.advance(until)
+        outboxes[domain.domain_id] = domain.take_outbox()
+    return outboxes
+
+
+def _worker_main(conn: Any, specs: List[DomainSpec]) -> None:
+    """Worker-process entry point: build domains, then serve barriers."""
+    try:
+        from repro.pdes.domain import SimDomain
+
+        domains = [SimDomain(spec) for spec in specs]
+        for domain in domains:
+            domain.start()
+        conn.send(("ready", [d.domain_id for d in domains]))
+        while True:
+            message = conn.recv()
+            kind = message[0]
+            if kind == "advance":
+                _, until, incoming = message
+                conn.send(("window", _run_window(domains, until, incoming)))
+            elif kind == "finish":
+                conn.send(("result", {d.domain_id: d.finish() for d in domains}))
+                return
+            else:  # "stop" or anything unknown: exit quietly
+                return
+    except Exception:
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except (BrokenPipeError, OSError):  # pragma: no cover
+            pass
+    finally:
+        conn.close()
+
+
+class InlineHost:
+    """Domains stepped inline — the serial reference implementation."""
+
+    def __init__(self, specs: List[DomainSpec]) -> None:
+        from repro.pdes.domain import SimDomain
+
+        self.specs = specs
+        self.domain_ids = [spec.domain_id for spec in specs]
+        self._domains = [SimDomain(spec) for spec in specs]
+        self._pending: Any = None
+
+    def start(self) -> None:
+        for domain in self._domains:
+            domain.start()
+
+    def wait_ready(self) -> None:
+        return None
+
+    def send_advance(
+        self, until: float, incoming: Dict[str, List[RemoteOp]]
+    ) -> None:
+        self._pending = _run_window(self._domains, until, incoming)
+
+    def recv_window(self) -> Dict[str, List[RemoteOp]]:
+        outboxes, self._pending = self._pending, None
+        return outboxes
+
+    def send_finish(self) -> None:
+        self._pending = {d.domain_id: d.finish() for d in self._domains}
+
+    def recv_result(self) -> Dict[str, Dict[str, Any]]:
+        results, self._pending = self._pending, None
+        return results
+
+    def close(self) -> None:
+        self._domains = []
+
+
+class ProcessHost:
+    """Domains hosted by one worker process behind a duplex pipe."""
+
+    def __init__(self, specs: List[DomainSpec]) -> None:
+        self.specs = specs
+        self.domain_ids = [spec.domain_id for spec in specs]
+        # Fork shares the already-imported interpreter state (fast, and
+        # the default on Linux); fall back to the platform default where
+        # fork is unavailable — specs are plain data either way.
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            ctx = multiprocessing.get_context()
+        self._conn, child = ctx.Pipe(duplex=True)
+        self._proc = ctx.Process(
+            target=_worker_main, args=(child, specs), daemon=True
+        )
+
+    def start(self) -> None:
+        self._proc.start()
+
+    def wait_ready(self) -> None:
+        self._expect("ready")
+
+    def send_advance(
+        self, until: float, incoming: Dict[str, List[RemoteOp]]
+    ) -> None:
+        self._conn.send(("advance", until, incoming))
+
+    def recv_window(self) -> Dict[str, List[RemoteOp]]:
+        return self._expect("window")
+
+    def send_finish(self) -> None:
+        self._conn.send(("finish",))
+
+    def recv_result(self) -> Dict[str, Dict[str, Any]]:
+        return self._expect("result")
+
+    def close(self) -> None:
+        try:
+            self._conn.close()
+        except OSError:  # pragma: no cover
+            pass
+        if self._proc.is_alive():
+            self._proc.terminate()
+        self._proc.join(timeout=10.0)
+
+    def _expect(self, kind: str) -> Any:
+        try:
+            message = self._conn.recv()
+        except (EOFError, OSError):
+            raise WorkerError(
+                f"pdes worker for {self.domain_ids} died "
+                f"(exitcode={self._proc.exitcode})"
+            )
+        if message[0] == "error":
+            raise WorkerError(
+                f"pdes worker for {self.domain_ids} failed:\n{message[1]}"
+            )
+        if message[0] != kind:
+            raise WorkerError(
+                f"pdes worker protocol error: expected {kind!r}, "
+                f"got {message[0]!r}"
+            )
+        return message[1]
+
+
+__all__ = ["InlineHost", "ProcessHost", "WorkerError"]

@@ -80,10 +80,25 @@ class ShardConfig:
     health_check_period: float = 10_000.0
     vnodes: int = 64
     functionality: str = "service"
+    #: Explicit shard ids (default ``s0..s{n-1}``).  The PDES layer names
+    #: each domain's shards globally (``d0.s0``, ``d1.s0``, ...) so every
+    #: domain hashes the same global id universe.
+    shard_ids: Optional[List[str]] = None
+    #: Fixed consistent-hash salt.  When None the salt is drawn from the
+    #: system's own seeded RNG (the single-system default); PDES domains
+    #: share one externally drawn salt so each domain's directory is the
+    #: restriction of a single global ring.
+    directory_salt: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.n_shards < 1:
             raise ValueError("n_shards must be >= 1")
+        if self.shard_ids is not None:
+            if len(self.shard_ids) != self.n_shards:
+                raise ValueError(
+                    f"shard_ids has {len(self.shard_ids)} entries "
+                    f"but n_shards={self.n_shards}"
+                )
 
 
 @dataclass
@@ -113,10 +128,15 @@ class ShardedSystem:
         )
         self.fabric.register_variants(cfg.functionality, self.library.names())
         self.diversity = DiversityManager(self.library)
-        shard_ids = [f"s{i}" for i in range(cfg.n_shards)]
-        self.directory = ShardDirectory.from_rng(
-            shard_ids, self.sim.rng.stream("shard.directory"), vnodes=cfg.vnodes
-        )
+        shard_ids = cfg.shard_ids or [f"s{i}" for i in range(cfg.n_shards)]
+        if cfg.directory_salt is not None:
+            self.directory = ShardDirectory(
+                shard_ids, salt=cfg.directory_salt, vnodes=cfg.vnodes
+            )
+        else:
+            self.directory = ShardDirectory.from_rng(
+                shard_ids, self.sim.rng.stream("shard.directory"), vnodes=cfg.vnodes
+            )
         self.planner = PlacementPlanner(self.chip, self.fabric)
         family = FAMILIES[cfg.protocol]
         group_size = family.replicas_for(cfg.f)
@@ -168,7 +188,7 @@ class ShardedSystem:
     # ------------------------------------------------------------------
     # Traffic attachment
     # ------------------------------------------------------------------
-    def _place_router(
+    def place_router(
         self, name: str, router_config: Optional[RouterConfig] = None
     ) -> ShardRouter:
         """Create, place, and fully bind one router front end.
@@ -222,7 +242,7 @@ class ShardedSystem:
         pass ``admission`` to tune the policy.  The population starts
         with the system (see :meth:`start`).
         """
-        router = self._place_router(name, router_config)
+        router = self.place_router(name, router_config)
         cfg = config or PopulationConfig()
         controller: Optional[AdmissionController] = None
         if cfg.mode == "open":
@@ -260,7 +280,7 @@ class ShardedSystem:
             DeprecationWarning,
             stacklevel=2,
         )
-        router = self._place_router(name, router_config)
+        router = self.place_router(name, router_config)
         driver = RouterClient(name, router, client_config)
         self.clients.append(driver)
         return driver

@@ -42,6 +42,24 @@ def derive_trial_seed(campaign_seed: int, trial_id: str) -> int:
     return int.from_bytes(digest[:8], "big") >> 1
 
 
+def derive_domain_seed(trial_seed: int, domain_id: str) -> int:
+    """Derive an independent 63-bit simulator seed for one PDES domain.
+
+    A parallel run partitions one trial across several simulation
+    domains, each with its own kernel and :class:`RngRegistry`.  Domains
+    must not share randomness with each other *or* with any whole-system
+    trial that happens to use the same master seed, so the derivation is
+    domain-separated from both ``_derive_seed`` and
+    :func:`derive_trial_seed` by its own ``pdes-domain:`` prefix.
+    Truncated to 63 bits for the same JSON round-trip reason as trial
+    seeds.
+    """
+    digest = hashlib.sha256(
+        f"pdes-domain:{trial_seed}:{domain_id}".encode("utf-8")
+    ).digest()
+    return int.from_bytes(digest[:8], "big") >> 1
+
+
 class RngStream:
     """A seeded random stream for one named component.
 

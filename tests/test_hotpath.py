@@ -64,11 +64,51 @@ def test_express_matches_hop_by_hop_under_faults():
     sim_e, _, fast = run_traffic(express=True, fault="degrade")
     sim_h, _, slow = run_traffic(express=False, fault="degrade")
     assert fast == slow
-    # Faults clear the fault_free gate: both configs run the identical
-    # slow path, so even the event counts agree.
-    assert sim_e.events_fired == sim_h.events_fired
+    # The gate is per route: flows crossing the degraded link take the
+    # hop-by-hop slow path, but unrelated flows keep batching, so the
+    # express config still fires fewer events than the pure slow path.
+    assert sim_e.events_fired < sim_h.events_fired
     # The degraded link really corrupted the flow crossing it.
     assert any(corrupted for *_, corrupted in fast)
+
+
+def test_per_route_gate_only_slows_routes_crossing_the_fault():
+    # All flows cross the degraded link -> event counts converge to the
+    # slow path exactly; no flow crosses it -> full batching survives.
+    def corner_stream(express, flows, degrade):
+        sim, net = make_net(5, 5, express_routing=express)
+        net.degrade_link(*degrade)
+        for _, dst in flows:
+            net.attach(dst, lambda p: None)
+        for i, (src, dst) in enumerate(flows):
+            for k in range(5):
+                sim.schedule(i * 3.0 + k * 7.0, net.send, src, dst, k, 64)
+        sim.run()
+        return sim.events_fired
+
+    crossing = [(Coord(0, 0), Coord(4, 0)), (Coord(0, 0), Coord(3, 3))]
+    on = corner_stream(True, crossing, (Coord(1, 0), Coord(2, 0)))
+    off = corner_stream(False, crossing, (Coord(1, 0), Coord(2, 0)))
+    assert on == off  # every route is faulty: identical slow path
+    elsewhere = [(Coord(0, 4), Coord(4, 4)), (Coord(4, 0), Coord(4, 4))]
+    on = corner_stream(True, elsewhere, (Coord(1, 0), Coord(2, 0)))
+    off = corner_stream(False, elsewhere, (Coord(1, 0), Coord(2, 0)))
+    assert on < off  # fault elsewhere: batching keeps its economy
+
+
+def test_compiled_route_fault_free_reflects_route_state():
+    _, net = make_net(5, 5)
+    healthy = net._route(Coord(0, 4), Coord(4, 4))
+    assert healthy.fault_free
+    net.fail_link(Coord(1, 0), Coord(2, 0))
+    assert not net.fault_free  # global flag still trips...
+    assert net._route(Coord(0, 4), Coord(4, 4)).fault_free  # ...route doesn't
+    assert not net._route(Coord(0, 0), Coord(4, 0)).fault_free
+    net.repair_link(Coord(1, 0), Coord(2, 0))
+    assert net._route(Coord(0, 0), Coord(4, 0)).fault_free
+    # Failed routers poison the routes through them the same way.
+    net.fail_router(Coord(2, 4))
+    assert not net._route(Coord(0, 4), Coord(4, 4)).fault_free
 
 
 def test_express_single_flow_latency_equivalence():

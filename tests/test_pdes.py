@@ -1,0 +1,307 @@
+"""Tests for repro.pdes: conservative synchronization, the keyspace
+restriction property, deterministic merge, and — the headline contract —
+byte-identical summaries between serial and parallel execution.
+
+The expensive end-to-end identity checks run short horizons (a few
+hundred barrier windows over small meshes); the structural properties
+(ring restriction, seed derivation, ordering, config validation) are
+pure and fast.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.pdes import (
+    PdesConfig,
+    PdesCoordinator,
+    RemoteOp,
+    ordered,
+    run_pdes,
+    summary_bytes,
+)
+from repro.pdes.config import DEFAULT_HOP_LATENCY, DomainSpec
+from repro.pdes.coordinator import _horizons, _partition
+from repro.pdes.domain import SimDomain
+from repro.pdes.worker import InlineHost, ProcessHost, WorkerError
+from repro.shard.directory import ShardDirectory
+from repro.sim.rng import derive_domain_seed
+
+
+def small_config(**overrides):
+    base = dict(
+        seed=7,
+        n_domains=2,
+        shards_per_domain=1,
+        width=5,
+        height=5,
+        duration=12_000.0,
+        warmup=12_000.0,
+        rate_per_tick=1.0,
+        workers=1,
+    )
+    base.update(overrides)
+    return PdesConfig(**base)
+
+
+# ----------------------------------------------------------------------
+# Config validation + derived quantities
+# ----------------------------------------------------------------------
+def test_lookahead_and_default_window():
+    config = small_config(inter_domain_hops=50)
+    assert config.lookahead == 50 * DEFAULT_HOP_LATENCY
+    assert config.barrier_window == config.lookahead
+    assert small_config(window=40.0).barrier_window == 40.0
+
+
+def test_window_wider_than_lookahead_rejected():
+    with pytest.raises(ValueError, match="conservatism"):
+        small_config(inter_domain_hops=10, window=21.0)
+    # Exactly the lookahead is the widest legal window.
+    small_config(inter_domain_hops=10, window=20.0)
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        {"n_domains": 0},
+        {"shards_per_domain": 0},
+        {"workers": 0},
+        {"inter_domain_hops": 0},
+        {"duration": 0.0},
+        {"window": -1.0},
+    ],
+)
+def test_config_rejects_degenerate_values(bad):
+    with pytest.raises(ValueError):
+        small_config(**bad)
+
+
+def test_domain_and_shard_id_universe():
+    config = small_config(n_domains=3, shards_per_domain=2)
+    assert config.domain_ids() == ["d0", "d1", "d2"]
+    assert config.global_shard_ids() == [
+        "d0.s0", "d0.s1", "d1.s0", "d1.s1", "d2.s0", "d2.s1",
+    ]
+
+
+def test_horizons_cover_exactly_the_measured_window():
+    config = small_config(duration=1000.0, warmup=500.0,
+                          inter_domain_hops=150)  # window 300
+    horizons = _horizons(config)
+    assert horizons[0] == 800.0
+    assert horizons[-1] == 1500.0  # clamped to the end, never past it
+    assert all(b > a for a, b in zip(horizons, horizons[1:]))
+
+
+def test_partition_round_robins_every_spec():
+    config = small_config(n_domains=5)
+    specs = [
+        DomainSpec(pdes=config, domain_id=f"d{i}", index=i, salt=1, trial_seed=7)
+        for i in range(5)
+    ]
+    chunks = _partition(specs, 2)
+    assert sorted(s.domain_id for c in chunks for s in c) == [
+        f"d{i}" for i in range(5)
+    ]
+    assert {len(c) for c in chunks} == {2, 3}
+    # More hosts than specs: empty chunks are dropped, not spawned.
+    assert [len(c) for c in _partition(specs, 8)] == [1] * 5
+
+
+# ----------------------------------------------------------------------
+# Seed derivation
+# ----------------------------------------------------------------------
+def test_derive_domain_seed_is_stable_and_distinct():
+    seeds = {derive_domain_seed(42, f"d{i}") for i in range(32)}
+    assert len(seeds) == 32  # no collisions across domains
+    assert derive_domain_seed(42, "d0") == derive_domain_seed(42, "d0")
+    assert derive_domain_seed(42, "d0") != derive_domain_seed(43, "d0")
+    assert all(0 <= s < 2 ** 63 for s in seeds)
+
+
+# ----------------------------------------------------------------------
+# The consistent-hash restriction property
+# ----------------------------------------------------------------------
+def test_local_ring_is_a_restriction_of_the_global_ring():
+    # Any key the global ring assigns to shard s must map to s on a
+    # ring built from any subset containing s — the property that lets
+    # each domain run its own directory without consulting peers.
+    salt, vnodes = 0xC0FFEE, 32
+    global_ids = [f"d{i}.s{j}" for i in range(4) for j in range(2)]
+    global_ring = ShardDirectory(global_ids, salt=salt, vnodes=vnodes)
+    local_rings = {
+        f"d{i}": ShardDirectory(
+            [f"d{i}.s{j}" for j in range(2)], salt=salt, vnodes=vnodes
+        )
+        for i in range(4)
+    }
+    for k in range(512):
+        key = f"k{k}"
+        owner = global_ring.shard_for(key)
+        domain = owner.split(".", 1)[0]
+        assert local_rings[domain].shard_for(key) == owner
+
+
+# ----------------------------------------------------------------------
+# Message ordering
+# ----------------------------------------------------------------------
+def test_ordered_sorts_by_time_then_origin_then_seq():
+    msgs = [
+        RemoteOp(5.0, "d1", 0, "d0", ("get", "k1")),
+        RemoteOp(3.0, "d2", 9, "d0", ("get", "k2")),
+        RemoteOp(5.0, "d0", 1, "d1", ("get", "k3")),
+        RemoteOp(5.0, "d0", 0, "d1", ("get", "k4")),
+    ]
+    assert [m.sort_key() for m in ordered(msgs)] == [
+        (3.0, "d2", 9), (5.0, "d0", 0), (5.0, "d0", 1), (5.0, "d1", 0),
+    ]
+
+
+# ----------------------------------------------------------------------
+# The byte-identity contract
+# ----------------------------------------------------------------------
+def test_serial_and_parallel_summaries_byte_identical():
+    config = small_config(n_domains=3)
+    serial = run_pdes(config)
+    parallel = run_pdes(dataclasses.replace(config, workers=3))
+    assert summary_bytes(serial) == summary_bytes(parallel)
+    # The trial did real work and stayed safe.
+    assert serial["totals"]["completed_ok"] > 0
+    assert serial["totals"]["remote_out"] > 0
+    assert serial["totals"]["safe"] == 1
+
+
+def test_uneven_host_partitions_preserve_identity():
+    # 3 domains over 2 workers: one host runs two kernels, the other
+    # one — the merge must not care how domains were packed.
+    config = small_config(n_domains=3)
+    assert summary_bytes(run_pdes(config)) == summary_bytes(
+        run_pdes(dataclasses.replace(config, workers=2))
+    )
+
+
+def test_different_seeds_diverge():
+    config = small_config()
+    assert summary_bytes(run_pdes(config)) != summary_bytes(
+        run_pdes(dataclasses.replace(config, seed=8))
+    )
+
+
+def test_summary_contains_no_host_layout():
+    config = small_config()
+    summary = run_pdes(config)
+    text = summary_bytes(summary).decode("utf-8")
+    assert "workers" not in text
+    assert "wall" not in text
+    assert summary["config"]["n_domains"] == config.n_domains
+
+
+def test_coordinator_records_wall_time_outside_summary():
+    coordinator = PdesCoordinator(small_config(duration=4_000.0))
+    coordinator.run()
+    assert coordinator.wall_seconds is not None and coordinator.wall_seconds > 0
+    assert coordinator.n_windows == len(_horizons(coordinator.config))
+
+
+# ----------------------------------------------------------------------
+# Domain mechanics
+# ----------------------------------------------------------------------
+def build_domain(config, domain_id="d0", index=0, salt=0xBEEF):
+    return SimDomain(
+        DomainSpec(
+            pdes=config, domain_id=domain_id, index=index,
+            salt=salt, trial_seed=config.seed,
+        )
+    )
+
+
+def test_domain_routes_remote_keys_to_outbox():
+    config = small_config(rate_per_tick=2.0)
+    domain = build_domain(config)
+    domain.start()
+    domain.advance(config.warmup + 4_000.0)
+    outbox = domain.take_outbox()
+    assert outbox, "cross-domain traffic should appear in the outbox"
+    for msg in outbox:
+        assert msg.origin == "d0"
+        assert msg.dest != "d0"
+        # The destination really owns the key on the global ring.
+        key = msg.op[1]
+        owner = domain.global_directory.shard_for(key)
+        assert owner.split(".", 1)[0] == msg.dest
+    # Drained: a second take returns nothing new without advancing.
+    assert domain.take_outbox() == []
+
+
+def test_delivered_remote_ops_arrive_after_lookahead():
+    config = small_config()
+    d0, d1 = build_domain(config, "d0", 0), build_domain(config, "d1", 1)
+    for d in (d0, d1):
+        d.start()
+        d.advance(config.warmup)
+    msg = RemoteOp(config.warmup + 10.0, "d0", 0, "d1", ("get", "k1"))
+    d1.deliver([msg])
+    # Advance to just before the due time: not yet submitted.
+    d1.advance(msg.send_time + config.lookahead - 1.0)
+    before = d1._remote_in.value
+    d1.advance(msg.send_time + config.lookahead + 1.0)
+    assert d1._remote_in.value == before + 1
+
+
+def test_run_to_rejects_past_horizons():
+    from repro.sim.simulator import SimulationError
+
+    config = small_config()
+    domain = build_domain(config)
+    domain.start()
+    domain.advance(config.warmup + 100.0)
+    with pytest.raises(SimulationError):
+        domain.advance(config.warmup + 50.0)
+
+
+# ----------------------------------------------------------------------
+# Hosts
+# ----------------------------------------------------------------------
+def host_specs(config):
+    salt = 0xD00D
+    return [
+        DomainSpec(pdes=config, domain_id=f"d{i}", index=i,
+                   salt=salt, trial_seed=config.seed)
+        for i in range(config.n_domains)
+    ]
+
+
+def drive(host, config):
+    host.start()
+    host.wait_ready()
+    horizon = config.warmup + config.barrier_window
+    host.send_advance(horizon, {})
+    outboxes = host.recv_window()
+    host.send_finish()
+    results = host.recv_result()
+    host.close()
+    return outboxes, results
+
+
+def test_inline_and_process_hosts_agree():
+    config = small_config(duration=2_000.0)
+    out_inline, res_inline = drive(InlineHost(host_specs(config)), config)
+    out_proc, res_proc = drive(ProcessHost(host_specs(config)), config)
+    assert out_inline == out_proc
+    assert res_inline == res_proc
+    assert set(res_inline) == {"d0", "d1"}
+
+
+def test_process_host_surfaces_worker_errors():
+    config = small_config()
+    host = ProcessHost(host_specs(config))
+    host.start()
+    host.wait_ready()
+    # A horizon in the past raises inside the worker after one window.
+    host.send_advance(config.warmup + 100.0, {})
+    host.recv_window()
+    host.send_advance(config.warmup + 50.0, {})
+    with pytest.raises(WorkerError):
+        host.recv_window()
+    host.close()

@@ -188,3 +188,118 @@ def test_events_fired_counter():
         sim.schedule(i, lambda: None)
     sim.run()
     assert sim.events_fired == 7
+
+
+# ----------------------------------------------------------------------
+# peek_next_time / lookahead_limit edge cases
+# ----------------------------------------------------------------------
+def test_peek_next_time_empty_queue_returns_none():
+    sim = Simulator()
+    assert sim.peek_next_time() is None
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    assert sim.peek_next_time() is None  # drained queue, not just fresh
+
+
+def test_peek_next_time_all_cancelled_heap_returns_none():
+    sim = Simulator()
+    events = [sim.schedule(t, lambda: None) for t in (1.0, 2.0, 3.0)]
+    for event in events:
+        event.cancel()
+    assert sim.peek_next_time() is None
+    # The lazy sweep really discarded the corpses.
+    assert sim.pending_count() == 0
+    assert not sim._heap
+
+
+def test_lookahead_limit_unbounded_on_empty_queue():
+    sim = Simulator()
+    observed = []
+    sim.schedule(1.0, lambda: observed.append(sim.lookahead_limit()))
+    sim.run()
+    # The probe is the last event: nothing pending bounds the lookahead.
+    assert observed == [float("inf")]
+
+
+def test_lookahead_limit_skips_all_cancelled_heap():
+    sim = Simulator()
+    observed = []
+    sim.schedule(1.0, lambda: observed.append(sim.lookahead_limit()))
+    doomed = [sim.schedule(t, lambda: None) for t in (2.0, 3.0, 4.0)]
+    for event in doomed:
+        event.cancel()
+    sim.run()
+    assert observed == [float("inf")]
+
+
+def test_lookahead_limit_when_horizon_equals_next_event_time():
+    sim = Simulator()
+    observed = []
+    sim.schedule(1.0, lambda: observed.append(
+        (sim.lookahead_limit(), sim.run_horizon)
+    ))
+    fired = []
+    sim.schedule(5.0, lambda: fired.append(sim.now))
+    sim.run(until=5.0)
+    # The limit is the next *pending* time — here exactly the horizon —
+    # and the event at the horizon still fires (until is inclusive).
+    assert observed == [(5.0, 5.0)]
+    assert fired == [5.0]
+    assert sim.now == 5.0
+
+
+# ----------------------------------------------------------------------
+# run_to (the PDES barrier-stepping primitive)
+# ----------------------------------------------------------------------
+def test_run_to_rejects_horizons_in_the_past():
+    sim = Simulator()
+    sim.schedule(10.0, lambda: None)
+    sim.run_to(10.0)
+    with pytest.raises(SimulationError):
+        sim.run_to(9.0)
+
+
+def test_run_to_current_time_is_a_no_op():
+    sim = Simulator()
+    sim.schedule(3.0, lambda: None)
+    sim.run_to(3.0)
+    assert sim.run_to(3.0) == 3.0
+    assert sim.now == 3.0
+
+
+def test_run_to_advances_clock_over_an_empty_queue():
+    sim = Simulator()
+    assert sim.run_to(42.0) == 42.0
+    assert sim.now == 42.0
+
+
+def test_run_to_fires_events_due_exactly_at_the_horizon():
+    sim = Simulator()
+    fired = []
+    sim.schedule(5.0, lambda: fired.append("edge"))
+    sim.schedule(5.000001, lambda: fired.append("past"))
+    sim.run_to(5.0)
+    assert fired == ["edge"]
+    assert sim.pending_count() == 1
+
+
+def test_windowed_run_to_matches_single_run():
+    def workload(sim, log):
+        def ping(i):
+            log.append((sim.now, i))
+            if i < 20:
+                sim.schedule(7.0, ping, i + 1)
+
+        sim.schedule(1.0, ping, 0)
+
+    windowed_sim, windowed_log = Simulator(seed=3), []
+    workload(windowed_sim, windowed_log)
+    horizon = 0.0
+    while horizon < 200.0:
+        horizon += 13.0
+        windowed_sim.run_to(horizon)
+    straight_sim, straight_log = Simulator(seed=3), []
+    workload(straight_sim, straight_log)
+    straight_sim.run()
+    assert windowed_log == straight_log
+    assert windowed_sim.events_fired == straight_sim.events_fired
