@@ -6,6 +6,15 @@ complete on f+1 matching unordered replies.  This bench sweeps the read
 ratio of a KV workload over MinBFT and PBFT with the fast path on and
 off, reporting throughput, latency, and ordered-log growth.
 
+The driver stack is the current API end to end: a
+:func:`~repro.workloads.kv_workload` carries the read ratio and
+classifies its own ops (``is_read``), a closed-mode population replays
+it through :meth:`ShardedSystem.attach_population`, and the router
+derives its ``read_only_predicate`` from the workload automatically.
+"Fast path off" is expressed the same way production code would hit it:
+an opaque :class:`~repro.workloads.FactoryWorkload` (same op sequence,
+no ``is_read``), so nothing classifies reads and every op is ordered.
+
 Shape assertions:
 * with the fast path, throughput rises with the read ratio (reads are
   cheaper than ordered operations); without it, read ratio barely
@@ -14,90 +23,89 @@ Shape assertions:
 * the benefit is larger for PBFT (whose ordered path is pricier);
 * safety holds and reads return committed values (spot-checked by the
   correctness tests in tests/test_bft_reads.py).
+
+Standalone (CI smoke): ``python benchmarks/bench_e12_read_path.py
+--smoke`` runs a shorter horizon with the same shape assertions.
 """
 
-from conftest import run_once
+import os
+import sys
 
-from repro.bft import ClientConfig, ClientNode, GroupConfig, build_group
-from repro.metrics import Table
-from repro.sim import Simulator
-from repro.soc import Chip, ChipConfig
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from conftest import run_once  # noqa: E402  (also sets REPRO_TABLE_LOG)
+
+from repro.mesoscale import PopulationConfig  # noqa: E402
+from repro.metrics import Table  # noqa: E402
+from repro.shard import ShardConfig, ShardedSystem  # noqa: E402
+from repro.workloads import FactoryWorkload, kv_workload  # noqa: E402
 
 DURATION = 250_000.0
+SMOKE_DURATION = 80_000.0
 READ_RATIOS = [0.0, 0.5, 0.9]
+KEYS = 16
+THINK_TIME = 50.0
+SEED = 83
 
 
-def make_op_factory(read_ratio):
-    period = 10
-    reads_per_period = round(read_ratio * period)
-
-    def factory(i):
-        slot = (i * 7) % period
-        if slot < reads_per_period:
-            return ("get", f"k{i % 16}")
-        return ("put", f"k{i % 16}", i)
-
-    return factory
-
-
-def run_config(protocol, read_ratio, fast_path, seed=83):
-    sim = Simulator(seed=seed)
-    chip = Chip(sim, ChipConfig(width=6, height=6))
-    group = build_group(chip, GroupConfig(protocol=protocol, f=1, group_id="g"))
-    predicate = None
-    if fast_path:
-        predicate = lambda op: isinstance(op, tuple) and op and op[0] == "get"
-    client = ClientNode(
+def run_config(protocol, read_ratio, fast_path, duration):
+    system = ShardedSystem(
+        ShardConfig(
+            seed=SEED, n_shards=1, protocol=protocol, f=1,
+            enable_rejuvenation=False,
+        )
+    )
+    workload = kv_workload(keys=KEYS, read_ratio=read_ratio)
+    if not fast_path:
+        # Same op sequence, opaque classification: no is_read, so the
+        # router derives no predicate and every op takes the ordered path.
+        workload = FactoryWorkload(workload.op, name="kv-opaque")
+    population = system.attach_population(
         "c0",
-        ClientConfig(
-            think_time=50,
-            timeout=10_000,
-            op_factory=make_op_factory(read_ratio),
-            read_only_predicate=predicate,
+        PopulationConfig(
+            n_clients=1, mode="closed", think_time=THINK_TIME, workload=workload
         ),
     )
-    group.attach_client(client)
-    client.start()
-    sim.run(until=20_000)
-    start_ops = client.completed
-    start = sim.now
-    sim.run(until=start + DURATION)
-    ops = client.completed - start_ops
-    lats = client.latencies_in(start, sim.now)
+    system.start(warmup=20_000)
+    start = system.sim.now
+    system.run(duration)
+    ops = population.completions_in(start, system.sim.now)
+    lats = population.latencies_in(start, system.sim.now)
+    group = system.shards["s0"].group
     ordered = max(r.last_executed for r in group.correct_replicas())
     return {
         "ops": ops,
         "mean_lat": sum(lats) / len(lats) if lats else float("nan"),
-        "fast_reads": client.fast_reads_completed,
+        "fast_replies": system.chip.metrics.counter("s0.fast_reads").value,
         "ordered": ordered,
-        "safe": group.safety.is_safe,
+        "safe": system.is_safe,
     }
 
 
-def experiment():
+def experiment(smoke=False):
+    duration = SMOKE_DURATION if smoke else DURATION
     table = Table(
         "E12",
         ["protocol", "read ratio", "fast path", "ops", "mean lat",
-         "fast reads", "ordered ops", "safe"],
+         "fast replies", "ordered ops", "safe"],
         title="Read-only fast path: throughput vs read ratio",
     )
     results = {}
     for protocol in ["minbft", "pbft"]:
         for ratio in READ_RATIOS:
             for fast in [False, True]:
-                r = run_config(protocol, ratio, fast)
+                r = run_config(protocol, ratio, fast, duration)
                 results[(protocol, ratio, fast)] = r
                 table.add_row(
-                    [protocol, ratio, fast, r["ops"], r["mean_lat"],
-                     r["fast_reads"], r["ordered"], r["safe"]]
+                    [protocol, ratio, fast, r["ops"], round(r["mean_lat"], 1),
+                     r["fast_replies"], r["ordered"], r["safe"]]
                 )
     table.print()
     return results
 
 
-def test_e12_read_fast_path(benchmark):
-    results = run_once(benchmark, experiment)
-
+def check(results):
+    """The assertions shared by the pytest and standalone entrypoints."""
     for protocol in ["minbft", "pbft"]:
         # With the fast path, more reads -> more throughput.
         with_fast = [results[(protocol, r, True)]["ops"] for r in READ_RATIOS]
@@ -113,7 +121,7 @@ def test_e12_read_fast_path(benchmark):
         # Fast reads never inflate the ordered log.
         fast_run = results[(protocol, 0.9, True)]
         assert fast_run["ordered"] < 0.3 * fast_run["ops"]
-        assert fast_run["fast_reads"] > 0
+        assert fast_run["fast_replies"] > 0
         for r in READ_RATIOS:
             for fast in [False, True]:
                 assert results[(protocol, r, fast)]["safe"]
@@ -126,3 +134,13 @@ def test_e12_read_fast_path(benchmark):
         results[("minbft", 0.9, True)]["ops"] / results[("minbft", 0.9, False)]["ops"]
     )
     assert gain_pbft > gain_minbft
+
+
+def test_e12_read_fast_path(benchmark):
+    check(run_once(benchmark, experiment))
+
+
+if __name__ == "__main__":
+    smoke = "--smoke" in sys.argv
+    check(experiment(smoke=smoke))
+    print("E12 " + ("smoke " if smoke else "") + "OK")

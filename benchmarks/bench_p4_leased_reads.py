@@ -1,0 +1,358 @@
+"""P4 — perf: leased local reads on the sharded read path.
+
+Quorum fast-path reads (E12) already skip the ordered log, but every
+read still costs a full quorum exchange: the router broadcasts to all
+n replicas and collects matching replies, so each read burns ~2n
+router-core slots and one compute slot on *every* replica.  Read leases
+(§ read path) collapse that to one NoC hop: the primary grants per-key-
+range leases to the whole group, and a leased replica answers ``get``
+from local committed state — one request, one reply, one replica core.
+Writes stay safe via write-through invalidation (conflicting writes are
+held until holders ack the revocation or the lease expires).
+
+This bench measures what that buys at saturation, on the honest system
+model: one ShardedSystem, an aggregated open-loop population at a 90%
+read ratio, leases off vs on, same seed, simulated time (deterministic).
+
+Scenarios:
+
+* P4a — PBFT (3f+1): quorum fast-path reads vs leased reads.
+* P4b — MinBFT (2f+1): the same pairing on the hybrid protocol.
+* P4c — staleness under fire: a fabric-backed group with a heal-first
+  rejuvenation scheduler; the primary is killed mid-run and healed; a
+  staleness oracle checks no read ever returned a value more than one
+  lease duration behind the committed prefix.
+
+Shape assertions:
+* leased reads >= 2x the completed ops/sec of the quorum fast path on
+  BOTH protocols (deterministic, simulated time);
+* zero ordered-log growth from leased reads: ordered commits stay at
+  the write fraction of the mix, and most reads resolve on the lease
+  path (``reads.local``) rather than the quorum fallback;
+* every run stays safe (no safety-recorder violation);
+* P4c records zero staleness violations across kill + rejuvenation.
+
+Standalone (CI smoke): ``python benchmarks/bench_p4_leased_reads.py
+--smoke`` runs a shorter horizon with the same deterministic gates and
+appends the measured numbers to ``benchmarks/BENCH_P4.json``.
+"""
+
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from conftest import run_once  # noqa: E402  (also sets REPRO_TABLE_LOG)
+
+from repro.bft import ClientConfig, ClientNode, GroupConfig  # noqa: E402
+from repro.bft.batching import BatchConfig  # noqa: E402
+from repro.bft.group import protocol_config_for  # noqa: E402
+from repro.bft.leases import LeaseConfig  # noqa: E402
+from repro.core import (  # noqa: E402
+    DiversityManager,
+    RejuvenationPolicy,
+    RejuvenationScheduler,
+    VariantLibrary,
+)
+from repro.core.replication import ReplicationManager  # noqa: E402
+from repro.fabric import FpgaFabric  # noqa: E402
+from repro.mesoscale import PopulationConfig  # noqa: E402
+from repro.metrics import Table  # noqa: E402
+from repro.shard import ShardConfig, ShardedSystem  # noqa: E402
+from repro.sim import Simulator  # noqa: E402
+from repro.soc import Chip, ChipConfig  # noqa: E402
+from repro.workloads import kv_workload  # noqa: E402
+
+PROTOCOLS = ("pbft", "minbft")
+SEED = 5
+N_SHARDS = 2
+READ_RATIO = 0.9
+KEYS = 64
+N_CLIENTS = 1000
+RATE_PER_CLIENT = 0.0002  # ops/ms per modeled client (Poisson)
+MAX_INFLIGHT = 32
+QUEUE_LIMIT = 2048
+BATCHING = BatchConfig(batch_size=8, batch_delay=100.0, max_inflight=4)
+LEASES = LeaseConfig(n_ranges=64, duration=30_000.0, renew_period=1_000.0)
+WARMUP = 60_000.0
+DURATION = 400_000.0
+SMOKE_DURATION = 150_000.0
+RATIO_GATE = 2.0
+ORDERED_FRAC_GATE = 0.15  # ordered commits per completed op, 90% reads
+LOCAL_FRAC_GATE = 0.6  # leased-read share of all completions
+TRAJECTORY = os.path.join(os.path.dirname(os.path.abspath(__file__)), "BENCH_P4.json")
+
+
+def service_run(protocol, leases, duration):
+    """One sharded service run; returns sim-time read-path metrics."""
+    system = ShardedSystem(
+        ShardConfig(
+            seed=SEED,
+            n_shards=N_SHARDS,
+            protocol=protocol,
+            f=1,
+            enable_rejuvenation=False,
+            protocol_config=protocol_config_for(
+                protocol, batching=BATCHING, leases=leases
+            ),
+        )
+    )
+    population = system.attach_population(
+        "pop",
+        PopulationConfig(
+            n_clients=N_CLIENTS,
+            max_inflight=MAX_INFLIGHT,
+            queue_limit=QUEUE_LIMIT,
+            workload=kv_workload(
+                keys=KEYS, read_ratio=READ_RATIO, rate_per_client=RATE_PER_CLIENT
+            ),
+        ),
+    )
+    system.start(warmup=WARMUP)
+    start = system.sim.now
+    system.run(duration)
+    end = system.sim.now
+    ops = population.completions_in(start, end)
+    latencies = population.latencies_in(start, end)
+    metrics = system.chip.metrics
+    shard_sum = lambda suffix: sum(  # noqa: E731
+        metrics.counter(f"{sid}.{suffix}").value for sid in system.shards
+    )
+    n_replicas = sum(len(s.group.members) for s in system.shards.values())
+    # committed_ops counts every op each replica executes, so / replicas
+    # per shard gives ordered ops; all shards are the same size here.
+    ordered_ops = shard_sum("committed_ops") / (n_replicas / N_SHARDS)
+    return {
+        "ops": ops,
+        "ops_per_sec": ops / (duration / 1000.0),
+        "mean_latency": sum(latencies) / len(latencies) if latencies else 0.0,
+        "reads_local": shard_sum("reads.local"),
+        "reads_quorum": shard_sum("reads.quorum_fallback"),
+        "lease_fallbacks": sum(
+            metrics.counter(f"shard.{sid}.lease_fallbacks").value
+            for sid in system.shards
+        ),
+        "ordered_ops": ordered_ops,
+        "ordered_frac": ordered_ops / ops if ops else 0.0,
+        "shed": population.shed,
+        "safe": system.is_safe,
+    }
+
+
+def staleness_run():
+    """P4c: kill + heal-first rejuvenation under a staleness oracle.
+
+    A fabric-backed MinBFT group serves a writer and a leased reader;
+    the primary is crashed mid-run, the heal-first scheduler brings it
+    back, and the oracle asserts no read returned a value more than one
+    lease duration behind the committed prefix at *any* point.
+    """
+    sim = Simulator(seed=SEED)
+    chip = Chip(sim, ChipConfig(width=6, height=6))
+    fabric = FpgaFabric(sim, chip)
+    library = VariantLibrary.generate("svc", 5, 3)
+    fabric.register_variants("svc", library.names())
+    diversity = DiversityManager(library)
+    manager = ReplicationManager(chip, fabric, diversity)
+    group = manager.deploy_group(
+        GroupConfig(
+            protocol="minbft", f=1, group_id="g",
+            protocol_config=protocol_config_for("minbft", leases=LEASES),
+        )
+    )
+    sim.run(until=30_000)
+
+    writes = []  # (client-visible completion time, value)
+    violations = []
+
+    def on_write(request, reply):
+        writes.append((sim.now, request.op[2]))
+
+    def on_read(request, reply):
+        now = sim.now
+        got = reply.result if reply.result is not None else -1
+        for done_at, value in writes:
+            if done_at <= now - LEASES.duration and value > got:
+                violations.append((now, got, value, done_at))
+
+    writer = ClientNode(
+        "cw",
+        ClientConfig(
+            think_time=2_000, timeout=30_000, max_requests=60,
+            op_factory=lambda i: ("put", "hot", i), on_result=on_write,
+        ),
+    )
+    reader = ClientNode(
+        "cr",
+        ClientConfig(
+            think_time=300, timeout=30_000, max_requests=500,
+            op_factory=lambda i: ("get", "hot"),
+            read_only_predicate=lambda op: op[0] == "get", on_result=on_read,
+        ),
+    )
+    group.attach_client(writer)
+    group.attach_client(reader)
+    writer.start()
+    reader.start()
+    scheduler = RejuvenationScheduler(
+        group, fabric, diversity,
+        RejuvenationPolicy(
+            period=20_000, diversify=False, relocate=False, heal_first=True
+        ),
+    )
+    scheduler.start()
+    victim = group.members[0]  # the primary: kill forces a view change too
+    sim.schedule_at(sim.now + 30_000, group.crash, victim)
+    # Run to completion (latencies spike around the kill and the heal, so
+    # a fixed horizon would race them); the cap keeps a wedge finite.
+    cap = sim.now + 1_500_000
+    while (writer.completed < 60 or reader.completed < 500) and sim.now < cap:
+        sim.run(until=sim.now + 50_000)
+    return {
+        "writes": writer.completed,
+        "reads": reader.completed,
+        "leased_reads": reader.leased_reads_completed,
+        "violations": len(violations),
+        "heal_passes": scheduler.passes,
+        "victim_healed": group.replicas[victim].is_correct,
+        "safe": group.safety.is_safe,
+    }
+
+
+def experiment(smoke=False):
+    duration = SMOKE_DURATION if smoke else DURATION
+
+    results = {}
+    for tag, protocol in (("P4a", "pbft"), ("P4b", "minbft")):
+        baseline = service_run(protocol, None, duration)
+        leased = service_run(protocol, LEASES, duration)
+        ratio = (
+            leased["ops_per_sec"] / baseline["ops_per_sec"]
+            if baseline["ops_per_sec"]
+            else 0.0
+        )
+        results[protocol] = {"baseline": baseline, "leased": leased, "ratio": ratio}
+        table = Table(
+            tag,
+            ["read path", "ops", "ops/s (sim)", "mean lat", "local", "fallback",
+             "ordered frac", "safe"],
+            title=(
+                f"{protocol}: quorum fast path vs leased reads, "
+                f"{N_CLIENTS} clients @ {int(READ_RATIO * 100)}% reads, "
+                f"{N_SHARDS} shards"
+            ),
+        )
+        for label, r in (("quorum", baseline), ("leased", leased)):
+            table.add_row([
+                label,
+                r["ops"],
+                round(r["ops_per_sec"], 1),
+                round(r["mean_latency"], 1),
+                r["reads_local"],
+                r["lease_fallbacks"],
+                round(r["ordered_frac"], 3),
+                "yes" if r["safe"] else "NO",
+            ])
+        table.print()
+
+    staleness = staleness_run()
+    results["staleness"] = staleness
+    st = Table(
+        "P4c",
+        ["writes", "reads", "leased", "violations", "heals", "healed", "safe"],
+        title="Staleness bound across primary kill + heal-first rejuvenation",
+    )
+    st.add_row([
+        staleness["writes"],
+        staleness["reads"],
+        staleness["leased_reads"],
+        staleness["violations"],
+        staleness["heal_passes"],
+        "yes" if staleness["victim_healed"] else "NO",
+        "yes" if staleness["safe"] else "NO",
+    ])
+    st.print()
+
+    results["ratio_gate"] = RATIO_GATE
+    record_trajectory(smoke, results)
+    return results
+
+
+def record_trajectory(smoke, results):
+    """Append this run's numbers to BENCH_P4.json (the perf trajectory)."""
+    history = []
+    if os.path.exists(TRAJECTORY):
+        try:
+            with open(TRAJECTORY, "r", encoding="utf-8") as fh:
+                history = json.load(fh)
+        except (ValueError, OSError):
+            history = []
+    entry = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "smoke": smoke,
+        "staleness_violations": results["staleness"]["violations"],
+    }
+    for protocol in PROTOCOLS:
+        r = results[protocol]
+        entry[f"{protocol}_quorum_ops_per_sec"] = round(
+            r["baseline"]["ops_per_sec"], 2
+        )
+        entry[f"{protocol}_leased_ops_per_sec"] = round(r["leased"]["ops_per_sec"], 2)
+        entry[f"{protocol}_speedup"] = round(r["ratio"], 3)
+        entry[f"{protocol}_reads_local"] = r["leased"]["reads_local"]
+        entry[f"{protocol}_lease_fallbacks"] = r["leased"]["lease_fallbacks"]
+        entry[f"{protocol}_ordered_frac"] = round(r["leased"]["ordered_frac"], 4)
+    history.append(entry)
+    with open(TRAJECTORY, "w", encoding="utf-8") as fh:
+        json.dump(history, fh, indent=2)
+        fh.write("\n")
+
+
+def check(results):
+    """The assertions shared by the pytest and standalone entrypoints."""
+    for protocol in PROTOCOLS:
+        r = results[protocol]
+        assert r["baseline"]["safe"] and r["leased"]["safe"], f"{protocol}: unsafe run"
+        assert r["baseline"]["ops"] > 0, f"{protocol}: baseline made no progress"
+        # The lease path actually engaged, and carried most of the reads.
+        assert r["leased"]["reads_local"] > 0, f"{protocol}: no leased reads"
+        local_frac = r["leased"]["reads_local"] / r["leased"]["ops"]
+        assert local_frac >= LOCAL_FRAC_GATE, (
+            f"{protocol}: only {local_frac:.2f} of completions were leased reads"
+        )
+        # Zero ordered-log growth from leased reads: ordered commits stay
+        # at the write fraction of the 90%-read mix.
+        assert r["leased"]["ordered_frac"] <= ORDERED_FRAC_GATE, (
+            f"{protocol}: ordered fraction {r['leased']['ordered_frac']:.3f} "
+            f"exceeds {ORDERED_FRAC_GATE} — reads leaked into the ordered log"
+        )
+        # The P4 gate, in deterministic simulated time.
+        assert r["ratio"] >= results["ratio_gate"], (
+            f"{protocol}: leased speedup {r['ratio']:.2f}x below "
+            f"{results['ratio_gate']}x gate"
+        )
+    st = results["staleness"]
+    assert st["violations"] == 0, f"{st['violations']} staleness violations"
+    assert st["writes"] == 60 and st["reads"] == 500, "P4c did not complete"
+    assert st["leased_reads"] > 0, "P4c reader never used the lease path"
+    assert st["heal_passes"] >= 1 and st["victim_healed"], "P4c heal never landed"
+    assert st["safe"]
+
+
+def test_p4_leased_reads(benchmark):
+    check(run_once(benchmark, experiment))
+
+
+if __name__ == "__main__":
+    smoke = "--smoke" in sys.argv
+    outcome = experiment(smoke=smoke)
+    check(outcome)
+    print(
+        "P4 "
+        + ("smoke " if smoke else "")
+        + "OK: "
+        + ", ".join(f"{p} {outcome[p]['ratio']:.2f}x" for p in PROTOCOLS)
+        + f", staleness violations={outcome['staleness']['violations']}"
+    )

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Tuple
 
 from repro.bft.batching import BatchAccumulator, BatchConfig, resolve_batching
+from repro.bft.leases import LeaseConfig, LeaseManager, LeaseTable, resolve_leases
 from repro.bft.messages import (
     Append,
     AppendAck,
@@ -48,6 +49,7 @@ class CftConfig:
 
     election_timeout: float = 40_000.0
     batching: Optional[BatchConfig] = None
+    leases: Optional[LeaseConfig] = None
 
 
 @dataclass(frozen=True)
@@ -89,6 +91,10 @@ class CftReplica(BaseReplica):
         batching = resolve_batching(self.config.batching)
         if batching is not None:
             self.batcher = BatchAccumulator(self, batching, self._append_proposal)
+        leases = resolve_leases(self.config.leases)
+        if leases is not None:
+            self.lease_table = LeaseTable(self, leases)
+            self.lease_manager = LeaseManager(self, leases)
 
     # ``view`` (BaseReplica) is used as the term so primary_of() works.
 
@@ -155,15 +161,22 @@ class CftReplica(BaseReplica):
             self.resend_cached_reply(request)
             return
         if self.is_primary:
-            if self.batcher is not None:
-                if self._already_replicating(request) or request.key() in self.batcher.pending_keys:
+            if self.lease_manager is not None:
+                self._note_pending(request)  # parked writes survive failover
+                if self.lease_manager.intercept(request):
                     return
-                self.batcher.add(request)
-            else:
-                self._append(request)
+            self._admit_ordered(request)
         else:
             self.send(self.primary, request, request.wire_size())
             self._note_pending(request)
+
+    def _admit_ordered(self, request: ClientRequest) -> None:
+        if self.batcher is not None:
+            if self._already_replicating(request) or request.key() in self.batcher.pending_keys:
+                return
+            self.batcher.add(request)
+        else:
+            self._append(request)
 
     def _already_replicating(self, request: ClientRequest) -> bool:
         return any(
@@ -295,19 +308,14 @@ class CftReplica(BaseReplica):
                 self._acks[seq] = {self.name}
                 message = Append(term, seq, entry.request, self.name)
                 self.broadcast(self.other_members(), message, message.wire_size())
-        if self.batcher is not None:
-            for request in list(self._pending_requests.values()):
-                if (
-                    not self.already_executed(request)
-                    and not self._already_replicating(request)
-                    and request.key() not in self.batcher.pending_keys
-                ):
-                    self.batcher.add(request)
-            self.batcher.flush()
-            return
         for request in list(self._pending_requests.values()):
-            if not self.already_executed(request):
-                self._append(request)
+            if self.already_executed(request):
+                continue
+            if self.lease_manager is not None and self.lease_manager.intercept(request):
+                continue  # held by the new-term quiesce; released later
+            self._admit_ordered(request)
+        if self.batcher is not None:
+            self.batcher.flush()
 
     def _adopt_term(self, term: int) -> None:
         self.view = term
@@ -315,6 +323,12 @@ class CftReplica(BaseReplica):
             # Term changed: in-flight accounting is stale; pending
             # requests re-enter via re-batching or client retransmission.
             self.batcher.reset()
+        if self.lease_manager is not None:
+            # Old-term grants and revocations are void; quiesce writes for
+            # one lease duration so leftover holders drain safely.
+            self.lease_manager.on_view_entered(term)
+        if self.lease_table is not None:
+            self.lease_table.clear()  # grants are term-tagged anyway; hygiene
         for stale in [t for t in self._elect_votes if t <= term]:
             del self._elect_votes[stale]
         timer = self._ensure_timer()

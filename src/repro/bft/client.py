@@ -11,7 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
-from repro.bft.messages import ClientReply, ClientRequest
+from repro.bft.leases import keys_of, stable_key_hash
+from repro.bft.messages import ClientReply, ClientRequest, ReadNack
 from repro.metrics.traffic import TrafficSource
 from repro.sim.timers import Timeout
 from repro.soc.chip import is_corrupted
@@ -46,6 +47,10 @@ class ClientConfig:
     full).  The default of 1 is the classic closed loop, byte for byte.
     Keep it below the replicas' execution-ledger window (256) or replay
     detection of very old rids degrades.
+
+    ``on_result`` (when set) observes every completion as ``(request,
+    accepted_reply)`` — the hook the staleness-bound oracle in the lease
+    tests and the P4 bench use.
     """
 
     think_time: float = 100.0
@@ -56,6 +61,7 @@ class ClientConfig:
     max_timeout: float = 480_000.0
     read_only_predicate: Optional[Callable[[Any], bool]] = None
     max_outstanding: int = 1
+    on_result: Optional[Callable[[ClientRequest, ClientReply], None]] = None
 
     def __post_init__(self) -> None:
         if self.max_outstanding < 1:
@@ -92,22 +98,35 @@ class ClientNode(Node, TrafficSource):
         self._open_votes: Dict[int, Dict[Any, set]] = {}
         self._sent_times: Dict[int, float] = {}
         self.read_quorum = 1
+        self.lease_reads = False
         self.fast_reads_completed = 0
+        self.leased_reads_completed = 0
         self.read_fallbacks = 0
+        self.lease_fallbacks = 0
         self.timeouts = 0
         self.running = False
 
     # ------------------------------------------------------------------
     def configure(
-        self, replicas: List[str], reply_quorum: int, read_quorum: Optional[int] = None
+        self,
+        replicas: List[str],
+        reply_quorum: int,
+        read_quorum: Optional[int] = None,
+        lease_reads: bool = False,
     ) -> None:
         """Point the client at a replica group (callable mid-run when the
-        adaptation layer switches protocols)."""
+        adaptation layer switches protocols).
+
+        ``lease_reads=True`` sends read-only ops as **leased reads**: one
+        message to one key-chosen replica, accepting its lone leased
+        reply; a :class:`ReadNack` drops the op to the quorum read path.
+        """
         if reply_quorum < 1:
             raise ValueError("reply quorum must be >= 1")
         self.replicas = list(replicas)
         self.reply_quorum = reply_quorum
         self.read_quorum = read_quorum if read_quorum is not None else reply_quorum
+        self.lease_reads = lease_reads
         self._primary_hint %= max(1, len(self.replicas))
 
     def start(self) -> None:
@@ -138,6 +157,37 @@ class ClientNode(Node, TrafficSource):
     def _open_loop(self) -> bool:
         return self.config.max_outstanding > 1
 
+    def _lease_target(self, op: Any) -> Optional[str]:
+        """The one replica a leased read goes to, chosen by key hash so
+        load spreads across holders; None when keys are underivable."""
+        keys = keys_of(op)
+        if not keys:
+            return None
+        return self.replicas[stable_key_hash(keys[0]) % len(self.replicas)]
+
+    def _build_request(self, op: Any) -> ClientRequest:
+        predicate = self.config.read_only_predicate
+        read_only = bool(predicate is not None and predicate(op))
+        lease_read = bool(
+            read_only and self.lease_reads and self._lease_target(op) is not None
+        )
+        request = ClientRequest(
+            self.name, self._rid, op, read_only=read_only, lease_read=lease_read
+        )
+        self._rid += 1
+        return request
+
+    def _send_request(self, request: ClientRequest) -> None:
+        if request.lease_read:
+            target = self._lease_target(request.op)
+            assert target is not None
+            self.send(target, request, request.wire_size())
+        elif request.read_only:
+            # Fast path: ask everyone, wait for read_quorum matching.
+            self.broadcast(self.replicas, request, request.wire_size())
+        else:
+            self.send(self.primary_name, request, request.wire_size())
+
     # ------------------------------------------------------------------
     # Open-loop path (max_outstanding > 1)
     # ------------------------------------------------------------------
@@ -159,20 +209,15 @@ class ClientNode(Node, TrafficSource):
             self._timeout.cancel()
 
     def _issue_one(self) -> None:
-        op = self.config.op_factory(self._rid)
-        predicate = self.config.read_only_predicate
-        read_only = bool(predicate is not None and predicate(op))
-        request = ClientRequest(self.name, self._rid, op, read_only=read_only)
-        self._rid += 1
+        request = self._build_request(self.config.op_factory(self._rid))
         self._outstanding[request.rid] = request
         self._open_votes[request.rid] = {}
         self._sent_times[request.rid] = self.sim.now
-        if read_only:
-            self.broadcast(self.replicas, request, request.wire_size())
-        else:
-            self.send(self.primary_name, request, request.wire_size())
+        self._send_request(request)
 
     def _complete_one(self, request: ClientRequest, reply: ClientReply) -> None:
+        if self.config.on_result is not None:
+            self.config.on_result(request, reply)
         self._outstanding.pop(request.rid, None)
         self._open_votes.pop(request.rid, None)
         sent = self._sent_times.pop(request.rid, self.sim.now)
@@ -195,20 +240,12 @@ class ClientNode(Node, TrafficSource):
         if self.config.max_requests is not None and self._rid >= self.config.max_requests:
             self.running = False
             return
-        op = self.config.op_factory(self._rid)
-        predicate = self.config.read_only_predicate
-        read_only = bool(predicate is not None and predicate(op))
-        request = ClientRequest(self.name, self._rid, op, read_only=read_only)
-        self._rid += 1
+        request = self._build_request(self.config.op_factory(self._rid))
         self._inflight = request
         self._reply_votes = {}
         self._sent_at = self.sim.now
         self._current_timeout = self.config.timeout
-        if read_only:
-            # Fast path: ask everyone, wait for read_quorum matching.
-            self.broadcast(self.replicas, request, request.wire_size())
-        else:
-            self.send(self.primary_name, request, request.wire_size())
+        self._send_request(request)
         assert self._timeout is not None
         self._timeout.duration = self._current_timeout
         self._timeout.start()
@@ -228,7 +265,9 @@ class ClientNode(Node, TrafficSource):
             import dataclasses
 
             self.read_fallbacks += 1
-            self._inflight = dataclasses.replace(self._inflight, read_only=False)
+            self._inflight = dataclasses.replace(
+                self._inflight, read_only=False, lease_read=False
+            )
             self._reply_votes = {}
         # Suspect the primary; broadcast so every backup sees the request
         # (that is what arms their view-change timers).
@@ -253,7 +292,9 @@ class ClientNode(Node, TrafficSource):
             request = self._outstanding[rid]
             if request.read_only:
                 self.read_fallbacks += 1
-                request = dataclasses.replace(request, read_only=False)
+                request = dataclasses.replace(
+                    request, read_only=False, lease_read=False
+                )
                 self._outstanding[rid] = request
                 self._open_votes[rid] = {}
             self.broadcast(self.replicas, request, request.wire_size())
@@ -268,6 +309,9 @@ class ClientNode(Node, TrafficSource):
     def on_message(self, sender: str, message: Any) -> None:
         if is_corrupted(message):
             return
+        if isinstance(message, ReadNack):
+            self._handle_read_nack(sender, message)
+            return
         if not isinstance(message, ClientReply):
             return
         if self._open_loop:
@@ -276,28 +320,70 @@ class ClientNode(Node, TrafficSource):
                 return
             if sender != message.replica or sender not in self.replicas:
                 return
+            if request.lease_read and not message.leased:
+                return  # a lone unleased reply must not complete a read
             votes = self._open_votes[message.rid].setdefault(message.match_key(), set())
             votes.add(sender)
-            needed = self.read_quorum if request.read_only else self.reply_quorum
+            needed = self._needed_votes(request)
             if len(votes) >= needed:
-                if request.read_only:
-                    self.fast_reads_completed += 1
+                self._count_read(request)
                 self._complete_one(request, message)
             return
         if self._inflight is None or message.rid != self._inflight.rid:
             return
         if sender != message.replica or sender not in self.replicas:
             return  # transport-authenticated sender must match the claim
+        if self._inflight.lease_read and not message.leased:
+            return
         votes = self._reply_votes.setdefault(message.match_key(), set())
         votes.add(sender)
-        needed = self.read_quorum if self._inflight.read_only else self.reply_quorum
+        needed = self._needed_votes(self._inflight)
         if len(votes) >= needed:
-            if self._inflight.read_only:
-                self.fast_reads_completed += 1
+            self._count_read(self._inflight)
             self._complete(message)
+
+    def _needed_votes(self, request: ClientRequest) -> int:
+        if request.lease_read:
+            return 1  # the leaseholder answers alone; staleness is bounded
+        return self.read_quorum if request.read_only else self.reply_quorum
+
+    def _count_read(self, request: ClientRequest) -> None:
+        if request.lease_read:
+            self.leased_reads_completed += 1
+        elif request.read_only:
+            self.fast_reads_completed += 1
+
+    def _handle_read_nack(self, sender: str, nack: ReadNack) -> None:
+        """No valid lease at the target: drop to the f+1 quorum read."""
+        if sender != nack.replica or sender not in self.replicas:
+            return
+        if nack.client != self.name:
+            return
+        import dataclasses
+
+        if self._open_loop:
+            request = self._outstanding.get(nack.rid)
+            if request is None or not request.lease_read:
+                return
+            self.lease_fallbacks += 1
+            request = dataclasses.replace(request, lease_read=False)
+            self._outstanding[nack.rid] = request
+            self._open_votes[nack.rid] = {}
+            self.broadcast(self.replicas, request, request.wire_size())
+            return
+        if self._inflight is None or self._inflight.rid != nack.rid:
+            return
+        if not self._inflight.lease_read:
+            return
+        self.lease_fallbacks += 1
+        self._inflight = dataclasses.replace(self._inflight, lease_read=False)
+        self._reply_votes = {}
+        self.broadcast(self.replicas, self._inflight, self._inflight.wire_size())
 
     def _complete(self, reply: ClientReply) -> None:
         assert self._timeout is not None
+        if self.config.on_result is not None and self._inflight is not None:
+            self.config.on_result(self._inflight, reply)
         self._timeout.cancel()
         self._inflight = None
         self.record_completion(self.sim.now, self.sim.now - self._sent_at)

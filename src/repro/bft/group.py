@@ -54,19 +54,28 @@ FAMILIES: Dict[str, _Family] = {
 }
 
 
-def protocol_config_for(protocol: str, batching: Optional[Any] = None, **kwargs: Any):
-    """Build the protocol family's config object, with optional batching.
+def protocol_config_for(
+    protocol: str,
+    batching: Optional[Any] = None,
+    leases: Optional[Any] = None,
+    **kwargs: Any,
+):
+    """Build the protocol family's config object, with optional batching
+    and leases.
 
-    A convenience for experiments/campaigns that sweep batching knobs
-    without caring which concrete config class each family uses::
+    A convenience for experiments/campaigns that sweep batching or lease
+    knobs without caring which concrete config class each family uses::
 
         cfg = protocol_config_for("minbft", batching=BatchConfig(batch_size=8))
+        cfg = protocol_config_for("pbft", leases=LeaseConfig(duration=20_000.0))
     """
     family = FAMILIES.get(protocol)
     if family is None:
         raise ValueError(f"unknown protocol {protocol!r}; expected one of {sorted(FAMILIES)}")
     if batching is not None:
         kwargs["batching"] = batching
+    if leases is not None:
+        kwargs["leases"] = leases
     return family.config_cls(**kwargs)
 
 
@@ -174,13 +183,43 @@ class ReplicaGroup:
         """Matching replies a fast-path read needs: f+1 (>= 1 correct)."""
         return self.context.f + 1 if FAMILIES[self.protocol].byzantine_safe else 1
 
+    @property
+    def leases_enabled(self) -> bool:
+        """True when the current replicas run with read leases."""
+        return any(r.lease_manager is not None for r in self.replicas.values())
+
     def attach_client(self, client: ClientNode, coord: Optional[Coord] = None) -> None:
         """Place (if needed) and configure a client for this group."""
         if client.chip is None:
             target = coord or self.chip.free_tiles()[0]
             self.chip.place_node(client, target)
-        client.configure(self.members, self.reply_quorum, self.read_quorum)
+        client.configure(
+            self.members,
+            self.reply_quorum,
+            self.read_quorum,
+            lease_reads=self.leases_enabled,
+        )
         self.clients.append(client)
+
+    # ------------------------------------------------------------------
+    # Leases (detector / rejuvenation integration)
+    # ------------------------------------------------------------------
+    def revoke_leases(self, name: str) -> None:
+        """Revoke ``name``'s read leases everywhere and stop re-granting.
+
+        Called before a replica is rejuvenated or acted on as a suspect;
+        a no-op when leases are off.  Safe on every member: only the
+        acting primary's manager has grants to revoke.
+        """
+        for replica in self.replicas.values():
+            if replica.lease_manager is not None:
+                replica.lease_manager.revoke_holder(name)
+
+    def readmit_leases(self, name: str) -> None:
+        """Allow lease grants to ``name`` again (it healed)."""
+        for replica in self.replicas.values():
+            if replica.lease_manager is not None:
+                replica.lease_manager.readmit_holder(name)
 
     # ------------------------------------------------------------------
     # Fault helpers (used by experiments)
@@ -250,7 +289,12 @@ class ReplicaGroup:
         self._start_replicas()
 
         for client in self.clients:
-            client.configure(self.members, self.reply_quorum, self.read_quorum)
+            client.configure(
+                self.members,
+                self.reply_quorum,
+                self.read_quorum,
+                lease_reads=self.leases_enabled,
+            )
 
         # Charge switch time: a state-transfer round plus restart slack,
         # scaled by history length (executed sequence numbers — the

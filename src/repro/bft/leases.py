@@ -1,0 +1,476 @@
+"""Primary-granted read leases: single-replica reads with bounded staleness.
+
+Production traffic is read-dominated, and even the E12 fast path pays an
+f+1 unordered quorum round per read.  This module lets the primary grant
+**per-key-range read leases** to its replicas: a leased replica answers
+``get`` ops from local committed state in **one NoC hop**, with zero
+ordered-log traffic.  Safety comes from *write-through invalidation*:
+
+* the primary holds any write that conflicts with a leased range until
+  every holder acknowledged a :class:`~repro.bft.messages.LeaseRevoke`
+  **or** the lease expired (a crashed holder cannot ack, so the lease
+  ``duration`` is the hard staleness bound);
+* holders tag grants with the granting view — a view change invalidates
+  every outstanding lease without any extra message;
+* a new primary *quiesces*: conflicting writes are held for one full
+  ``duration`` after a view/term change, covering leases a partitioned
+  old-view holder may still honor;
+* the primary's own authority to grant (and to answer leased reads
+  itself) is backed by **commit evidence**: it expires ``duration`` after
+  the last committed operation, so a partitioned primary stops serving
+  and stops renewing within the bound;
+* the fault detector / rejuvenation machinery revokes a suspect's leases
+  (:meth:`LeaseManager.revoke_holder`) before the replica is healed and
+  re-granted (:meth:`LeaseManager.readmit_holder`).
+
+Exactness contract (the repo discipline): ``leases=None`` — or a config
+with ``enabled=False`` — creates **no** manager, table, timer, or
+message; runs are event-identical to the pre-lease protocols, which
+``tests/test_bft_leases.py`` asserts per family.
+
+Environment override (mirrors ``REPRO_CONSENSUS_BATCH``): when a
+protocol config leaves ``leases`` unset, ``REPRO_BFT_LEASES=1`` supplies
+the default :class:`LeaseConfig`; ``REPRO_BFT_LEASES=<duration>`` sets
+the staleness bound too.  Unset/empty/``0`` means no leases.
+"""
+
+from __future__ import annotations
+
+import os
+import zlib
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Set, Tuple, TYPE_CHECKING
+
+from repro.bft.messages import (
+    ClientRequest,
+    LeaseGrant,
+    LeaseRevoke,
+    LeaseRevokeAck,
+)
+from repro.sim.timers import PeriodicTimer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.bft.replica import BaseReplica
+
+DEFAULT_N_RANGES = 16
+DEFAULT_DURATION = 15_000.0
+DEFAULT_RENEW_PERIOD = 5_000.0
+
+
+def stable_key_hash(key: str) -> int:
+    """A process-independent key hash (PYTHONHASHSEED must not matter)."""
+    return zlib.crc32(key.encode("utf-8"))
+
+
+def range_of(key: str, n_ranges: int) -> int:
+    """The lease range a key belongs to."""
+    return stable_key_hash(key) % n_ranges
+
+
+def keys_of(op: Any) -> Optional[Tuple[str, ...]]:
+    """The keys a KV operation touches; None when underivable.
+
+    Underivable operations conservatively conflict with *all* ranges on
+    the write path and are never served from a lease on the read path.
+    """
+    if isinstance(op, (tuple, list)) and len(op) >= 2:
+        kind = op[0]
+        if kind in ("put", "get", "del", "cas") and isinstance(op[1], str):
+            return (op[1],)
+        if kind == "mget" and all(isinstance(k, str) for k in op[1:]):
+            return tuple(op[1:])
+    return None
+
+
+@dataclass
+class LeaseConfig:
+    """Lease knobs shared by every protocol family.
+
+    ``duration`` is both the lease lifetime and the *staleness bound*: a
+    leased read never returns a value older than ``duration`` behind the
+    committed state.  ``renew_period`` is the primary's grant cadence
+    (must not exceed the duration or leases flap).  ``n_ranges`` trades
+    revocation precision against grant-message size.
+    """
+
+    enabled: bool = True
+    n_ranges: int = DEFAULT_N_RANGES
+    duration: float = DEFAULT_DURATION
+    renew_period: float = DEFAULT_RENEW_PERIOD
+
+    def __post_init__(self) -> None:
+        if self.n_ranges < 1:
+            raise ValueError(f"n_ranges must be >= 1, got {self.n_ranges}")
+        if self.duration <= 0:
+            raise ValueError(f"lease duration must be positive, got {self.duration}")
+        if not 0 < self.renew_period <= self.duration:
+            raise ValueError(
+                f"renew_period must be in (0, duration], got {self.renew_period}"
+            )
+
+    @staticmethod
+    def from_env() -> Optional["LeaseConfig"]:
+        """Parse ``REPRO_BFT_LEASES``; None when unset/disabled."""
+        raw = os.environ.get("REPRO_BFT_LEASES", "").strip()
+        if not raw or raw.lower() in ("0", "false", "no"):
+            return None
+        if raw.lower() in ("1", "true", "yes", "on"):
+            return LeaseConfig()
+        duration = float(raw)
+        return LeaseConfig(duration=duration, renew_period=duration / 3.0)
+
+
+def resolve_leases(configured: Optional[LeaseConfig]) -> Optional[LeaseConfig]:
+    """A protocol config's ``leases`` field, or the env override.
+
+    A config with ``enabled=False`` resolves to None — byte-identical to
+    never configuring leases at all (the identity tests rely on it).
+    """
+    if configured is not None:
+        return configured if configured.enabled else None
+    return LeaseConfig.from_env()
+
+
+class LeaseTable:
+    """Holder-side lease state: which ranges this replica may serve.
+
+    Grants are stored tagged with the view they were issued in and are
+    valid only while the holder is still *in that view* — advancing the
+    view (view change, term adoption, promotion) invalidates everything
+    without bookkeeping.  Expiry is checked lazily at read time.
+    """
+
+    def __init__(self, replica: "BaseReplica", config: LeaseConfig) -> None:
+        self.replica = replica
+        self.config = config
+        # range -> (view, epoch, expiry)
+        self._grants: Dict[int, Tuple[int, int, float]] = {}
+
+    def on_grant(self, sender: str, grant: LeaseGrant) -> None:
+        """Accept a grant from the current view's primary."""
+        replica = self.replica
+        if sender != grant.primary or sender == replica.name:
+            return
+        if sender not in replica.group.members:
+            return
+        if grant.view != replica.view or replica.group.primary_of(grant.view) != sender:
+            return  # stale era: the grant's view is not ours
+        for r in grant.ranges:
+            self._grants[r] = (grant.view, grant.epoch, grant.expiry)
+
+    def on_revoke(self, sender: str, revoke: LeaseRevoke) -> None:
+        """Drop the revoked ranges and confirm; always honored."""
+        replica = self.replica
+        if sender != revoke.primary or sender not in replica.group.members:
+            return
+        for r in revoke.ranges:
+            self._grants.pop(r, None)
+        ack = LeaseRevokeAck(replica.name, revoke.view, revoke.epoch, revoke.ranges)
+        replica.send(sender, ack, ack.wire_size())
+
+    def covers(self, op: Any) -> bool:
+        """True if every key of ``op`` sits in a currently valid lease."""
+        keys = keys_of(op)
+        if not keys:
+            return False
+        now = self.replica.sim.now
+        view = self.replica.view
+        for key in keys:
+            entry = self._grants.get(range_of(key, self.config.n_ranges))
+            if entry is None or entry[0] != view or now >= entry[2]:
+                return False
+        return True
+
+    def clear(self) -> None:
+        """Forget every grant (recovery, shutdown, protocol reset)."""
+        self._grants.clear()
+
+    def __len__(self) -> int:
+        return len(self._grants)
+
+
+class LeaseManager:
+    """Primary-side lease state: grants, revocations, held writes.
+
+    Lives on every replica (any member can become primary), but acts only
+    while ``replica.is_primary``.  The ordering gate is
+    :meth:`intercept`: protocols call it from their primary admission
+    funnel before ordering a mutation; a parked request re-enters through
+    the protocol's ``_admit_ordered`` once its conflicting ranges clear.
+    """
+
+    def __init__(self, replica: "BaseReplica", config: LeaseConfig) -> None:
+        self.replica = replica
+        self.config = config
+        self.epoch = 0
+        # holder -> range -> expiry (grants we issued and still believe live)
+        self._granted: Dict[str, Dict[int, float]] = {}
+        # range -> holder -> expiry (revocations awaiting ack or expiry)
+        self._revoking: Dict[int, Dict[str, float]] = {}
+        # parked writes: (request, ranges still blocked)
+        self._parked: List[Tuple[ClientRequest, Set[int]]] = []
+        self._suspended: Set[str] = set()
+        self._self_expiry: Optional[float] = None
+        self._quiesce_until = 0.0
+        self._timer: Optional[PeriodicTimer] = None
+        gid = replica.group.group_id
+        metrics = replica.group.metrics
+        self._c_granted = metrics.counter(f"{gid}.lease.granted")
+        self._c_renewed = metrics.counter(f"{gid}.lease.renewed")
+        self._c_revoked = metrics.counter(f"{gid}.lease.revoked")
+        self._c_expired = metrics.counter(f"{gid}.lease.expired")
+        self._c_held = metrics.counter(f"{gid}.lease.writes_held")
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Begin the renewal cadence (requires placement on the chip)."""
+        if self._timer is None:
+            self._timer = PeriodicTimer(
+                self.replica.sim, self.config.renew_period, self._on_renew
+            )
+        if self.replica.is_primary:
+            # Group formation is commit-grade evidence of primacy.
+            self._self_expiry = self.replica.sim.now + self.config.duration
+
+    def stop(self) -> None:
+        """Tear down (replica shutdown): no further timers or releases."""
+        if self._timer is not None:
+            self._timer.stop()
+            self._timer = None
+        self.reset()
+
+    def reset(self) -> None:
+        """Drop all lease state; parked writes survive in the protocol's
+        pending map and re-enter via re-proposal or client retransmit."""
+        self.epoch += 1
+        self._granted.clear()
+        self._revoking.clear()
+        self._parked.clear()
+        self._self_expiry = None
+
+    def on_view_entered(self, view: int) -> None:
+        """View/term change or promotion: invalidate our grant era and
+        quiesce conflicting writes for one duration (partitioned holders
+        of old-view leases may serve until those expire)."""
+        now = self.replica.sim.now
+        had_grants = any(self._granted.values()) or bool(self._revoking)
+        self.reset()
+        if view > 0 or had_grants:
+            self._quiesce_until = max(self._quiesce_until, now + self.config.duration)
+        if self.replica.is_primary:
+            # Installing a view required a vote quorum: fresh evidence.
+            self._self_expiry = now + self.config.duration
+
+    # ------------------------------------------------------------------
+    # Grant authority
+    # ------------------------------------------------------------------
+    @property
+    def holds_self_lease(self) -> bool:
+        """True while commit evidence backs this primary's authority."""
+        return (
+            self._self_expiry is not None
+            and self.replica.sim.now < self._self_expiry
+        )
+
+    def on_committed(self) -> None:
+        """A commit reached quorum: refresh the primary's grant authority
+        (the lease renewal anchor — 'renewed on commit')."""
+        if self.replica.is_primary:
+            self._self_expiry = self.replica.sim.now + self.config.duration
+
+    # ------------------------------------------------------------------
+    # Renewal
+    # ------------------------------------------------------------------
+    def _on_renew(self) -> None:
+        replica = self.replica
+        if replica.state.value == "crashed" or not replica.is_primary:
+            return
+        if not self.holds_self_lease:
+            return  # no commit evidence: a partitioned primary must not renew
+        now = replica.sim.now
+        expiry = now + self.config.duration
+        grantable = [
+            r for r in range(self.config.n_ranges) if r not in self._revoking
+        ]
+        if not grantable:
+            return
+        for holder in replica.other_members():
+            if holder in self._suspended:
+                continue
+            held = self._granted.setdefault(holder, {})
+            fresh = renewed = expired = 0
+            for r in grantable:
+                previous = held.get(r)
+                if previous is None:
+                    fresh += 1
+                elif previous <= now:
+                    expired += 1
+                    fresh += 1
+                else:
+                    renewed += 1
+                held[r] = expiry
+            self._c_granted.inc(fresh)
+            self._c_renewed.inc(renewed)
+            self._c_expired.inc(expired)
+            grant = LeaseGrant(
+                replica.name, replica.view, self.epoch, tuple(grantable), expiry
+            )
+            replica.send(holder, grant, grant.wire_size())
+
+    # ------------------------------------------------------------------
+    # Write-through invalidation
+    # ------------------------------------------------------------------
+    def intercept(self, request: ClientRequest) -> bool:
+        """Gate one to-be-ordered request; True = parked (do not order).
+
+        Mutation-free requests (the app can answer them as reads) pass
+        straight through — an ordered ``get`` cannot violate staleness.
+        """
+        try:
+            self.replica.app.read(request.op)
+        except ValueError:
+            pass  # a genuine mutation: check lease conflicts
+        else:
+            return False
+        key = request.key()
+        if any(parked.key() == key for parked, _ in self._parked):
+            return True  # a retransmit of an already-parked write
+        now = self.replica.sim.now
+        keys = keys_of(request.op)
+        if keys is None:
+            needed = set(range(self.config.n_ranges))
+        else:
+            needed = {range_of(k, self.config.n_ranges) for k in keys}
+        blocked: Set[int] = set()
+        if now < self._quiesce_until:
+            for r in needed:
+                self._begin_revocation(r, {}, self._quiesce_until)
+                blocked.add(r)
+        for r in needed:
+            if r in self._revoking:
+                blocked.add(r)
+                continue
+            holders = self._conflicting_holders(r, now)
+            if holders:
+                self._begin_revocation(r, holders, max(holders.values()))
+                self._send_revokes({r: holders})
+                blocked.add(r)
+        if not blocked:
+            return False
+        self._c_held.inc()
+        self._parked.append((request, blocked))
+        return True
+
+    def _conflicting_holders(self, r: int, now: float) -> Dict[str, float]:
+        """Holders with an unexpired grant on range ``r``; prunes expired."""
+        out: Dict[str, float] = {}
+        for holder, held in self._granted.items():
+            expiry = held.get(r)
+            if expiry is None:
+                continue
+            if expiry <= now:
+                del held[r]
+                self._c_expired.inc()
+                continue
+            out[holder] = expiry
+        return out
+
+    def _begin_revocation(
+        self, r: int, holders: Dict[str, float], release_at: float
+    ) -> None:
+        waiting = self._revoking.setdefault(r, {})
+        waiting.update(holders)
+        for holder in holders:
+            self._granted.get(holder, {}).pop(r, None)
+        delay = max(0.0, release_at - self.replica.sim.now)
+        self.replica.sim.schedule(delay + 1.0, self._expire_revocations, self.epoch)
+
+    def _send_revokes(self, per_range: Dict[int, Dict[str, float]]) -> None:
+        # Regroup range->holders into holder->ranges: one message each.
+        by_holder: Dict[str, List[int]] = {}
+        for r, holders in per_range.items():
+            for holder in holders:
+                by_holder.setdefault(holder, []).append(r)
+        replica = self.replica
+        for holder, ranges in sorted(by_holder.items()):
+            self._c_revoked.inc(len(ranges))
+            revoke = LeaseRevoke(
+                replica.name, replica.view, self.epoch, tuple(sorted(ranges))
+            )
+            replica.send(holder, revoke, revoke.wire_size())
+
+    def on_revoke_ack(self, sender: str, ack: LeaseRevokeAck) -> None:
+        """A holder confirmed it stopped serving; maybe release writes."""
+        if ack.epoch != self.epoch or sender != ack.replica:
+            return
+        if sender not in self.replica.group.members:
+            return
+        for r in ack.ranges:
+            waiting = self._revoking.get(r)
+            if waiting is not None and sender in waiting:
+                del waiting[sender]
+                if not waiting and self.replica.sim.now >= self._quiesce_until:
+                    self._clear_range(r)
+
+    def _expire_revocations(self, epoch: int) -> None:
+        if epoch != self.epoch or self.replica.state.value == "crashed":
+            return
+        now = self.replica.sim.now
+        if now < self._quiesce_until:
+            return  # a later backstop (scheduled at quiesce end) finishes
+        for r in list(self._revoking):
+            waiting = self._revoking[r]
+            for holder in [h for h, exp in waiting.items() if exp <= now]:
+                del waiting[holder]
+                self._c_expired.inc()
+            if not waiting:
+                self._clear_range(r)
+
+    def _clear_range(self, r: int) -> None:
+        self._revoking.pop(r, None)
+        released: List[ClientRequest] = []
+        remaining: List[Tuple[ClientRequest, Set[int]]] = []
+        for request, blocked in self._parked:
+            blocked.discard(r)
+            if blocked:
+                remaining.append((request, blocked))
+            else:
+                released.append(request)
+        self._parked = remaining
+        for request in released:
+            self.replica.sim.call_soon(self._release, request, self.epoch)
+
+    def _release(self, request: ClientRequest, epoch: int) -> None:
+        replica = self.replica
+        if epoch != self.epoch or replica.state.value == "crashed":
+            return
+        if not replica.is_primary or replica.already_executed(request):
+            return
+        replica._admit_ordered(request)
+
+    # ------------------------------------------------------------------
+    # Detector / rejuvenation integration
+    # ------------------------------------------------------------------
+    def revoke_holder(self, name: str) -> None:
+        """Revoke every lease of one holder (suspicion, rejuvenation) and
+        suspend re-granting until :meth:`readmit_holder`."""
+        self._suspended.add(name)
+        held = self._granted.get(name)
+        if not held:
+            return
+        ranges = dict(held)
+        for r, expiry in ranges.items():
+            self._begin_revocation(r, {name: expiry}, expiry)
+        self._send_revokes({r: {name: exp} for r, exp in ranges.items()})
+
+    def readmit_holder(self, name: str) -> None:
+        """Allow re-granting to a healed holder (next renewal tick)."""
+        self._suspended.discard(name)
+
+    # ------------------------------------------------------------------
+    @property
+    def parked_writes(self) -> int:
+        """Writes currently held awaiting revocation (observability)."""
+        return len(self._parked)

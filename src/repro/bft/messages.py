@@ -47,12 +47,20 @@ class ClientRequest:
     correct replica, so the value was genuinely committed).  Mismatching
     replies (a write raced the read) make the client fall back to the
     ordered path.
+
+    ``lease_read`` marks the *leased* variant of the fast path: the
+    client sends the read to a single replica it believes holds a valid
+    lease on the key's range, and accepts that one reply (tagged
+    ``leased``) as the answer.  A replica without a covering lease
+    answers :class:`ReadNack`, pushing the client onto the f+1 quorum
+    read, which in turn falls back to the ordered path on timeout.
     """
 
     client: str
     rid: int
     op: Any
     read_only: bool = False
+    lease_read: bool = False
 
     def wire_size(self) -> int:
         return HEADER_BYTES + 8 + _op_size(self.op) + MAC_BYTES
@@ -64,13 +72,20 @@ class ClientRequest:
 
 @dataclass(frozen=True)
 class ClientReply:
-    """A replica's reply; clients wait for a quorum of matching replies."""
+    """A replica's reply; clients wait for a quorum of matching replies.
+
+    ``leased`` tags a reply served from a valid read lease: the client
+    accepts it alone (quorum of one), because lease safety — writes to
+    the range are held at the primary until the lease is revoked or
+    expires — substitutes for the vote quorum.
+    """
 
     replica: str
     client: str
     rid: int
     result: Any
     view: int
+    leased: bool = False
 
     def wire_size(self) -> int:
         return HEADER_BYTES + 8 + _op_size(self.result) + MAC_BYTES
@@ -144,6 +159,72 @@ def proposal_digest(proposal: Proposal) -> bytes:
             )
         )
     return _digest((proposal.client, proposal.rid, proposal.op))
+
+
+# ----------------------------------------------------------------------
+# Read leases (all families; see repro.bft.leases)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class LeaseGrant:
+    """Primary grants (or renews) read leases on key ranges.
+
+    Epoch-tagged: the granting manager bumps its epoch on every view
+    change / reset, so acknowledgements from a previous lease era are
+    ignored.  Holders additionally accept a grant only when its ``view``
+    matches their own and ``primary`` is that view's primary — a view
+    change implicitly invalidates every outstanding grant.
+    """
+
+    primary: str
+    view: int
+    epoch: int
+    ranges: Tuple[int, ...]
+    expiry: float  # absolute sim time; also the staleness bound anchor
+
+    def wire_size(self) -> int:
+        return HEADER_BYTES + 8 + 8 + 4 * len(self.ranges) + 8 + MAC_BYTES
+
+
+@dataclass(frozen=True)
+class LeaseRevoke:
+    """Primary revokes leases on ranges a pending write conflicts with."""
+
+    primary: str
+    view: int
+    epoch: int
+    ranges: Tuple[int, ...]
+
+    def wire_size(self) -> int:
+        return HEADER_BYTES + 8 + 8 + 4 * len(self.ranges) + MAC_BYTES
+
+
+@dataclass(frozen=True)
+class LeaseRevokeAck:
+    """Holder confirms it stopped serving the revoked ranges."""
+
+    replica: str
+    view: int
+    epoch: int
+    ranges: Tuple[int, ...]
+
+    def wire_size(self) -> int:
+        return HEADER_BYTES + 8 + 8 + 4 * len(self.ranges) + MAC_BYTES
+
+
+@dataclass(frozen=True)
+class ReadNack:
+    """A replica refuses a leased read (no valid covering lease).
+
+    The client re-issues the same rid as a quorum fast-path read; that
+    path's own timeout fallback then covers the ordered case.
+    """
+
+    replica: str
+    client: str
+    rid: int
+
+    def wire_size(self) -> int:
+        return HEADER_BYTES + 8 + MAC_BYTES
 
 
 # ----------------------------------------------------------------------

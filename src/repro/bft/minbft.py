@@ -37,6 +37,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.bft.batching import BatchAccumulator, BatchConfig, resolve_batching
+from repro.bft.leases import LeaseConfig, LeaseManager, LeaseTable, resolve_leases
 from repro.bft.messages import (
     ClientRequest,
     MbCommit,
@@ -68,6 +69,7 @@ class MinBftConfig:
     view_timeout: float = 40_000.0
     register_kind: str = "ecc"
     batching: Optional[BatchConfig] = None
+    leases: Optional[LeaseConfig] = None
 
 
 @dataclass
@@ -139,6 +141,10 @@ class MinBftReplica(BaseReplica):
         batching = resolve_batching(self.config.batching)
         if batching is not None:
             self.batcher = BatchAccumulator(self, batching, self._propose_proposal)
+        leases = resolve_leases(self.config.leases)
+        if leases is not None:
+            self.lease_table = LeaseTable(self, leases)
+            self.lease_manager = LeaseManager(self, leases)
 
     # ------------------------------------------------------------------
     @property
@@ -262,15 +268,22 @@ class MinBftReplica(BaseReplica):
             self._note_pending(request)
             return
         if self.is_primary:
-            if self.batcher is not None:
-                if self._already_ordering(request) or request.key() in self.batcher.pending_keys:
+            if self.lease_manager is not None:
+                self._note_pending(request)  # parked writes survive view changes
+                if self.lease_manager.intercept(request):
                     return
-                self.batcher.add(request)
-            else:
-                self._propose(request)
+            self._admit_ordered(request)
         else:
             self.send(self.primary, request, request.wire_size())
             self._note_pending(request)
+
+    def _admit_ordered(self, request: ClientRequest) -> None:
+        if self.batcher is not None:
+            if self._already_ordering(request) or request.key() in self.batcher.pending_keys:
+                return
+            self.batcher.add(request)
+        else:
+            self._propose(request)
 
     def _already_ordering(self, request: ClientRequest) -> bool:
         return any(
@@ -505,6 +518,12 @@ class MinBftReplica(BaseReplica):
             # Window accounting restarts in the new view; pending requests
             # re-enter via _repropose_pending / client retransmission.
             self.batcher.reset()
+        if self.lease_manager is not None:
+            # Old-era grants and revocations are void; quiesce writes for
+            # one lease duration so leftover holders drain safely.
+            self.lease_manager.on_view_entered(new_view)
+        if self.lease_table is not None:
+            self.lease_table.clear()  # grants are view-tagged anyway; hygiene
         self._slots = {s: slot for s, slot in self._slots.items() if slot.committed}
         self._exec_cursor = None  # next accepted prepare re-anchors it
         self._ready.clear()
@@ -522,19 +541,14 @@ class MinBftReplica(BaseReplica):
     def _repropose_pending(self) -> None:
         if not self.is_primary:
             return
-        if self.batcher is not None:
-            for request in list(self._pending_requests.values()):
-                if (
-                    not self.already_executed(request)
-                    and not self._already_ordering(request)
-                    and request.key() not in self.batcher.pending_keys
-                ):
-                    self.batcher.add(request)
-            self.batcher.flush()
-            return
         for request in list(self._pending_requests.values()):
-            if not self.already_executed(request):
-                self._propose(request)
+            if self.already_executed(request):
+                continue
+            if self.lease_manager is not None and self.lease_manager.intercept(request):
+                continue  # held by the new-view quiesce; released later
+            self._admit_ordered(request)
+        if self.batcher is not None:
+            self.batcher.flush()
 
     # ------------------------------------------------------------------
     def reset_protocol_state(self) -> None:

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, Optional, Tuple
 
 from repro.bft.batching import BatchAccumulator, BatchConfig, resolve_batching
+from repro.bft.leases import LeaseConfig, LeaseManager, LeaseTable, resolve_leases
 from repro.bft.messages import (
     ClientRequest,
     Heartbeat,
@@ -47,6 +48,7 @@ class PassiveConfig:
     heartbeat_period: float = 2_000.0
     detect_timeout: float = 10_000.0
     batching: Optional[BatchConfig] = None
+    leases: Optional[LeaseConfig] = None
 
 
 def required_replicas(f: int) -> int:
@@ -72,6 +74,10 @@ class PassiveReplica(BaseReplica):
         batching = resolve_batching(self.config.batching)
         if batching is not None:
             self.batcher = BatchAccumulator(self, batching, self._commit_proposal)
+        leases = resolve_leases(self.config.leases)
+        if leases is not None:
+            self.lease_table = LeaseTable(self, leases)
+            self.lease_manager = LeaseManager(self, leases)
 
     # ------------------------------------------------------------------
     def start(self) -> None:
@@ -79,6 +85,7 @@ class PassiveReplica(BaseReplica):
 
         Must be called once the replica is placed on the chip.
         """
+        super().start()  # lease renewal cadence, when enabled
         if self.role == "primary":
             self._heartbeat_timer = PeriodicTimer(
                 self.sim, self.config.heartbeat_period, self._send_heartbeat
@@ -119,6 +126,11 @@ class PassiveReplica(BaseReplica):
             # Buffer: if we are promoted later, these get served.
             self._buffered[request.key()] = request
             return
+        if self.lease_manager is not None and self.lease_manager.intercept(request):
+            return
+        self._admit_ordered(request)
+
+    def _admit_ordered(self, request: ClientRequest) -> None:
         if self.batcher is not None:
             if request.key() in self.batcher.pending_keys:
                 return
@@ -174,6 +186,12 @@ class PassiveReplica(BaseReplica):
         self.view = self.group.members.index(self.name)
         self.promotions += 1
         self.group.metrics.counter(f"{self.group.group_id}.promotions").inc()
+        if self.lease_manager is not None:
+            # Promotion is a view change: drop our held grants and quiesce
+            # writes until any lease the old primary issued has expired.
+            self.lease_manager.on_view_entered(self.view)
+        if self.lease_table is not None:
+            self.lease_table.clear()
         self._heartbeat_timer = PeriodicTimer(
             self.sim, self.config.heartbeat_period, self._send_heartbeat
         )

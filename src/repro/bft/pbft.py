@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Set, Tuple
 
 from repro.bft.batching import BatchAccumulator, BatchConfig, resolve_batching
+from repro.bft.leases import LeaseConfig, LeaseManager, LeaseTable, resolve_leases
 from repro.bft.messages import (
     Checkpoint,
     ClientReply,
@@ -58,12 +59,17 @@ class PbftConfig:
     ``batching`` enables request batching + a bounded in-flight window on
     the primary (see :mod:`repro.bft.batching`); None (the default) keeps
     the classic one-request-per-round behaviour, byte for byte.
+
+    ``leases`` enables primary-granted read leases (see
+    :mod:`repro.bft.leases`); None keeps the quorum-read behaviour,
+    event for event.
     """
 
     checkpoint_interval: int = 64
     watermark_window: int = 256
     view_timeout: float = 40_000.0
     batching: Optional[BatchConfig] = None
+    leases: Optional[LeaseConfig] = None
 
 
 @dataclass
@@ -106,6 +112,10 @@ class PbftReplica(BaseReplica):
         batching = resolve_batching(self.config.batching)
         if batching is not None:
             self.batcher = BatchAccumulator(self, batching, self._propose_proposal)
+        leases = resolve_leases(self.config.leases)
+        if leases is not None:
+            self.lease_table = LeaseTable(self, leases)
+            self.lease_manager = LeaseManager(self, leases)
 
     # ------------------------------------------------------------------
     # Quorums
@@ -205,16 +215,23 @@ class PbftReplica(BaseReplica):
             self._note_pending(request)
             return
         if self.is_primary:
-            if self.batcher is not None:
-                if self._already_ordering(request) or request.key() in self.batcher.pending_keys:
+            if self.lease_manager is not None:
+                self._note_pending(request)  # parked writes survive view changes
+                if self.lease_manager.intercept(request):
                     return
-                self.batcher.add(request)
-            else:
-                self._propose(request)
+            self._admit_ordered(request)
         else:
             # Forward to the primary and start watching for progress.
             self.send(self.primary, request, request.wire_size())
             self._note_pending(request)
+
+    def _admit_ordered(self, request: ClientRequest) -> None:
+        if self.batcher is not None:
+            if self._already_ordering(request) or request.key() in self.batcher.pending_keys:
+                return
+            self.batcher.add(request)
+        else:
+            self._propose(request)
 
     def _already_ordering(self, request: ClientRequest) -> bool:
         return any(
@@ -446,6 +463,12 @@ class PbftReplica(BaseReplica):
             # Window accounting restarts in the new view; pending requests
             # re-enter via _repropose_pending / client retransmission.
             self.batcher.reset()
+        if self.lease_manager is not None:
+            # Old-era grants and revocations are void; quiesce writes for
+            # one lease duration so leftover holders drain safely.
+            self.lease_manager.on_view_entered(new_view)
+        if self.lease_table is not None:
+            self.lease_table.clear()  # grants are view-tagged anyway; hygiene
         for stale in [v for v in self._view_change_votes if v <= new_view]:
             del self._view_change_votes[stale]
         timer = self._ensure_timer()
@@ -457,19 +480,14 @@ class PbftReplica(BaseReplica):
     def _repropose_pending(self) -> None:
         if not self.is_primary:
             return
-        if self.batcher is not None:
-            for request in list(self._pending_requests.values()):
-                if (
-                    not self.already_executed(request)
-                    and not self._already_ordering(request)
-                    and request.key() not in self.batcher.pending_keys
-                ):
-                    self.batcher.add(request)
-            self.batcher.flush()
-            return
         for request in list(self._pending_requests.values()):
-            if not self.already_executed(request):
-                self._propose(request)
+            if self.already_executed(request):
+                continue
+            if self.lease_manager is not None and self.lease_manager.intercept(request):
+                continue  # held by the new-view quiesce; released later
+            self._admit_ordered(request)
+        if self.batcher is not None:
+            self.batcher.flush()
 
     def _find_request(self, dig: bytes) -> Optional[Proposal]:
         for slot in self._slots.values():

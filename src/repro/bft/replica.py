@@ -9,7 +9,11 @@ from repro.bft.app import StateMachine
 from repro.bft.messages import (
     ClientReply,
     ClientRequest,
+    LeaseGrant,
+    LeaseRevoke,
+    LeaseRevokeAck,
     Proposal,
+    ReadNack,
     StateRequest,
     StateResponse,
     requests_of,
@@ -157,6 +161,11 @@ class BaseReplica(Node):
         self.state_syncs = 0
         # Installed by protocols that enable batching (primary side).
         self.batcher = None
+        # Installed by protocols that enable leases (repro.bft.leases):
+        # every replica gets both — any member can hold leases or become
+        # primary.  None when leases are off (exactness contract).
+        self.lease_table = None
+        self.lease_manager = None
 
     # ------------------------------------------------------------------
     @property
@@ -172,6 +181,24 @@ class BaseReplica(Node):
     def other_members(self) -> List[str]:
         """All group members except self."""
         return [m for m in self.group.members if m != self.name]
+
+    def start(self) -> None:
+        """Begin background activity once placed on the chip.
+
+        Subclasses with their own timers call ``super().start()`` so the
+        lease renewal cadence (when leases are enabled) runs everywhere.
+        """
+        if self.lease_manager is not None:
+            self.lease_manager.start()
+
+    def _admit_ordered(self, request: ClientRequest) -> None:
+        """Primary admission funnel: batch-or-propose one request.
+
+        Protocols route their primary-side request handling through this
+        so the lease manager can park conflicting writes and re-admit
+        them once the revocation completes.
+        """
+        raise NotImplementedError
 
     # ------------------------------------------------------------------
     # Execution pipeline
@@ -209,6 +236,8 @@ class BaseReplica(Node):
             self._apply_request(request)
         if self.batcher is not None:
             self.batcher.on_committed()
+        if self.lease_manager is not None:
+            self.lease_manager.on_committed()
 
     def _apply_request(self, request: ClientRequest) -> None:
         if self._executed.contains(*request.key()):
@@ -288,6 +317,12 @@ class BaseReplica(Node):
             # pending requests survive in the protocol's pending map and
             # re-enter through re-batching.
             self.batcher.reset()
+        if self.lease_manager is not None:
+            # The adopted state may carry a newer view: treat it as an era
+            # change — grants from before the transfer are untrustworthy.
+            self.lease_manager.on_view_entered(self.view)
+        if self.lease_table is not None:
+            self.lease_table.clear()
         if state.get("protocol_tag") == type(self).__name__:
             self.import_protocol_state(state.get("protocol_extra", {}))
         self.on_state_imported()
@@ -315,6 +350,10 @@ class BaseReplica(Node):
         self.reset_protocol_state()
         if self.batcher is not None:
             self.batcher.reset()
+        if self.lease_manager is not None:
+            self.lease_manager.stop()
+        if self.lease_table is not None:
+            self.lease_table.clear()
 
     def on_recover(self) -> None:
         """After rejuvenation the replica rejoins with its durable state.
@@ -329,6 +368,12 @@ class BaseReplica(Node):
         self.reset_protocol_state()
         if self.batcher is not None:
             self.batcher.reset()
+        if self.lease_manager is not None:
+            self.lease_manager.reset()
+        if self.lease_table is not None:
+            # A rejuvenated replica must not serve on pre-crash leases: it
+            # waits for a fresh grant from the current primary.
+            self.lease_table.clear()
         if self.chip is not None:
             self.sim.call_soon(self.request_state_sync)
 
@@ -375,7 +420,22 @@ class BaseReplica(Node):
             self._handle_state_response(sender, message)
             return True
         if isinstance(message, ClientRequest) and message.read_only:
-            self._serve_read(sender, message)
+            if message.lease_read:
+                self._serve_lease_read(sender, message)
+            else:
+                self._serve_read(sender, message)
+            return True
+        if isinstance(message, LeaseGrant):
+            if self.lease_table is not None:
+                self.lease_table.on_grant(sender, message)
+            return True
+        if isinstance(message, LeaseRevoke):
+            if self.lease_table is not None:
+                self.lease_table.on_revoke(sender, message)
+            return True
+        if isinstance(message, LeaseRevokeAck):
+            if self.lease_manager is not None:
+                self.lease_manager.on_revoke_ack(sender, message)
             return True
         return False
 
@@ -399,6 +459,46 @@ class BaseReplica(Node):
             self.chip.has_node(request.client) or self.chip.off_chip_handler is not None
         ):
             self.send(request.client, reply, reply.wire_size())
+
+    def _serve_lease_read(self, sender: str, request: ClientRequest) -> None:
+        """Leased read: answer alone from local committed state, one hop.
+
+        Serveable iff a valid lease covers every key of the op — either a
+        grant from the current view's primary (backup side), or the
+        primary's own commit-evidence-backed self lease.  Anything else
+        gets a :class:`ReadNack`, pushing the client onto the f+1 quorum
+        path (same rid, no ordering traffic either way).
+        """
+        gid = self.group.group_id
+        result: Any = None
+        serveable = not self.syncing and (
+            (self.lease_table is not None and self.lease_table.covers(request.op))
+            or (
+                self.is_primary
+                and self.lease_manager is not None
+                and self.lease_manager.holds_self_lease
+            )
+        )
+        if serveable:
+            try:
+                result = self.app.read(request.op)
+            except ValueError:
+                serveable = False  # not actually read-only: refuse
+        reachable = self.chip is not None and (
+            self.chip.has_node(request.client) or self.chip.off_chip_handler is not None
+        )
+        if serveable:
+            self.group.metrics.counter(f"{gid}.reads.local").inc()
+            reply = ClientReply(
+                self.name, request.client, request.rid, result, self.view, leased=True
+            )
+            if reachable:
+                self.send(request.client, reply, reply.wire_size())
+        else:
+            self.group.metrics.counter(f"{gid}.reads.quorum_fallback").inc()
+            nack = ReadNack(self.name, request.client, request.rid)
+            if reachable:
+                self.send(request.client, nack, nack.wire_size())
 
     def _handle_state_request(self, sender: str, message: StateRequest) -> None:
         if sender != message.replica or sender not in self.group.members:

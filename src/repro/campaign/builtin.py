@@ -18,6 +18,9 @@ Three built-ins, graded by size:
 * ``mesoscale`` — arrival process × population size sweep of the C4
   aggregated-traffic engine: 10^5–5×10^5 modeled clients per trial
   behind admission control on a 4-shard system.
+* ``leased-reads`` — the P4 read-path sweep: leases on/off × read ratio
+  on PBFT and MinBFT, an aggregated population at a read-heavy mix —
+  what single-hop leased reads buy over the f+1 quorum fast path.
 * ``pdes-scaling`` — domain-count sweep of the P3 conservative PDES:
   the same per-domain workload over 1, 2, then 4 lookahead-synchronized
   domains, with the serial-vs-parallel byte-identity check folded in as
@@ -152,6 +155,35 @@ def _mesoscale(n_seeds: int = 3, campaign_seed: int = 0) -> CampaignSpec:
     )
 
 
+def _leased_reads(n_seeds: int = 3, campaign_seed: int = 0) -> CampaignSpec:
+    return CampaignSpec(
+        name="leased-reads",
+        runner="leased_reads",
+        mode="grid",
+        axes={
+            "protocol": ["pbft", "minbft"],
+            "leases": [0, 1],
+            "read_ratio": [0.5, 0.9],
+        },
+        base={
+            "duration": 240_000.0,
+            "warmup": 60_000.0,
+            "n_shards": 2,
+            "n_clients": 1000,
+            "rate_per_client": 2e-4,
+            "max_inflight": 32,
+            "queue_limit": 2048,
+            "key_space": 64,
+            "width": 8,
+            "height": 8,
+        },
+        n_seeds=n_seeds,
+        campaign_seed=campaign_seed,
+        trial_timeout=600.0,
+        description="P4 read path: leases on/off x read ratio, pbft + minbft",
+    )
+
+
 def _faultspace(n_seeds: int = 12, campaign_seed: int = 0) -> CampaignSpec:
     """Fixed-size fault-space sweep (no early stopping).
 
@@ -236,6 +268,7 @@ BUILTIN_CAMPAIGNS: Dict[str, Callable[..., CampaignSpec]] = {
     "shard-scaling": _shard_scaling,
     "consensus-batching": _consensus_batching,
     "mesoscale": _mesoscale,
+    "leased-reads": _leased_reads,
     "faultspace": _faultspace,
     "pdes-scaling": _pdes_scaling,
     "smoke": _smoke,

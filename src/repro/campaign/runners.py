@@ -16,6 +16,9 @@ Built-ins:
 * ``mesoscale`` — the C4 aggregated-population sweep: arrival-process
   populations (10^5–10^6 modeled clients) with admission control and
   load shedding over a sharded system.
+* ``leased_reads`` — the P4 read-path trial: a read-heavy aggregated
+  population over a sharded system with primary-granted read leases on
+  or off, reporting local-read share and lease churn counters.
 * ``rejuv_apt`` — the rejuvenation-vs-APT survival race of E4, exposing
   period/diversify/relocate and attacker effort as sweep axes.
 * ``pdes`` — the P3 conservative-PDES trial: a domain fleet advanced
@@ -365,6 +368,105 @@ def run_mesoscale(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
         "failed_ops": system.failed_operations(),
         "modeled_clients": sum(p.modeled_clients for p in populations),
         "degraded_shards": len(system.directory.degraded_shards()),
+        "safe": 1 if system.is_safe else 0,
+    }
+
+
+@register_runner("leased_reads")
+def run_leased_reads(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    """One read-path trial: quorum fast path vs leased local reads (P4).
+
+    An aggregated open-loop population drives a read-heavy KV mix
+    through a sharded system; ``leases`` switches the primary-granted
+    read-lease machinery on, in which case reads resolve on one NoC hop
+    at the leaseholder and bypass the population's ordered-inflight cap.
+    Lease counters land in the report so campaigns can track grant/
+    revocation churn alongside throughput.
+
+    Params: ``leases`` (bool), ``read_ratio``, ``lease_duration``,
+    ``renew_period``, ``n_ranges``, ``protocol``, ``f``, ``n_shards``,
+    ``n_clients`` (modeled), ``rate_per_client``, ``max_inflight``,
+    ``queue_limit``, ``key_space``, ``batch_size``, ``batch_delay``,
+    ``batch_inflight``, ``duration``, ``warmup``, ``width``, ``height``.
+    """
+    from repro.bft.batching import BatchConfig
+    from repro.bft.group import protocol_config_for
+    from repro.bft.leases import LeaseConfig
+    from repro.mesoscale import PopulationConfig
+    from repro.shard import ShardConfig, ShardedSystem
+    from repro.workloads import kv_workload
+
+    duration = float(params.get("duration", 240_000.0))
+    warmup = float(params.get("warmup", 60_000.0))
+    protocol = params.get("protocol", "minbft")
+    batching = None
+    batch_size = int(params.get("batch_size", 8))
+    if batch_size > 1:
+        batching = BatchConfig(
+            batch_size=batch_size,
+            batch_delay=float(params.get("batch_delay", 100.0)),
+            max_inflight=int(params.get("batch_inflight", 4)),
+        )
+    leases = None
+    if params.get("leases"):
+        leases = LeaseConfig(
+            n_ranges=int(params.get("n_ranges", 64)),
+            duration=float(params.get("lease_duration", 30_000.0)),
+            renew_period=float(params.get("renew_period", 1_000.0)),
+        )
+    system = ShardedSystem(
+        ShardConfig(
+            seed=seed,
+            n_shards=int(params.get("n_shards", 2)),
+            protocol=protocol,
+            f=int(params.get("f", 1)),
+            width=int(params.get("width", 8)),
+            height=int(params.get("height", 8)),
+            enable_rejuvenation=False,
+            protocol_config=protocol_config_for(
+                protocol, batching=batching, leases=leases
+            ),
+        )
+    )
+    population = system.attach_population(
+        "pop",
+        PopulationConfig(
+            n_clients=int(params.get("n_clients", 1000)),
+            max_inflight=int(params.get("max_inflight", 32)),
+            queue_limit=int(params.get("queue_limit", 2048)),
+            workload=kv_workload(
+                keys=int(params.get("key_space", 64)),
+                read_ratio=float(params.get("read_ratio", 0.9)),
+                rate_per_client=float(params.get("rate_per_client", 2e-4)),
+            ),
+        ),
+    )
+    system.start(warmup=warmup)
+    start = system.sim.now
+    system.run(duration)
+    end = system.sim.now
+    ops = population.completions_in(start, end)
+    latencies = sorted(population.latencies_in(start, end))
+    metrics = system.chip.metrics
+    shard_sum = lambda suffix: sum(  # noqa: E731
+        metrics.counter(f"{sid}.{suffix}").value for sid in system.shards
+    )
+    n_replicas = sum(len(s.group.members) for s in system.shards.values())
+    ordered_ops = shard_sum("committed_ops") / (n_replicas / len(system.shards))
+    return {
+        "ops": ops,
+        "ops_per_sec": ops / (duration / 1000.0),
+        "mean_latency_ms": sum(latencies) / len(latencies) if latencies else 0.0,
+        "p95_latency_ms": latencies[int(0.95 * (len(latencies) - 1))] if latencies else 0.0,
+        "reads_local": shard_sum("reads.local"),
+        "reads_quorum_fallback": shard_sum("reads.quorum_fallback"),
+        "lease_granted": shard_sum("lease.granted"),
+        "lease_renewed": shard_sum("lease.renewed"),
+        "lease_revoked": shard_sum("lease.revoked"),
+        "lease_expired": shard_sum("lease.expired"),
+        "ordered_ops": ordered_ops,
+        "ordered_frac": ordered_ops / ops if ops else 0.0,
+        "shed": population.shed,
         "safe": 1 if system.is_safe else 0,
     }
 

@@ -17,6 +17,10 @@ Commands
     O(populations) memory) through the sharded service with admission
     control and load shedding; ``--kill-shard s1`` shows demand being
     shed at the source while survivors keep serving.
+``leases``
+    Compare the read path with primary-granted read leases off vs on
+    (P4): a read-heavy aggregated population over a sharded system,
+    reporting local-read share, lease churn, and the throughput ratio.
 ``experiments``
     List the experiment index (id, claim, bench target); ``--verify``
     checks the index against the actual ``benchmarks/`` directory.
@@ -67,6 +71,7 @@ EXPERIMENTS = [
     ("P1", "perf: NoC express path + kernel hot-path overhaul", "bench_p1_hotpath.py"),
     ("P2", "perf: consensus batching + pipelined agreement", "bench_p2_consensus.py"),
     ("P3", "perf: conservative PDES, byte-identical parallel domains", "bench_p3_pdes.py"),
+    ("P4", "perf: leased local reads with bounded staleness", "bench_p4_leased_reads.py"),
 ]
 
 
@@ -276,6 +281,51 @@ def cmd_mesoscale(args: argparse.Namespace) -> int:
               and shed_degraded > 0 and survivors_ok)
         return 0 if ok else 1
     return 0 if system.is_safe and ops > 0 else 1
+
+
+def cmd_leases(args: argparse.Namespace) -> int:
+    """Compare the read path with leases off vs on (the P4 story)."""
+    from repro.campaign.runners import get_runner
+    from repro.metrics.tables import Table
+
+    runner = get_runner("leased_reads")
+    base = {
+        "protocol": args.protocol,
+        "n_shards": args.shards,
+        "n_clients": args.clients,
+        "rate_per_client": args.rate,
+        "read_ratio": args.read_ratio,
+        "duration": args.duration,
+        "lease_duration": args.lease_duration,
+        "renew_period": args.renew_period,
+        "n_ranges": args.ranges,
+        "width": args.width,
+        "height": args.height,
+    }
+    off = runner({**base, "leases": 0}, args.seed)
+    on = runner({**base, "leases": 1}, args.seed)
+    table = Table(
+        "leases",
+        ["read path", "ops", "ops/s (sim)", "p95 lat", "local", "fallback",
+         "granted", "revoked", "safe"],
+        title=(f"{args.protocol}: quorum fast path vs leased reads, "
+               f"{args.clients} modeled clients @ "
+               f"{int(args.read_ratio * 100)}% reads"),
+    )
+    for label, r in (("quorum", off), ("leased", on)):
+        table.add_row([
+            label, r["ops"], round(r["ops_per_sec"], 1),
+            round(r["p95_latency_ms"], 1), r["reads_local"],
+            r["reads_quorum_fallback"], r["lease_granted"],
+            r["lease_revoked"], "yes" if r["safe"] else "NO",
+        ])
+    print(table.render())
+    ratio = on["ops_per_sec"] / off["ops_per_sec"] if off["ops_per_sec"] else 0.0
+    print(f"\nleased/quorum throughput: {ratio:.2f}x "
+          f"(ordered fraction {on['ordered_frac']:.3f} leased, "
+          f"{off['ordered_frac']:.3f} quorum)")
+    ok = bool(off["safe"] and on["safe"] and on["reads_local"] > 0)
+    return 0 if ok else 1
 
 
 def benchmarks_dir() -> Path:
@@ -611,6 +661,32 @@ def build_parser() -> argparse.ArgumentParser:
                            help="crash this shard mid-run and require "
                            "degraded-shard shedding to engage")
     mesoscale.set_defaults(fn=cmd_mesoscale)
+
+    leases = sub.add_parser(
+        "leases", help="compare quorum vs leased reads (P4)"
+    )
+    leases.add_argument("--seed", type=int, default=42)
+    leases.add_argument("--protocol",
+                        choices=["minbft", "pbft", "cft", "passive"],
+                        default="minbft")
+    leases.add_argument("--shards", type=int, default=2,
+                        help="number of independent replica groups")
+    leases.add_argument("--clients", type=int, default=1000,
+                        help="modeled clients in the aggregated population")
+    leases.add_argument("--rate", type=float, default=2e-4,
+                        help="ops per client per sim ms")
+    leases.add_argument("--read-ratio", type=float, default=0.9,
+                        help="read share of the KV mix")
+    leases.add_argument("--duration", type=float, default=240_000.0)
+    leases.add_argument("--lease-duration", type=float, default=30_000.0,
+                        help="lease validity / staleness bound (sim ms)")
+    leases.add_argument("--renew-period", type=float, default=1_000.0,
+                        help="primary grant-renewal period (sim ms)")
+    leases.add_argument("--ranges", type=int, default=64,
+                        help="number of key ranges leases are granted over")
+    leases.add_argument("--width", type=int, default=8)
+    leases.add_argument("--height", type=int, default=8)
+    leases.set_defaults(fn=cmd_leases)
 
     experiments = sub.add_parser("experiments", help="list the experiment index")
     experiments.add_argument(

@@ -144,6 +144,10 @@ class RejuvenationScheduler:
             return False
         if self.detector is not None and self.policy.detector_mask > 0:
             self.detector.suppress(self.policy.detector_mask)
+        # Read-lease safety: the victim must not serve leased reads while
+        # it reconfigures, and the primary must not re-grant to it until
+        # the pass lands.  No-op when leases are off.
+        self.group.revoke_leases(name)
         variant: Optional[str] = None
         if self.policy.diversify and self.diversity is not None:
             rng = self.group.chip.sim.rng.stream("core.rejuvenation")
@@ -164,6 +168,9 @@ class RejuvenationScheduler:
                 self.passes += 1
                 if new_coord is not None:
                     self.group.placement[name] = new_coord
+                # The replica came back clean: allow lease grants again
+                # (they resume at the primary's next renewal tick).
+                self.group.readmit_leases(name)
                 if self.on_rejuvenated is not None:
                     self.on_rejuvenated(name)
             else:

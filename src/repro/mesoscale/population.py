@@ -38,7 +38,12 @@ from typing import TYPE_CHECKING, Any, Dict, List, Optional
 from repro.mesoscale.admission import AdmissionController
 from repro.metrics.traffic import TrafficSource
 from repro.sim.timers import PeriodicTimer
-from repro.workloads.workload import KVWorkload, Workload, as_workload
+from repro.workloads.workload import (
+    KVWorkload,
+    Workload,
+    as_workload,
+    read_only_predicate_of,
+)
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.shard.router import ShardRouter, TicketResult
@@ -118,6 +123,11 @@ class ClientPopulation(TrafficSource):
         self.failures = 0
         self.backlog = 0
         self.inflight = 0
+        #: In-flight operations on the *ordered* path.  Leased local
+        #: reads never enter the ordered log, so they are admitted past
+        #: ``max_inflight`` (which exists to bound ordered-log pressure).
+        self.ordered_inflight = 0
+        self._read_predicate = read_only_predicate_of(self.workload)
         self._issued = 0
         self._draining = False
         self._timer: Optional[PeriodicTimer] = None
@@ -201,9 +211,16 @@ class ClientPopulation(TrafficSource):
         self._draining = True
         try:
             cfg = self.config
-            while self.running and self.backlog > 0 and self.inflight < cfg.max_inflight:
-                self.backlog -= 1
+            while self.running and self.backlog > 0:
+                # Peek (op() is pure in the index): a leased local read
+                # bypasses the ordered-inflight cap, everything else is
+                # subject to it.  A capped write at the queue head blocks
+                # the reads behind it — admission stays FIFO.
                 op = self.workload.op(self._issued)
+                local_read = self._is_local_read(op)
+                if not local_read and self.ordered_inflight >= cfg.max_inflight:
+                    break
+                self.backlog -= 1
                 self._issued += 1
                 if self.admission is not None:
                     reason = self.admission.decide(self._shards_for(op))
@@ -213,12 +230,29 @@ class ClientPopulation(TrafficSource):
                 self.admitted += 1
                 self._counter("admitted").inc()
                 self.inflight += 1
-                self.router.submit(op, self._on_done)
+                if local_read:
+                    self._counter("admitted_local_read").inc()
+                else:
+                    self.ordered_inflight += 1
+                self.router.submit(
+                    op,
+                    lambda result, ordered=not local_read: self._on_done(
+                        result, ordered
+                    ),
+                )
         finally:
             self._draining = False
 
-    def _on_done(self, result: "TicketResult") -> None:
+    def _is_local_read(self, op: Any) -> bool:
+        """True when ``op`` is a read the router can serve from a lease."""
+        if self._read_predicate is None or not self._read_predicate(op):
+            return False
+        return self.router.serves_leased_reads(op)
+
+    def _on_done(self, result: "TicketResult", ordered: bool = True) -> None:
         self.inflight -= 1
+        if ordered:
+            self.ordered_inflight -= 1
         if result.ok:
             self.record_completion(self.sim.now, result.latency)
             self._counter("completed").inc()

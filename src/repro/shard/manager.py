@@ -34,8 +34,15 @@ from typing import Any, Callable, Dict, List, Optional
 
 import warnings
 
+import dataclasses
+
 from repro.bft.app import KeyValueStore, StateMachine
-from repro.bft.group import FAMILIES, GroupConfig, ReplicaGroup
+from repro.bft.group import (
+    FAMILIES,
+    GroupConfig,
+    ReplicaGroup,
+    protocol_config_for,
+)
 from repro.core.adaptation import AdaptationController, AdaptationPolicy
 from repro.core.diversity import DiversityManager, VariantLibrary
 from repro.core.rejuvenation import RejuvenationPolicy, RejuvenationScheduler
@@ -55,6 +62,7 @@ from repro.shard.router import (
 from repro.sim.simulator import Simulator
 from repro.sim.timers import PeriodicTimer
 from repro.soc.chip import Chip, ChipConfig
+from repro.workloads.workload import KVWorkload, read_only_predicate_of
 
 
 @dataclass
@@ -68,6 +76,10 @@ class ShardConfig:
     protocol: str = "minbft"
     f: int = 1
     protocol_config: Optional[Any] = None
+    #: Convenience knob: a :class:`~repro.bft.leases.LeaseConfig` applied
+    #: to every shard's group (mutually exclusive with an explicit
+    #: ``protocol_config``, which carries its own ``leases`` field).
+    leases: Optional[Any] = None
     n_variants: int = 6
     n_vendors: int = 3
     app_factory: Callable[[], StateMachine] = KeyValueStore
@@ -93,6 +105,11 @@ class ShardConfig:
     def __post_init__(self) -> None:
         if self.n_shards < 1:
             raise ValueError("n_shards must be >= 1")
+        if self.leases is not None and self.protocol_config is not None:
+            raise ValueError(
+                "pass leases or a full protocol_config, not both "
+                "(protocol_config has its own leases field)"
+            )
         if self.shard_ids is not None:
             if len(self.shard_ids) != self.n_shards:
                 raise ValueError(
@@ -140,6 +157,9 @@ class ShardedSystem:
         self.planner = PlacementPlanner(self.chip, self.fabric)
         family = FAMILIES[cfg.protocol]
         group_size = family.replicas_for(cfg.f)
+        protocol_config = cfg.protocol_config
+        if cfg.leases is not None:
+            protocol_config = protocol_config_for(cfg.protocol, leases=cfg.leases)
         self.shards: Dict[str, Shard] = {}
         for shard_id in shard_ids:
             region = self.planner.allocate(shard_id, group_size)
@@ -154,7 +174,7 @@ class ShardedSystem:
                     group_id=shard_id,
                     app_factory=cfg.app_factory,
                     placement=list(region.tiles),
-                    protocol_config=cfg.protocol_config,
+                    protocol_config=protocol_config,
                 )
             )
             detector = SeverityDetector(group, [], cfg.severity)
@@ -217,6 +237,7 @@ class ShardedSystem:
             router.bind(
                 shard_id, shard.group.members,
                 shard.group.reply_quorum, shard.group.read_quorum,
+                lease_reads=shard.group.leases_enabled,
             )
             shard.group.clients.append(router.binding_for(shard_id))
             shard.detector.clients.append(router.shard_stats(shard_id))
@@ -241,9 +262,24 @@ class ShardedSystem:
         demand for degraded or threatened shards is shed at the source;
         pass ``admission`` to tune the policy.  The population starts
         with the system (see :meth:`start`).
+
+        When the workload classifies its own ops (``is_read``, as
+        :class:`~repro.workloads.workload.KVWorkload` does) and the
+        router config carries no explicit ``read_only_predicate``, the
+        predicate is derived automatically — reads take the fast path
+        (and the lease path, when leases are on) without per-bench
+        plumbing.
         """
-        router = self.place_router(name, router_config)
         cfg = config or PopulationConfig()
+        rcfg = router_config or self.config.router
+        if rcfg is None:
+            rcfg = RouterConfig()
+        if rcfg.read_only_predicate is None:
+            workload = cfg.workload if cfg.workload is not None else KVWorkload()
+            predicate = read_only_predicate_of(workload)
+            if predicate is not None:
+                rcfg = dataclasses.replace(rcfg, read_only_predicate=predicate)
+        router = self.place_router(name, rcfg)
         controller: Optional[AdmissionController] = None
         if cfg.mode == "open":
             controller = AdmissionController(

@@ -32,7 +32,8 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Set, Union
 
 from repro.bft.client import OpFactory, default_op_factory
-from repro.bft.messages import ClientReply, ClientRequest
+from repro.bft.leases import keys_of, stable_key_hash
+from repro.bft.messages import ClientReply, ClientRequest, ReadNack
 from repro.mesoscale.population import ClientPopulation, PopulationConfig
 from repro.metrics.traffic import TrafficSource
 from repro.shard.directory import ShardDirectory
@@ -109,6 +110,7 @@ class _ShardView:
     reply_quorum: int
     read_quorum: int
     primary_hint: int = 0
+    lease_reads: bool = False
 
     def primary(self) -> str:
         return self.members[self.primary_hint % len(self.members)]
@@ -159,9 +161,16 @@ class _RouterBinding:
         self.name = f"{router.name}:{shard_id}"
 
     def configure(
-        self, replicas: List[str], reply_quorum: int, read_quorum: Optional[int] = None
+        self,
+        replicas: List[str],
+        reply_quorum: int,
+        read_quorum: Optional[int] = None,
+        lease_reads: bool = False,
     ) -> None:
-        self.router.bind(self.shard_id, replicas, reply_quorum, read_quorum)
+        self.router.bind(
+            self.shard_id, replicas, reply_quorum, read_quorum,
+            lease_reads=lease_reads,
+        )
 
 
 class ShardRouter(Node, TrafficSource):
@@ -195,6 +204,7 @@ class ShardRouter(Node, TrafficSource):
         members: List[str],
         reply_quorum: int,
         read_quorum: Optional[int] = None,
+        lease_reads: bool = False,
     ) -> None:
         """Attach (or re-point) this router to one shard's replica group."""
         if not members:
@@ -204,12 +214,15 @@ class ShardRouter(Node, TrafficSource):
         read_q = read_quorum if read_quorum is not None else reply_quorum
         view = self._views.get(shard_id)
         if view is None:
-            self._views[shard_id] = _ShardView(list(members), reply_quorum, read_q)
+            self._views[shard_id] = _ShardView(
+                list(members), reply_quorum, read_q, lease_reads=lease_reads
+            )
         else:
             view.members = list(members)
             view.reply_quorum = reply_quorum
             view.read_quorum = read_q
             view.primary_hint %= len(view.members)
+            view.lease_reads = lease_reads
         self.stats.setdefault(shard_id, ShardStats(shard_id))
 
     def binding_for(self, shard_id: str) -> _RouterBinding:
@@ -226,6 +239,26 @@ class ShardRouter(Node, TrafficSource):
     def bound_shards(self) -> List[str]:
         """Shard ids this router can reach."""
         return sorted(self._views)
+
+    def serves_leased_reads(self, op: Any) -> bool:
+        """True when every shard owning ``op``'s keys runs read leases.
+
+        Admission layers use this to classify an operation *before*
+        submitting it: a read the lease path can serve never enters the
+        ordered log, so it may bypass ordered-inflight caps.
+        """
+        if keys_of(op) is None:
+            return False
+        try:
+            keys = self.config.key_of(op)
+        except ValueError:
+            return False
+        key_list = keys if isinstance(keys, list) else [keys]
+        for k in key_list:
+            view = self._views.get(self.directory.shard_for(k))
+            if view is None or not view.lease_reads:
+                return False
+        return True
 
     # ------------------------------------------------------------------
     # Submitting operations
@@ -271,15 +304,24 @@ class ShardRouter(Node, TrafficSource):
             self._sub_done(ticket)
             return
         assert stats is not None
-        if self.directory.is_degraded(shard_id):
+        predicate = self.config.read_only_predicate
+        read_only = bool(predicate is not None and predicate(op))
+        lease_target = self._lease_target(view, op) if read_only else None
+        if self.directory.is_degraded(shard_id) and lease_target is None:
+            # Lease-aware degraded handling: a leased replica can still
+            # answer reads from local committed state while the group is
+            # below its liveness quorum, so only lease-less operations
+            # fail fast here.
             stats.rejected_degraded += 1
             self._counter(shard_id, "rejected_degraded").inc()
             ticket.errors.append(f"shard {shard_id} degraded")
             self._sub_done(ticket)
             return
-        predicate = self.config.read_only_predicate
-        read_only = bool(predicate is not None and predicate(op))
-        request = ClientRequest(self.name, self._rid, op, read_only=read_only)
+        request = ClientRequest(
+            self.name, self._rid, op,
+            read_only=read_only,
+            lease_read=lease_target is not None,
+        )
         self._rid += 1
         sub = _SubOp(
             rid=request.rid,
@@ -295,18 +337,54 @@ class ShardRouter(Node, TrafficSource):
         )
         self._subops[sub.rid] = sub
         self._gauge_inflight(shard_id).set(self._shard_inflight(shard_id))
-        if read_only:
+        if lease_target is not None:
+            # One NoC hop to the leaseholder nearest this router's tile;
+            # a ReadNack (no covering lease) falls back to the quorum path.
+            self.send(lease_target, request, request.wire_size())
+        elif read_only:
             self.broadcast(view.members, request, request.wire_size())
         else:
             self.send(view.primary(), request, request.wire_size())
         sub.timeout.duration = sub.current_timeout
         sub.timeout.start()
 
+    def _lease_target(self, view: _ShardView, op: Any) -> Optional[str]:
+        """Pick the lease-read target: a per-key leaseholder, chosen from
+        the live members ordered by NoC distance from this tile.
+
+        Every member holds leases for every range (the primary grants
+        uniformly), so the router keys the choice on the routing key's
+        stable hash over the distance-sorted candidate list.  Sending all
+        leased reads to the single nearest member measures *worse* than
+        the quorum fast path at saturation — one serialized replica core
+        becomes the group's read bottleneck — so the hash spread, not
+        pure proximity, is what the P4 speedup rides on.  The router does
+        not track grant state (it is primary-local soft state); a target
+        whose lease lapsed answers with a ReadNack and the read falls
+        back to the quorum path.
+        """
+        if not view.lease_reads:
+            return None
+        keys = keys_of(op)
+        if keys is None:
+            return None
+        if self.chip is None:
+            return None
+        here = self.coord
+        candidates = [m for m in view.members if self.chip.has_node(m)]
+        if not candidates:
+            return None
+        candidates.sort(key=lambda m: (self.chip.coord_of(m).manhattan(here), m))
+        return candidates[stable_key_hash(keys[0]) % len(candidates)]
+
     # ------------------------------------------------------------------
     # Reply and timeout handling
     # ------------------------------------------------------------------
     def on_message(self, sender: str, message: Any) -> None:
         if is_corrupted(message):
+            return
+        if isinstance(message, ReadNack):
+            self._handle_read_nack(sender, message)
             return
         if not isinstance(message, ClientReply):
             return
@@ -316,11 +394,37 @@ class ShardRouter(Node, TrafficSource):
         view = self._views[sub.shard_id]
         if sender != message.replica or sender not in view.members:
             return
+        if sub.request.lease_read and not message.leased:
+            return
         votes = sub.votes.setdefault(message.match_key(), set())
         votes.add(sender)
-        needed = view.read_quorum if sub.request.read_only else view.reply_quorum
+        if sub.request.lease_read:
+            needed = 1
+        elif sub.request.read_only:
+            needed = view.read_quorum
+        else:
+            needed = view.reply_quorum
         if len(votes) >= needed:
             self._complete_sub(sub, message)
+
+    def _handle_read_nack(self, sender: str, nack: ReadNack) -> None:
+        """No covering lease at the target: fall back to the quorum path."""
+        sub = self._subops.get(nack.rid)
+        if sub is None or not sub.request.lease_read:
+            return
+        view = self._views[sub.shard_id]
+        if sender != nack.replica or sender not in view.members:
+            return
+        self._counter(sub.shard_id, "lease_fallbacks").inc()
+        sub.request = dataclasses.replace(sub.request, lease_read=False)
+        sub.votes = {}
+        if self.directory.is_degraded(sub.shard_id):
+            # The lease attempt was the only path past a degraded shard.
+            self.stats[sub.shard_id].rejected_degraded += 1
+            self._counter(sub.shard_id, "rejected_degraded").inc()
+            self._fail_sub(sub, f"shard {sub.shard_id} degraded")
+            return
+        self.broadcast(view.members, sub.request, sub.request.wire_size())
 
     def _on_timeout(self, rid: int) -> None:
         sub = self._subops.get(rid)
@@ -336,7 +440,9 @@ class ShardRouter(Node, TrafficSource):
             return
         if sub.request.read_only:
             # Fast-path stall: fall back to the ordered path, same rid.
-            sub.request = dataclasses.replace(sub.request, read_only=False)
+            sub.request = dataclasses.replace(
+                sub.request, read_only=False, lease_read=False
+            )
             sub.votes = {}
         # Suspect the primary; broadcast so backups arm view-change timers.
         self.broadcast(view.members, sub.request, sub.request.wire_size())

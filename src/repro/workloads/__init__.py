@@ -37,6 +37,7 @@ from repro.workloads.workload import (
     ZipfKeys,
     as_workload,
     kv_workload,
+    read_only_predicate_of,
 )
 
 __all__ = [
@@ -58,5 +59,6 @@ __all__ = [
     "kv_skewed_ops",
     "kv_uniform_ops",
     "kv_workload",
+    "read_only_predicate_of",
     "sample_poisson",
 ]

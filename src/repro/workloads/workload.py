@@ -101,15 +101,26 @@ class KVWorkload:
 
     ``write_ratio`` is honored with the same stride trick as the old
     ``kv_uniform_ops`` (``(i * 37) % 100``), so a migrated bench sees the
-    identical op sequence for the identical index stream.
+    identical op sequence for the identical index stream.  ``read_ratio``
+    is the complementary spelling (read-path benches think in reads):
+    setting it overrides ``write_ratio`` with ``1 - read_ratio``.
+
+    The workload also *classifies* its own ops: :meth:`is_read` is the
+    ``read_only_predicate`` drivers derive automatically via
+    :func:`read_only_predicate_of` — no more per-bench lambdas.
     """
 
     name: str = "kv"
     keys: Any = field(default_factory=UniformKeys)
     write_ratio: float = 0.5
+    read_ratio: Optional[float] = None
     arrivals: Optional[ArrivalProcess] = None
 
     def __post_init__(self) -> None:
+        if self.read_ratio is not None:
+            if not 0 <= self.read_ratio <= 1:
+                raise ValueError("read ratio must be in [0, 1]")
+            self.write_ratio = 1.0 - self.read_ratio
         if not 0 <= self.write_ratio <= 1:
             raise ValueError("write ratio must be in [0, 1]")
         self._writes_per_period = round(self.write_ratio * 100)
@@ -119,6 +130,11 @@ class KVWorkload:
         if (i * 37) % 100 < self._writes_per_period:
             return ("put", key, i)
         return ("get", key)
+
+    @staticmethod
+    def is_read(op: Any) -> bool:
+        """True for ops the read fast path may serve without ordering."""
+        return isinstance(op, tuple) and len(op) > 0 and op[0] in ("get", "mget")
 
 
 @dataclass
@@ -145,11 +161,13 @@ def kv_workload(
     seed: int = 0,
     arrivals: Optional[ArrivalProcess] = None,
     rate_per_client: Optional[float] = None,
+    read_ratio: Optional[float] = None,
 ) -> KVWorkload:
     """Build the standard KV workload in one call.
 
     ``zipf_s`` switches the key distribution from uniform to Zipf;
-    ``rate_per_client`` is sugar for ``arrivals=PoissonArrivals(...)``.
+    ``rate_per_client`` is sugar for ``arrivals=PoissonArrivals(...)``;
+    ``read_ratio`` overrides ``write_ratio`` with its complement.
     """
     if arrivals is not None and rate_per_client is not None:
         raise ValueError("pass arrivals or rate_per_client, not both")
@@ -164,8 +182,23 @@ def kv_workload(
         name="kv-zipf" if zipf_s is not None else "kv-uniform",
         keys=distribution,
         write_ratio=write_ratio,
+        read_ratio=read_ratio,
         arrivals=arrivals,
     )
+
+
+def read_only_predicate_of(workload: Any) -> Optional[Callable[[Any], bool]]:
+    """Derive the read-only classifier from a workload, if it has one.
+
+    Workloads that know their own op shapes expose ``is_read(op)``
+    (:class:`KVWorkload` does); drivers call this helper instead of
+    requiring callers to hand-write per-bench predicate lambdas.  Legacy
+    :class:`FactoryWorkload` wrappers return None — their ops are opaque,
+    so every op stays on the ordered path unless a predicate is passed
+    explicitly.
+    """
+    is_read = getattr(workload, "is_read", None)
+    return is_read if callable(is_read) else None
 
 
 # ----------------------------------------------------------------------

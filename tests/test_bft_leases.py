@@ -1,0 +1,430 @@
+"""Read leases: single-hop local reads with bounded staleness (P4).
+
+Covers the lease subsystem end-to-end:
+
+* ``leases=off`` (None or ``enabled=False``) is *exactly* the pre-lease
+  protocol — event-identical runs per family;
+* leased reads complete locally with zero ordered-log growth;
+* write-through invalidation: conflicting writes are held until the
+  holders acked (or the lease expired — the crashed-holder backstop);
+* the staleness bound holds, including across a primary kill;
+* view changes and ``heal_first`` rejuvenation revoke outstanding
+  leases before the replica serves (or is re-granted) again.
+"""
+
+import pytest
+
+from repro.bft import ClientConfig, ClientNode, GroupConfig, build_group
+from repro.bft.group import protocol_config_for
+from repro.bft.leases import (
+    LeaseConfig,
+    keys_of,
+    range_of,
+    resolve_leases,
+    stable_key_hash,
+)
+from repro.bft.messages import LeaseGrant
+from repro.core import (
+    DiversityManager,
+    RejuvenationPolicy,
+    RejuvenationScheduler,
+    VariantLibrary,
+)
+from repro.core.replication import ReplicationManager
+from repro.fabric import FpgaFabric
+from repro.sim import Simulator
+from repro.soc import Chip, ChipConfig
+
+ALL_PROTOCOLS = ["pbft", "minbft", "cft", "passive"]
+QUORUM_PROTOCOLS = ["pbft", "minbft"]
+
+DURATION = 15_000.0
+RENEW = 3_000.0
+
+
+def is_read(op):
+    return isinstance(op, tuple) and op and op[0] in ("get", "mget")
+
+
+def mixed_ops(i):
+    """The standard 90/10 read-heavy mix over 8 keys."""
+    if (i * 37) % 100 < 10:
+        return ("put", f"k{i % 8}", i)
+    return ("get", f"k{i % 8}")
+
+
+def lease_config(**kwargs):
+    kwargs.setdefault("duration", DURATION)
+    kwargs.setdefault("renew_period", RENEW)
+    return LeaseConfig(**kwargs)
+
+
+def build(protocol, leases=None, f=1, seed=1, client_cfg=None):
+    sim = Simulator(seed=seed)
+    chip = Chip(sim, ChipConfig(width=5, height=5))
+    cfg = protocol_config_for(protocol, leases=leases) if leases is not None else None
+    group = build_group(
+        chip, GroupConfig(protocol=protocol, f=f, group_id="g", protocol_config=cfg)
+    )
+    client = ClientNode(
+        "c0",
+        client_cfg
+        or ClientConfig(
+            think_time=50,
+            timeout=10_000,
+            op_factory=mixed_ops,
+            read_only_predicate=is_read,
+        ),
+    )
+    group.attach_client(client)
+    return sim, chip, group, client
+
+
+# ----------------------------------------------------------------------
+# Unit behaviour: hashing, config, env override
+# ----------------------------------------------------------------------
+def test_keys_of_recognises_kv_shapes():
+    assert keys_of(("put", "k", 1)) == ("k",)
+    assert keys_of(("get", "k")) == ("k",)
+    assert keys_of(("del", "k")) == ("k",)
+    assert keys_of(("cas", "k", 1, 2)) == ("k",)
+    assert keys_of(("mget", "a", "b")) == ("a", "b")
+    assert keys_of(("add", 1)) is None  # counter ops: no routable key
+    assert keys_of("opaque") is None
+    assert keys_of(()) is None
+
+
+def test_range_of_is_stable_and_in_bounds():
+    for key in ("k0", "hot", "some-long-key"):
+        r = range_of(key, 16)
+        assert 0 <= r < 16
+        assert r == range_of(key, 16)  # process-independent, repeatable
+    assert stable_key_hash("k0") == stable_key_hash("k0")
+
+
+def test_lease_config_validation():
+    with pytest.raises(ValueError):
+        LeaseConfig(n_ranges=0)
+    with pytest.raises(ValueError):
+        LeaseConfig(duration=0)
+    with pytest.raises(ValueError):
+        LeaseConfig(renew_period=0)
+    with pytest.raises(ValueError):
+        LeaseConfig(duration=10.0, renew_period=20.0)  # would flap
+
+
+def test_env_override_parses_and_disables(monkeypatch):
+    monkeypatch.setenv("REPRO_BFT_LEASES", "1")
+    assert LeaseConfig.from_env() == LeaseConfig()
+    monkeypatch.setenv("REPRO_BFT_LEASES", "30000")
+    cfg = LeaseConfig.from_env()
+    assert cfg.duration == 30_000.0
+    assert cfg.renew_period == 10_000.0
+    monkeypatch.setenv("REPRO_BFT_LEASES", "0")
+    assert LeaseConfig.from_env() is None
+    monkeypatch.delenv("REPRO_BFT_LEASES")
+    assert LeaseConfig.from_env() is None
+    # An explicit protocol config wins over the environment.
+    monkeypatch.setenv("REPRO_BFT_LEASES", "1")
+    explicit = LeaseConfig(duration=5_000.0, renew_period=1_000.0)
+    assert resolve_leases(explicit) is explicit
+    assert resolve_leases(None) == LeaseConfig()
+    # enabled=False resolves to None: identical to never configuring.
+    assert resolve_leases(LeaseConfig(enabled=False)) is None
+
+
+def test_lease_table_rejects_wrong_era_grants():
+    sim, chip, group, _ = build("minbft", leases=lease_config())
+    primary = group.members[0]
+    holder = group.replicas[group.members[1]]
+    all_ranges = tuple(range(16))
+    # A grant from a *future* view is not ours yet: rejected.
+    stale = LeaseGrant(primary, 5, 0, all_ranges, sim.now + 10_000)
+    holder.lease_table.on_grant(primary, stale)
+    assert not holder.lease_table.covers(("get", "k0"))
+    # A grant claiming the right view but sent by a non-primary: rejected.
+    imposter = group.members[2]
+    forged = LeaseGrant(imposter, 0, 0, all_ranges, sim.now + 10_000)
+    holder.lease_table.on_grant(imposter, forged)
+    assert not holder.lease_table.covers(("get", "k0"))
+    # The genuine article is accepted — and expires (advance less than a
+    # renew period so the live primary cannot re-grant underneath us).
+    good = LeaseGrant(primary, 0, 0, all_ranges, sim.now + 50)
+    holder.lease_table.on_grant(primary, good)
+    assert holder.lease_table.covers(("get", "k0"))
+    assert not holder.lease_table.covers(("add", 1))  # keyless: never leased
+    sim.run(until=sim.now + 100)
+    assert not holder.lease_table.covers(("get", "k0"))
+
+
+# ----------------------------------------------------------------------
+# Exactness: leases=off is the pre-lease protocol, event for event
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("protocol", ALL_PROTOCOLS)
+def test_leases_off_is_event_identical(protocol):
+    def run(leases):
+        cfg = ClientConfig(
+            think_time=50, timeout=20_000, max_requests=30,
+            op_factory=mixed_ops, read_only_predicate=is_read,
+        )
+        sim, chip, group, client = build(
+            protocol, leases=leases, client_cfg=cfg
+        )
+        client.start()
+        sim.run(until=1_500_000)
+        return sim, group, client
+
+    sim_a, group_a, client_a = run(None)
+    sim_b, group_b, client_b = run(LeaseConfig(enabled=False))
+    assert client_a.completed == client_b.completed == 30
+    assert sim_a.now == sim_b.now
+    assert sim_a.events_fired == sim_b.events_fired
+    assert client_a.latencies == client_b.latencies
+    digests_a = [r.app.state_digest() for r in group_a.correct_replicas()]
+    digests_b = [r.app.state_digest() for r in group_b.correct_replicas()]
+    assert digests_a == digests_b
+    assert not group_b.leases_enabled
+
+
+# ----------------------------------------------------------------------
+# The fast path: local reads, zero ordered-log growth
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("protocol", ALL_PROTOCOLS)
+def test_leased_reads_are_local_and_never_ordered(protocol):
+    cfg = ClientConfig(
+        think_time=50, timeout=10_000, max_requests=200,
+        op_factory=mixed_ops, read_only_predicate=is_read,
+    )
+    sim, chip, group, client = build(
+        protocol, leases=lease_config(), client_cfg=cfg, seed=3
+    )
+    assert group.leases_enabled
+    client.start()
+    sim.run(until=3_000_000)
+    assert client.completed == 200
+    assert group.safety.is_safe
+    n_writes = sum(1 for i in range(200) if mixed_ops(i)[0] == "put")
+    # Zero ordered-log growth from reads: only the writes were ordered.
+    assert max(r.last_executed for r in group.correct_replicas()) == n_writes
+    # The overwhelming majority of reads took the single-hop lease path
+    # (the remainder fell back before the first grants landed).
+    assert client.leased_reads_completed > 100
+    metrics = chip.metrics
+    assert metrics.counter("g.reads.local").value == client.leased_reads_completed
+    assert (
+        metrics.counter("g.reads.quorum_fallback").value == client.lease_fallbacks
+    )
+    assert metrics.counter("g.lease.granted").value > 0
+    assert metrics.counter("g.lease.renewed").value > 0
+
+
+def test_mutations_marked_as_reads_are_refused_by_lease_path():
+    """A malicious client marking a write leased gets no local answer."""
+    cfg = ClientConfig(
+        think_time=50, timeout=10_000, max_requests=5,
+        op_factory=lambda i: ("put", "k", i),
+        read_only_predicate=lambda op: True,  # claims everything is a read
+    )
+    sim, chip, group, client = build("minbft", leases=lease_config(), client_cfg=cfg)
+    client.start()
+    sim.run(until=2_000_000)
+    assert client.completed == 5
+    kv = group.replicas[group.members[0]].app
+    assert kv.ops_executed == 5  # each put executed exactly once
+    assert group.safety.is_safe
+
+
+# ----------------------------------------------------------------------
+# Write-through invalidation and the staleness bound
+# ----------------------------------------------------------------------
+def staleness_oracle(sim, duration):
+    """Build (on_write, on_read, violations): asserts no read returns a
+    value more than ``duration`` behind the committed prefix."""
+    writes = []  # (client-visible completion time, value)
+    violations = []
+
+    def on_write(request, reply):
+        writes.append((sim.now, request.op[2]))
+
+    def on_read(request, reply):
+        now = sim.now
+        got = reply.result if reply.result is not None else -1
+        for done_at, value in writes:
+            if done_at <= now - duration and value > got:
+                violations.append((now, got, value, done_at))
+
+    return on_write, on_read, violations
+
+
+def run_staleness_scenario(protocol, kill_primary=False, seed=9):
+    sim = Simulator(seed=seed)
+    chip = Chip(sim, ChipConfig(width=5, height=5))
+    cfg = protocol_config_for(protocol, leases=lease_config())
+    group = build_group(
+        chip, GroupConfig(protocol=protocol, f=1, group_id="g", protocol_config=cfg)
+    )
+    on_write, on_read, violations = staleness_oracle(sim, DURATION)
+    writer = ClientNode(
+        "cw",
+        ClientConfig(
+            think_time=2_000, timeout=30_000, max_requests=60,
+            op_factory=lambda i: ("put", "hot", i), on_result=on_write,
+        ),
+    )
+    reader = ClientNode(
+        "cr",
+        ClientConfig(
+            think_time=300, timeout=30_000, max_requests=400,
+            op_factory=lambda i: ("get", "hot"),
+            read_only_predicate=is_read, on_result=on_read,
+        ),
+    )
+    group.attach_client(writer)
+    group.attach_client(reader)
+    writer.start()
+    reader.start()
+    if kill_primary:
+        sim.schedule_at(120_000, group.crash, group.members[0])
+    sim.run(until=3_000_000)
+    return group, writer, reader, violations
+
+
+@pytest.mark.parametrize("protocol", QUORUM_PROTOCOLS)
+def test_no_read_past_the_staleness_bound(protocol):
+    group, writer, reader, violations = run_staleness_scenario(protocol)
+    assert writer.completed == 60
+    assert reader.completed == 400
+    assert reader.leased_reads_completed > 0
+    assert violations == []
+    assert group.safety.is_safe
+
+
+def test_staleness_bound_holds_across_primary_kill():
+    """View change revokes leases (view-tagged grants): reads racing the
+    kill fall back instead of serving stale state from the old era."""
+    group, writer, reader, violations = run_staleness_scenario(
+        "minbft", kill_primary=True
+    )
+    assert writer.completed == 60
+    assert reader.completed == 400
+    assert violations == []
+    assert group.safety.is_safe
+    # The view change really happened, and leased reads resumed after it.
+    survivor = group.replicas[group.members[1]]
+    assert survivor.view > 0
+    assert reader.leased_reads_completed > 0
+
+
+def test_crashed_holder_cannot_wedge_writes_past_expiry():
+    """A holder that crashes without acking its revocation holds writes
+    at most one lease duration (the expiry backstop)."""
+    cfg = ClientConfig(
+        think_time=100, timeout=60_000, max_requests=3,
+        op_factory=lambda i: ("put", "k0", i),
+    )
+    sim, chip, group, client = build("minbft", leases=lease_config(), client_cfg=cfg)
+    # Let grants land, then crash a backup holder silently.
+    sim.run(until=2 * RENEW + 100)
+    victim = group.replicas[group.members[2]]
+    assert len(victim.lease_table) > 0
+    victim.crash()
+    client.start()
+    sim.run(until=sim.now + 10 * DURATION)
+    assert client.completed == 3
+    # Every write waited at most ~one duration for the dead holder.
+    assert all(lat <= DURATION + 2_000 for lat in client.latencies)
+    assert group.safety.is_safe
+
+
+# ----------------------------------------------------------------------
+# Revocation on suspicion / rejuvenation
+# ----------------------------------------------------------------------
+def test_revoked_holder_is_not_regranted_until_readmitted():
+    sim, chip, group, client = build("minbft", leases=lease_config(), seed=5)
+    client.config.max_requests = 500
+    client.start()
+    sim.run(until=2 * RENEW + 100)
+    victim = group.members[2]
+    holder = group.replicas[victim]
+    assert len(holder.lease_table) > 0
+    group.revoke_leases(victim)
+    # The revocation reaches the holder and nothing is re-granted.
+    sim.run(until=sim.now + 3 * RENEW)
+    assert len(holder.lease_table) == 0
+    primary = group.replicas[group.members[0]]
+    assert not primary.lease_manager._granted.get(victim)
+    # Readmission resumes grants at the next renewal tick.
+    group.readmit_leases(victim)
+    sim.run(until=sim.now + 2 * RENEW)
+    assert len(holder.lease_table) > 0
+    assert group.safety.is_safe
+
+
+def test_heal_first_rejuvenation_revokes_before_regrant():
+    """The scheduler revokes the victim's leases before reconfiguring it
+    and only readmits once the pass landed — grants to the victim never
+    overlap the heal."""
+    sim = Simulator(seed=7)
+    chip = Chip(sim, ChipConfig(width=6, height=6))
+    fabric = FpgaFabric(sim, chip)
+    library = VariantLibrary.generate("svc", 5, 3)
+    fabric.register_variants("svc", library.names())
+    diversity = DiversityManager(library)
+    manager = ReplicationManager(chip, fabric, diversity)
+    cfg = protocol_config_for("minbft", leases=lease_config())
+    group = manager.deploy_group(
+        GroupConfig(protocol="minbft", f=1, group_id="g", protocol_config=cfg)
+    )
+    sim.run(until=30_000)
+    client = ClientNode(
+        "c0",
+        ClientConfig(
+            think_time=50, timeout=10_000,
+            op_factory=mixed_ops, read_only_predicate=is_read,
+        ),
+    )
+    group.attach_client(client)
+    client.start()
+
+    victim = group.members[2]
+    timeline = []
+    original_revoke = group.revoke_leases
+    original_readmit = group.readmit_leases
+    group.revoke_leases = lambda name: (
+        timeline.append(("revoke", name, sim.now)), original_revoke(name)
+    )[1]
+    group.readmit_leases = lambda name: (
+        timeline.append(("readmit", name, sim.now)), original_readmit(name)
+    )[1]
+    holder = group.replicas[victim]
+    original_grant = holder.lease_table.on_grant
+    holder.lease_table.on_grant = lambda s, g: (
+        timeline.append(("grant", victim, sim.now)), original_grant(s, g)
+    )[1]
+
+    scheduler = RejuvenationScheduler(
+        group, fabric, diversity,
+        RejuvenationPolicy(
+            period=20_000, diversify=False, relocate=False, heal_first=True
+        ),
+    )
+    scheduler.start()
+    crash_at = sim.now + 10_000
+    sim.schedule_at(crash_at, group.crash, victim)
+    sim.run(until=crash_at + 400_000)
+
+    assert scheduler.passes >= 1
+    assert group.replicas[victim].is_correct  # healed
+    revokes = [t for kind, name, t in timeline if kind == "revoke" and name == victim]
+    readmits = [t for kind, name, t in timeline if kind == "readmit" and name == victim]
+    assert revokes and readmits
+    first_revoke, first_readmit = min(revokes), min(readmits)
+    assert first_revoke >= crash_at
+    assert first_readmit > first_revoke  # heal completed in between
+    # No grant reached the victim inside the revoked window.
+    grants = [t for kind, name, t in timeline if kind == "grant"]
+    assert not [t for t in grants if first_revoke <= t < first_readmit]
+    # After readmission the victim serves leased reads again.
+    sim.run(until=sim.now + 3 * RENEW)
+    assert len(holder.lease_table) > 0
+    assert group.safety.is_safe
