@@ -28,7 +28,11 @@ deterministic discrete-event simulation:
   control, and load shedding (:mod:`repro.mesoscale`), and
 * conservative parallel discrete-event simulation: per-shard-region
   domains in worker processes, synchronized at lookahead barriers,
-  byte-identical to the serial kernel (:mod:`repro.pdes`).
+  byte-identical to the serial kernel (:mod:`repro.pdes`), and
+* evolutionary design-space exploration: an NSGA-II loop over the
+  protocol/batching/sharding/placement/rejuvenation space with common
+  random numbers, trial memoization, and Pareto decision support
+  (:mod:`repro.evolve`).
 
 Quickstart::
 
@@ -48,6 +52,7 @@ __all__ = [
     "bft",
     "core",
     "crypto",
+    "evolve",
     "fabric",
     "faults",
     "faultspace",

@@ -16,7 +16,13 @@ record in the store) through a :class:`concurrent.futures.ProcessPoolExecutor`:
   unattributable, so the whole wave pays), and re-queues the survivors.
   Pool rebuilds are bounded so a deterministic crasher terminates;
 * **live progress** — one line per finished attempt through a pluggable
-  callback.
+  callback;
+* **trial memoization** — identical ``(runner, params, seed)`` trial
+  specs execute once: duplicates (including in-flight duplicates in the
+  pool) are served from a cache and recorded as ``cached`` ok records,
+  with the hit count surfaced in the run stats.  The evolutionary driver
+  shares one cache across generations so re-visited genomes cost zero
+  trials.
 
 ``workers <= 1`` runs trials inline in the calling process — no pool, no
 pickling — which is both the honest serial baseline for speedup
@@ -32,11 +38,17 @@ from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Any, Callable, Deque, Dict, List, Optional, Set
+from typing import Any, Callable, Deque, Dict, List, Optional, Set, Tuple
 
 from repro.campaign.runners import get_runner
 from repro.campaign.spec import CampaignSpec, TrialSpec
 from repro.campaign.store import ResultStore
+
+#: Identity of a trial's *work* (as opposed to its spec position):
+#: ``(runner name, canonical params JSON, derived seed)``.  Two trials
+#: sharing a key are guaranteed to produce identical metrics, so one
+#: execution can serve both.
+TrialKey = Tuple[str, str, int]
 
 
 class TrialTimeout(Exception):
@@ -97,6 +109,7 @@ class CampaignRunStats:
     succeeded: int = 0
     failed: int = 0
     executed_attempts: int = 0
+    cache_hits: int = 0
     pool_rebuilds: int = 0
     wall_time_s: float = 0.0
     errors: List[str] = field(default_factory=list)
@@ -125,6 +138,7 @@ class CampaignExecutor:
         store: ResultStore,
         workers: int = 1,
         progress: Optional[ProgressFn] = None,
+        cache: Optional[Dict[TrialKey, Dict[str, Any]]] = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -132,6 +146,20 @@ class CampaignExecutor:
         self.store = store
         self.workers = workers
         self.progress = progress
+        # Trial memoization: metrics keyed by (runner, canonical params,
+        # seed).  Identical trial specs within a run — seed-repeated
+        # duplicate points, or the evolutionary driver re-visiting a
+        # genome under common random numbers — execute once and are
+        # served from here for zero additional trial cost.  Passing a
+        # dict in shares the memo across executors (the evolve driver
+        # threads one through every generation).
+        self.cache: Dict[TrialKey, Dict[str, Any]] = (
+            cache if cache is not None else {}
+        )
+
+    def trial_key(self, trial: TrialSpec) -> TrialKey:
+        """The memoization key of one trial's work."""
+        return (self.spec.runner, trial.point_key(), trial.seed)
 
     # ------------------------------------------------------------------
     def run(
@@ -170,8 +198,11 @@ class CampaignExecutor:
             else:
                 self._run_pool(pending, stats)
         stats.wall_time_s = time.perf_counter() - started
+        cache_note = (
+            f" ({stats.cache_hits} from cache)" if stats.cache_hits else ""
+        )
         self._emit(
-            f"campaign {self.spec.name!r}: {stats.succeeded} ok, "
+            f"campaign {self.spec.name!r}: {stats.succeeded} ok{cache_note}, "
             f"{stats.failed} failed, {stats.skipped} skipped "
             f"in {stats.wall_time_s:.2f}s"
         )
@@ -184,6 +215,10 @@ class CampaignExecutor:
         attempts: Dict[str, int] = {}
         while queue:
             trial = queue.popleft()
+            key = self.trial_key(trial)
+            if key in self.cache:
+                self._record_cached(trial, key, stats)
+                continue
             attempt = attempts.get(trial.trial_id, 0) + 1
             attempts[trial.trial_id] = attempt
             try:
@@ -204,12 +239,28 @@ class CampaignExecutor:
         max_rebuilds = self.MAX_POOL_REBUILDS_PER_RETRY * (self.spec.max_retries + 1)
         pool = ProcessPoolExecutor(max_workers=self.workers)
         in_flight: Dict[Any, TrialSpec] = {}
+        # Duplicate-work dedup across the wave: trials whose key is
+        # already executing park here and are served from the cache when
+        # the representative lands (or re-queued, uncharged, if it fails).
+        waiters: Dict[TrialKey, List[TrialSpec]] = {}
+
+        def flush_waiters(key: TrialKey) -> None:
+            for waiter in waiters.pop(key, []):
+                queue.appendleft(waiter)
+
         try:
             while queue or in_flight:
                 # Keep exactly one wave in flight: bounds both memory and
                 # the blast radius of an unattributable worker crash.
                 while queue and len(in_flight) < self.workers:
                     trial = queue.popleft()
+                    key = self.trial_key(trial)
+                    if key in self.cache:
+                        self._record_cached(trial, key, stats)
+                        continue
+                    if key in waiters:
+                        waiters[key].append(trial)
+                        continue
                     attempts[trial.trial_id] = attempts.get(trial.trial_id, 0) + 1
                     future = pool.submit(
                         _execute_trial,
@@ -219,6 +270,9 @@ class CampaignExecutor:
                         self.spec.trial_timeout,
                     )
                     in_flight[future] = trial
+                    waiters[key] = []
+                if not in_flight:
+                    continue
                 done, _ = wait(set(in_flight), return_when=FIRST_COMPLETED)
                 broken = False
                 for future in done:
@@ -228,13 +282,16 @@ class CampaignExecutor:
                         outcome = future.result()
                     except TrialTimeout as exc:
                         self._record_failure(trial, attempt, "timeout", exc, stats, queue)
+                        flush_waiters(self.trial_key(trial))
                     except BrokenProcessPool:
                         broken = True
                         in_flight[future] = trial  # handled with the wave below
                     except Exception as exc:  # noqa: BLE001
                         self._record_failure(trial, attempt, "failed", exc, stats, queue)
+                        flush_waiters(self.trial_key(trial))
                     else:
                         self._record_success(trial, attempt, outcome, stats)
+                        flush_waiters(self.trial_key(trial))
                 if broken:
                     stats.pool_rebuilds += 1
                     casualties = list(in_flight.values())
@@ -247,6 +304,9 @@ class CampaignExecutor:
                     )
                     out_of_budget = stats.pool_rebuilds > max_rebuilds
                     for trial in casualties:
+                        # Waiters never ran: re-queue them uncharged (the
+                        # abandon path below then accounts for them too).
+                        flush_waiters(self.trial_key(trial))
                         exc = BrokenProcessPool("worker process died")
                         self._record_failure(
                             trial,
@@ -278,6 +338,7 @@ class CampaignExecutor:
     ) -> None:
         stats.executed_attempts += 1
         stats.succeeded += 1
+        self.cache[self.trial_key(trial)] = outcome["metrics"]
         self.store.append(
             {
                 "trial_id": trial.trial_id,
@@ -295,6 +356,37 @@ class CampaignExecutor:
         self._emit(
             f"[{done}/{stats.total_trials}] {trial.trial_id} ok "
             f"({outcome['wall_time_s']:.2f}s)"
+        )
+
+    def _record_cached(
+        self, trial: TrialSpec, key: TrialKey, stats: CampaignRunStats
+    ) -> None:
+        """Serve one trial from the memo: a full ok record, zero execution.
+
+        The record is indistinguishable from an executed one as far as
+        aggregation is concerned (params/metrics/seed_index), carries
+        ``cached: true`` and ``attempt: 0`` for audit, and reports zero
+        wall time — which the byte-stable summary excludes anyway.
+        """
+        stats.succeeded += 1
+        stats.cache_hits += 1
+        self.store.append(
+            {
+                "trial_id": trial.trial_id,
+                "index": trial.index,
+                "status": "ok",
+                "attempt": 0,
+                "cached": True,
+                "seed": trial.seed,
+                "seed_index": trial.seed_index,
+                "params": trial.params,
+                "metrics": self.cache[key],
+                "wall_time_s": 0.0,
+            }
+        )
+        done = stats.skipped + stats.succeeded + stats.failed
+        self._emit(
+            f"[{done}/{stats.total_trials}] {trial.trial_id} ok (cache)"
         )
 
     def _record_failure(

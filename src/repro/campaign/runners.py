@@ -24,6 +24,12 @@ Built-ins:
 * ``pdes`` — the P3 conservative-PDES trial: a domain fleet advanced
   through lookahead barriers, optionally verifying that parallel
   execution reproduces the serial summary byte for byte.
+* ``evolve`` — the P5 design-point evaluation: one genome of the
+  evolutionary search (protocol/f/batching/window/shards/mesh/
+  rejuvenation/lease) scored on the four Pareto objectives.
+* ``evolve_selftest`` — an analytic stand-in for ``evolve`` with the
+  same genome params, metric keys, and trade-off structure; used by the
+  search's own tests and the CI evolve smoke.
 * ``selftest`` — a microscopic deterministic workload with optional
   failure/sleep/crash knobs, used by the engine's own tests and CI smoke.
 """
@@ -621,6 +627,254 @@ def run_faultspace(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
     from repro.faultspace.classify import run_faultspace_trial
 
     return run_faultspace_trial(params, seed)
+
+
+@register_runner("evolve")
+def run_evolve(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    """One design-point evaluation for the evolutionary driver (P5).
+
+    The genome genes arrive as params: ``protocol``, ``f``,
+    ``batch_size``, ``batch_inflight``, ``window`` (population ordered-
+    inflight cap), ``n_shards``, ``mesh`` (square chip geometry),
+    ``rejuv_period`` (0 disables rejuvenation), ``lease``.  Evaluation
+    knobs ride in ``base``: ``duration``, ``warmup``, ``n_clients``,
+    ``rate_per_client``, ``key_space``, ``read_ratio``, ``queue_limit``.
+
+    Reports the four Pareto objectives (see :mod:`repro.evolve.fitness`):
+    committed throughput, p99 latency, survivable simultaneous Byzantine
+    faults, and provisioned silicon cost in mega-gate-equivalents (the
+    whole mesh's tiles plus the hardware USIG hybrids minbft replicas
+    carry).  A genome whose shards do not fit the mesh is **infeasible**:
+    the trial returns penalty metrics with ``feasible: 0`` rather than
+    raising, so the executor's retry budget is never burned on points the
+    search simply needs to steer away from.
+    """
+    from repro.bft.batching import BatchConfig
+    from repro.bft.group import FAMILIES, protocol_config_for
+    from repro.bft.leases import LeaseConfig
+    from repro.core.rejuvenation import RejuvenationPolicy
+    from repro.hybrids.complexity import (
+        GE_HMAC_CORE,
+        softcore_complexity,
+        usig_complexity,
+    )
+    from repro.mesoscale import PopulationConfig
+    from repro.metrics.stats import percentile
+    from repro.shard import ShardConfig, ShardedSystem
+    from repro.shard.placement import PlacementError
+    from repro.workloads import kv_workload
+
+    duration = float(params.get("duration", 90_000.0))
+    warmup = float(params.get("warmup", 30_000.0))
+    protocol = str(params.get("protocol", "minbft"))
+    f = int(params.get("f", 1))
+    n_shards = int(params.get("n_shards", 2))
+    mesh = int(params.get("mesh", 8))
+    rejuv_period = float(params.get("rejuv_period", 0) or 0)
+
+    family = FAMILIES[protocol]
+    n_replicas = n_shards * family.replicas_for(f)
+    # Provisioned silicon: every fabricated tile carries a softcore and a
+    # MAC engine whether or not a replica lands on it (you pay for the
+    # chip you tape out, not the tiles you happen to use), plus the
+    # per-replica ECC-protected USIG hybrid that minbft depends on.
+    tile_ge = softcore_complexity().total_ge + GE_HMAC_CORE
+    gate_ge = mesh * mesh * tile_ge
+    if protocol == "minbft":
+        gate_ge += n_replicas * usig_complexity("ecc").total_ge
+    gate_mge = gate_ge / 1e6
+    # The intrusion-resilience objective: simultaneous Byzantine replica
+    # compromises survivable across the whole system.  Crash-only
+    # families score zero — that is the axis that keeps cheap/fast CFT
+    # configurations from dominating the front outright.
+    survivable = n_shards * f if family.byzantine_safe else 0
+
+    infeasible = {
+        "ops": 0,
+        "ops_per_sec": 0.0,
+        "p99_latency_ms": 0.0,
+        "mean_latency_ms": 0.0,
+        "survivable_faults": survivable,
+        "gate_mge": gate_mge,
+        "replicas": n_replicas,
+        "shed": 0,
+        "failed_ops": 0,
+        "safe": 0,
+        "feasible": 0,
+    }
+
+    batch_size = int(params.get("batch_size", 1))
+    batching = None
+    if batch_size > 1:
+        batching = BatchConfig(
+            batch_size=batch_size,
+            batch_delay=float(params.get("batch_delay", 100.0)),
+            max_inflight=int(params.get("batch_inflight", 1)),
+        )
+    leases = None
+    if params.get("lease"):
+        leases = LeaseConfig(
+            n_ranges=int(params.get("n_ranges", 64)),
+            duration=float(params.get("lease_duration", 30_000.0)),
+            renew_period=float(params.get("renew_period", 1_000.0)),
+        )
+    try:
+        system = ShardedSystem(
+            ShardConfig(
+                seed=seed,
+                n_shards=n_shards,
+                protocol=protocol,
+                f=f,
+                width=mesh,
+                height=mesh,
+                enable_rejuvenation=rejuv_period > 0,
+                rejuvenation=(
+                    RejuvenationPolicy(
+                        period=rejuv_period, diversify=True, relocate=False
+                    )
+                    if rejuv_period > 0
+                    else None
+                ),
+                protocol_config=protocol_config_for(
+                    protocol, batching=batching, leases=leases
+                ),
+            )
+        )
+    except (PlacementError, ValueError):
+        return infeasible
+    population = system.attach_population(
+        "pop",
+        PopulationConfig(
+            n_clients=int(params.get("n_clients", 1000)),
+            max_inflight=int(params.get("window", 32)),
+            queue_limit=int(params.get("queue_limit", 4096)),
+            workload=kv_workload(
+                keys=int(params.get("key_space", 64)),
+                read_ratio=float(params.get("read_ratio", 0.8)),
+                rate_per_client=float(params.get("rate_per_client", 2e-4)),
+            ),
+        ),
+    )
+    system.start(warmup=warmup)
+    start = system.sim.now
+    system.run(duration)
+    end = system.sim.now
+    ops = population.completions_in(start, end)
+    latencies = sorted(population.latencies_in(start, end))
+    return {
+        "ops": ops,
+        "ops_per_sec": ops / (duration / 1000.0),
+        "p99_latency_ms": percentile(latencies, 99.0) if latencies else 0.0,
+        "mean_latency_ms": sum(latencies) / len(latencies) if latencies else 0.0,
+        "survivable_faults": survivable,
+        "gate_mge": gate_mge,
+        "replicas": n_replicas,
+        "shed": population.shed,
+        "failed_ops": system.failed_operations(),
+        "safe": 1 if system.is_safe else 0,
+        "feasible": 1,
+    }
+
+
+@register_runner("evolve_selftest")
+def run_evolve_selftest(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    """A microscopic analytic stand-in for the ``evolve`` runner.
+
+    Same genome params and same metric keys, but the objectives come
+    from a closed-form performance model (plus a small seeded noise
+    multiplier) instead of a simulation — milliseconds per trial.  The
+    landscape keeps the real trade-offs: crash-only protocols are fast
+    and cheap but score zero survivable faults, sharding buys throughput
+    sublinearly, batching trades tail latency for throughput, and bigger
+    meshes relieve congestion while costing quadratically more silicon.
+    Used by the engine's own tests and the CI evolve smoke so search
+    behavior (not simulator behavior) is what gets exercised.
+    """
+    import math
+
+    from repro.sim.rng import RngStream
+
+    protocol = str(params.get("protocol", "minbft"))
+    f = int(params.get("f", 1))
+    batch_size = int(params.get("batch_size", 1))
+    batch_inflight = int(params.get("batch_inflight", 1))
+    window = int(params.get("window", 32))
+    n_shards = int(params.get("n_shards", 2))
+    mesh = int(params.get("mesh", 8))
+    rejuv_period = float(params.get("rejuv_period", 0) or 0)
+    lease = bool(params.get("lease", 0))
+
+    replicas_for = {
+        "pbft": 3 * f + 1,
+        "minbft": 2 * f + 1,
+        "cft": f + 1,
+        "passive": f + 1,
+    }
+    byzantine_safe = protocol in ("pbft", "minbft")
+    n_replicas = n_shards * replicas_for[protocol]
+    if n_replicas > mesh * mesh:
+        # The analytic analogue of a placement failure.
+        feasible = False
+    else:
+        feasible = True
+
+    base_rate = {"pbft": 8.0, "minbft": 14.0, "cft": 20.0, "passive": 22.0}
+    batch_boost = 1.0 + 0.45 * (math.log2(batch_size) / 4.0) * (
+        0.5 + 0.5 * math.log2(max(batch_inflight, 1) * 2) / 4.0
+    )
+    window_util = window / (window + 24.0)
+    shard_scale = n_shards ** 0.85
+    congestion = 1.0 - 0.4 * min(1.0, n_replicas / (mesh * mesh))
+    rejuv_factor = 1.0 if rejuv_period == 0 else (
+        0.93 if rejuv_period < 60_000 else 0.97
+    )
+    lease_boost = 1.18 if lease else 1.0
+
+    stream = RngStream(seed, "campaign.evolve_selftest")
+    noise_tp = 1.0 + 0.02 * stream.normal(0.0, 1.0)
+    noise_lat = 1.0 + 0.02 * stream.normal(0.0, 1.0)
+
+    ops_per_sec = (
+        base_rate[protocol]
+        * shard_scale
+        * batch_boost
+        * window_util
+        * congestion
+        * rejuv_factor
+        * lease_boost
+        * noise_tp
+    )
+    # Queue-bound tail latency: grows with the ordered window (more
+    # queued ahead of you) and batch size, shrinks with leases; scaled
+    # to the tens-of-sim-seconds overload regime the real runner sees.
+    p99 = (
+        (300.0 * replicas_for[protocol] / 4.0)
+        * (1.0 + window / 16.0)
+        * (1.0 + batch_size / 12.0)
+        / congestion
+        / lease_boost
+        * noise_lat
+    )
+    tile_mge = 0.181
+    gate_mge = mesh * mesh * tile_mge + (
+        n_replicas * 0.0206 if protocol == "minbft" else 0.0
+    )
+    survivable = n_shards * f if byzantine_safe else 0
+    if not feasible:
+        ops_per_sec, p99 = 0.0, 0.0
+    return {
+        "ops": int(ops_per_sec),
+        "ops_per_sec": ops_per_sec,
+        "p99_latency_ms": p99,
+        "mean_latency_ms": p99 / 3.0,
+        "survivable_faults": survivable,
+        "gate_mge": gate_mge,
+        "replicas": n_replicas,
+        "shed": 0,
+        "failed_ops": 0,
+        "safe": 1,
+        "feasible": 1 if feasible else 0,
+    }
 
 
 @register_runner("selftest")

@@ -72,6 +72,17 @@ class CampaignSpec:
     trial_timeout: Optional[float] = 300.0
     max_retries: int = 1
     description: str = ""
+    #: Common-random-numbers mode.  When set, seed repetition *k* of
+    #: every parameter point derives its simulator seed from
+    #: ``(campaign_seed, "<namespace>:<k>")`` instead of the trial ID, so
+    #: all points share one seed per repetition.  Paired comparisons
+    #: (which configuration is better *under the same sample path?*)
+    #: then see variance-reduced differences, and two specs carrying the
+    #: same namespace and campaign seed evaluate any repeated parameter
+    #: point with identical ``(runner, params, seed)`` — the key the
+    #: executor's trial cache memoizes on.  The evolutionary driver
+    #: (:mod:`repro.evolve`) sets this on every generation's spec.
+    seed_namespace: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not self.name or "/" in self.name or self.name.startswith("."):
@@ -112,6 +123,7 @@ class CampaignSpec:
             "trial_timeout": self.trial_timeout,
             "max_retries": self.max_retries,
             "description": self.description,
+            "seed_namespace": self.seed_namespace,
         }
 
     @classmethod
@@ -135,6 +147,10 @@ class CampaignSpec:
             "n_seeds": self.n_seeds,
             "campaign_seed": self.campaign_seed,
         }
+        if self.seed_namespace is not None:
+            # Only hashed when set, so pre-existing campaign directories
+            # (written before the field existed) keep their identities.
+            content["seed_namespace"] = self.seed_namespace
         return hashlib.sha256(canonical_json(content).encode("utf-8")).hexdigest()[:16]
 
     # ------------------------------------------------------------------
@@ -165,12 +181,19 @@ class CampaignSpec:
                 identity = f"{spec_hash}:{canonical_json(point)}:{seed_index}"
                 digest = hashlib.sha256(identity.encode("utf-8")).hexdigest()[:10]
                 trial_id = f"t{index:04d}-{digest}"
+                if self.seed_namespace is None:
+                    seed = derive_trial_seed(self.campaign_seed, trial_id)
+                else:
+                    seed = derive_trial_seed(
+                        self.campaign_seed,
+                        f"{self.seed_namespace}:{seed_index}",
+                    )
                 trials.append(
                     TrialSpec(
                         trial_id=trial_id,
                         index=index,
                         seed_index=seed_index,
-                        seed=derive_trial_seed(self.campaign_seed, trial_id),
+                        seed=seed,
                         params=point,
                     )
                 )

@@ -44,6 +44,11 @@ class ResultStore:
         self.spec = spec
         self.directory = self.root / spec.name
         self._handle = None
+        # Successful trial IDs, built once by streaming the results file
+        # at open() and maintained incrementally by append().  None until
+        # open() runs (or a caller asks before opening, which falls back
+        # to a one-off scan).
+        self._completed: Optional[Set[str]] = None
 
     # ------------------------------------------------------------------
     @property
@@ -76,6 +81,7 @@ class ResultStore:
                 path = self.directory / name
                 if path.exists():
                     path.unlink()
+            self._completed = set()
         if self.spec_path.exists():
             existing = json.loads(self.spec_path.read_text(encoding="utf-8"))
             if existing.get("spec_hash") != self.spec.spec_hash():
@@ -89,6 +95,13 @@ class ResultStore:
             self.spec_path.write_text(
                 json.dumps(payload, sort_keys=True, indent=2) + "\n", encoding="utf-8"
             )
+        # Streaming resume: build the seen-trial-id set one line at a
+        # time (parse, extract, discard) rather than materializing the
+        # parsed records, so a multi-generation store with 10^5+ attempt
+        # records resumes in O(1) extra memory beyond the ID set itself
+        # — and later completed_ids() calls never re-read the file.
+        if self._completed is None:
+            self._completed = self._scan_completed()
         return self
 
     def close(self) -> None:
@@ -111,6 +124,8 @@ class ResultStore:
         self._handle.write(canonical_json(record) + "\n")
         self._handle.flush()
         os.fsync(self._handle.fileno())
+        if self._completed is not None and record.get("status") == "ok":
+            self._completed.add(record["trial_id"])
 
     def records(self) -> Iterator[Dict[str, Any]]:
         """All attempt records, oldest first; truncated tails are skipped."""
@@ -128,11 +143,35 @@ class ResultStore:
                     # attempt is simply lost and will be re-run.
                     continue
 
+    def _scan_completed(self) -> Set[str]:
+        """One streaming pass over the results file for successful IDs."""
+        seen: Set[str] = set()
+        if not self.results_path.exists():
+            return seen
+        with open(self.results_path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # truncated tail from a kill mid-append
+                if record.get("status") == "ok":
+                    seen.add(record["trial_id"])
+        return seen
+
     def completed_ids(self) -> Set[str]:
-        """Trial IDs that already have a successful record."""
-        return {
-            r["trial_id"] for r in self.records() if r.get("status") == "ok"
-        }
+        """Trial IDs that already have a successful record.
+
+        Served from the set open() built (and append() maintains), so
+        repeated calls — the sequential and evolutionary drivers ask
+        once per round/generation — cost O(completed) for the returned
+        copy, not a re-parse of the whole results file.
+        """
+        if self._completed is not None:
+            return set(self._completed)
+        return self._scan_completed()
 
     def ok_records(self) -> List[Dict[str, Any]]:
         """The first successful record per trial, ordered by trial ID.

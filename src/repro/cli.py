@@ -39,6 +39,12 @@ Commands
     per-shard-region domains advanced in lookahead-barrier windows,
     inline or across worker processes; ``--verify`` re-runs in the
     opposite mode and fails unless the summaries are byte-identical.
+``evolve``
+    Evolutionary design-space exploration (:mod:`repro.evolve`): an
+    NSGA-II loop over the protocol/batching/sharding/placement/
+    rejuvenation space with common random numbers, shared trial
+    memoization, and CI-bound early kills; writes the byte-stable
+    ``pareto.json`` / ``front.txt`` decision-support artifacts.
 """
 
 from __future__ import annotations
@@ -72,6 +78,7 @@ EXPERIMENTS = [
     ("P2", "perf: consensus batching + pipelined agreement", "bench_p2_consensus.py"),
     ("P3", "perf: conservative PDES, byte-identical parallel domains", "bench_p3_pdes.py"),
     ("P4", "perf: leased local reads with bounded staleness", "bench_p4_leased_reads.py"),
+    ("P5", "perf: evolutionary search reaches the Pareto front >=2x cheaper than sweeps", "bench_p5_evolve.py"),
 ]
 
 
@@ -420,6 +427,45 @@ def cmd_faultspace(args: argparse.Namespace) -> int:
     return 0 if summary["overall"]["outcomes"]["sdc"]["count"] == 0 else 1
 
 
+def cmd_evolve(args: argparse.Namespace) -> int:
+    """Run (or resume) the P5 evolutionary design-space exploration."""
+    from repro.evolve import EvolutionaryCampaign, EvolveConfig, render_front
+
+    base = {
+        "duration": args.duration,
+        "warmup": args.warmup,
+        "n_clients": args.n_clients,
+        "rate_per_client": args.rate,
+    }
+    try:
+        cfg = EvolveConfig(
+            name=args.name,
+            runner=args.runner,
+            strategy=args.strategy,
+            population=args.population,
+            generations=args.generations,
+            seeds_per_eval=args.seeds,
+            min_seeds=args.min_seeds if args.min_seeds is not None else args.seeds,
+            mutation_rate=args.mutation_rate,
+            crossover_rate=args.crossover_rate,
+            campaign_seed=args.campaign_seed,
+            workers=args.workers,
+            trial_timeout=args.trial_timeout,
+            base=base,
+        )
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    progress = None if args.quiet else print
+    campaign = EvolutionaryCampaign(cfg, Path(args.out), progress=progress)
+    summary = campaign.run(fresh=args.fresh)
+    print()
+    print(render_front(summary))
+    print(f"artifacts: {campaign.directory / 'pareto.json'}  "
+          f"{campaign.directory / 'front.txt'}")
+    return 0 if summary["front"] else 1
+
+
 def cmd_pdes(args: argparse.Namespace) -> int:
     """Run one conservative-PDES trial (P3), optionally cross-checking modes."""
     from repro.metrics.tables import Table
@@ -739,6 +785,47 @@ def build_parser() -> argparse.ArgumentParser:
     faultspace.add_argument("--quiet", action="store_true",
                             help="suppress per-trial progress lines")
     faultspace.set_defaults(fn=cmd_faultspace)
+
+    evolve = sub.add_parser(
+        "evolve",
+        help="evolutionary design-space exploration with Pareto decision support",
+    )
+    evolve.add_argument("--name", default="evolve",
+                        help="campaign name (artifact directory)")
+    evolve.add_argument("--runner", default="evolve",
+                        choices=["evolve", "evolve_selftest"],
+                        help="trial runner: full simulation or the analytic selftest")
+    evolve.add_argument("--strategy", default="nsga2",
+                        choices=["nsga2", "stratified"],
+                        help="nsga2 search or the stratified-random baseline")
+    evolve.add_argument("--population", type=int, default=12,
+                        help="individuals per generation")
+    evolve.add_argument("--generations", type=int, default=6)
+    evolve.add_argument("--seeds", type=int, default=2,
+                        help="CRN seed repetitions per individual")
+    evolve.add_argument("--min-seeds", type=int, default=None,
+                        help="repetitions before the CI-bound early kill "
+                             "(default: all, i.e. no racing)")
+    evolve.add_argument("--mutation-rate", type=float, default=0.25)
+    evolve.add_argument("--crossover-rate", type=float, default=0.9)
+    evolve.add_argument("--duration", type=float, default=90_000.0,
+                        help="sim ms measured per trial")
+    evolve.add_argument("--warmup", type=float, default=30_000.0)
+    evolve.add_argument("--n-clients", type=int, default=1000,
+                        help="modeled open-loop clients per trial")
+    evolve.add_argument("--rate", type=float, default=2e-4,
+                        help="ops per client per sim ms")
+    evolve.add_argument("--campaign-seed", type=int, default=0)
+    evolve.add_argument("--workers", type=int, default=1,
+                        help="parallel trial workers per generation")
+    evolve.add_argument("--trial-timeout", type=float, default=600.0)
+    evolve.add_argument("--out", default="campaigns",
+                        help="artifact root directory")
+    evolve.add_argument("--fresh", action="store_true",
+                        help="discard existing results for this name")
+    evolve.add_argument("--quiet", action="store_true",
+                        help="suppress per-trial progress lines")
+    evolve.set_defaults(fn=cmd_evolve)
 
     pdes = sub.add_parser(
         "pdes",

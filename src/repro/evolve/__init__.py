@@ -1,0 +1,71 @@
+"""Evolutionary design-space exploration over the resilience config space.
+
+``repro.evolve`` searches the protocol / fault-threshold / batching /
+window / sharding / placement / rejuvenation / lease space with an
+NSGA-II generation loop built on the campaign engine, and reports the
+Pareto front over four objectives — committed throughput, p99 latency,
+survivable simultaneous Byzantine faults, and silicon cost in gate
+equivalents — plus recommended operating points.  Common random
+numbers, shared trial memoization, and CI-bound early kills are what
+make it reach a reference front in a fraction of the trials a
+stratified-random sweep needs (the P5 bench's ≥2x gate).
+
+* :mod:`repro.evolve.genome` — the encoded space and seeded operators
+* :mod:`repro.evolve.fitness` — objective vectors, NSGA-II ranking
+* :mod:`repro.evolve.driver` — the resumable generation loop
+* :mod:`repro.evolve.pareto` — byte-stable front reports
+"""
+
+from repro.evolve.driver import CRN_NAMESPACE, EvolutionaryCampaign, EvolveConfig
+from repro.evolve.fitness import (
+    OBJECTIVES,
+    REFERENCE_POINT,
+    SCALES,
+    Fitness,
+    aggregate_fitness,
+    ci_dominated,
+    crowding_distance,
+    non_dominated_sort,
+    normalize_metrics,
+    rank_population,
+)
+from repro.evolve.genome import (
+    GENE_NAMES,
+    GENE_SPACE,
+    crossover,
+    genome_key,
+    mutate,
+    random_genome,
+    space_size,
+    stratified_genome,
+    validate_genome,
+)
+from repro.evolve.pareto import build_summary, render_front, write_outputs
+
+__all__ = [
+    "CRN_NAMESPACE",
+    "EvolutionaryCampaign",
+    "EvolveConfig",
+    "OBJECTIVES",
+    "REFERENCE_POINT",
+    "SCALES",
+    "Fitness",
+    "aggregate_fitness",
+    "ci_dominated",
+    "crowding_distance",
+    "non_dominated_sort",
+    "normalize_metrics",
+    "rank_population",
+    "GENE_NAMES",
+    "GENE_SPACE",
+    "crossover",
+    "genome_key",
+    "mutate",
+    "random_genome",
+    "space_size",
+    "stratified_genome",
+    "validate_genome",
+    "build_summary",
+    "render_front",
+    "write_outputs",
+]

@@ -1,0 +1,264 @@
+"""Multi-objective fitness: metric extraction, ranking, and CI bounds.
+
+Every evaluated genome gets a four-objective vector pulled from its
+trial summaries:
+
+* ``ops_per_sec``        — committed client throughput (maximize)
+* ``p99_latency_ms``     — tail latency of committed operations (minimize)
+* ``survivable_faults``  — how many simultaneous Byzantine replica
+  faults the configuration tolerates across all shards (maximize; 0 for
+  crash-only protocols — that is the intrusion-resilience axis of the
+  Pareto front)
+* ``gate_mge``           — provisioned silicon cost in millions of gate
+  equivalents, from :mod:`repro.hybrids.complexity` (minimize)
+
+Internally everything is *minimization* over vectors **normalized to
+[0, 1]** with fixed scales (:data:`SCALES`), so hypervolume against the
+fixed reference point ``(1, 1, 1, 1)`` is comparable across campaigns
+and generations.  Infeasible or unsafe configurations get the worst
+possible vector — exactly the reference point — so they contribute zero
+hypervolume and are dominated by every feasible design.
+
+The NSGA-II machinery (fast non-dominated sorting, crowding distance)
+lives here as pure functions over vectors; the driver composes them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.metrics.stats import ci95_half_width, dominates, mean
+
+#: Objective names in vector order, with their raw metric key and sense.
+OBJECTIVES: Tuple[Tuple[str, str, str], ...] = (
+    ("ops_per_sec", "ops_per_sec", "max"),
+    ("p99_latency_ms", "p99_latency_ms", "min"),
+    ("survivable_faults", "survivable_faults", "max"),
+    ("gate_mge", "gate_mge", "min"),
+)
+
+#: Fixed normalization scales (raw units).  A maximize objective at or
+#: above its scale normalizes to 0 (best); a minimize objective at or
+#: above its scale normalizes to 1 (worst).  Calibrated to bracket what
+#: the ``evolve`` runner's search space actually produces: committed
+#: throughput is ordered-window/latency limited to a few tens of ops/s,
+#: open-loop overload pushes queue-bound p99 to tens of sim-seconds,
+#: survivable faults max out at 4 shards x f=2, and a 10x10 mesh of
+#: softcore+MAC tiles with USIG hybrids lands under 20 MGE.
+SCALES: Dict[str, float] = {
+    "ops_per_sec": 60.0,
+    "p99_latency_ms": 20_000.0,
+    "survivable_faults": 8.0,
+    "gate_mge": 20.0,
+}
+
+#: Hypervolume reference point: nudged past the worst normalized corner
+#: so that a point sitting exactly on a worst face (e.g. a crash-only
+#: protocol's ``survivable_faults = 0``) still contributes volume along
+#: its good objectives instead of being clipped out entirely.
+REFERENCE_POINT: Tuple[float, ...] = (1.01,) * len(OBJECTIVES)
+
+#: Normalized vector assigned to infeasible/unsafe/unevaluated genomes:
+#: the worst corner (its hypervolume contribution is a negligible
+#: 0.01^d sliver, and every feasible design dominates it).
+PENALTY_VECTOR: Tuple[float, ...] = (1.0,) * len(OBJECTIVES)
+
+
+def _clip01(x: float) -> float:
+    return 0.0 if x < 0.0 else (1.0 if x > 1.0 else x)
+
+
+def normalize_metrics(metrics: Dict[str, Any]) -> Tuple[float, ...]:
+    """Map one trial's raw metrics to a normalized minimization vector.
+
+    A trial that reported itself infeasible (placement failure) or
+    unsafe (a shard lost agreement safety under the trial's conditions)
+    is not a usable design point at all, so it collapses to
+    :data:`PENALTY_VECTOR` regardless of its other numbers.
+    """
+    if not metrics.get("feasible", 1) or not metrics.get("safe", 1):
+        return PENALTY_VECTOR
+    vector: List[float] = []
+    for name, key, sense in OBJECTIVES:
+        scaled = float(metrics[key]) / SCALES[name]
+        if sense == "max":
+            vector.append(_clip01(1.0 - scaled))
+        else:
+            vector.append(_clip01(scaled))
+    return tuple(vector)
+
+
+@dataclass
+class Fitness:
+    """Aggregated fitness of one genome over its evaluated seeds.
+
+    ``vector`` is the mean normalized minimization vector; ``half_width``
+    the per-objective 95% CI half-widths over seeds (zero when only one
+    seed has run).  ``raw`` carries the per-objective raw means for
+    reporting.
+    """
+
+    vector: Tuple[float, ...]
+    half_width: Tuple[float, ...]
+    raw: Dict[str, float] = field(default_factory=dict)
+    n_seeds: int = 0
+    feasible: bool = True
+
+    def optimistic(self) -> Tuple[float, ...]:
+        """Best-case corner of the CI box (lower = better)."""
+        return tuple(
+            _clip01(v - h) for v, h in zip(self.vector, self.half_width)
+        )
+
+    def pessimistic(self) -> Tuple[float, ...]:
+        """Worst-case corner of the CI box."""
+        return tuple(
+            _clip01(v + h) for v, h in zip(self.vector, self.half_width)
+        )
+
+
+def aggregate_fitness(per_seed_metrics: Sequence[Dict[str, Any]]) -> Fitness:
+    """Combine per-seed trial metrics into one :class:`Fitness`.
+
+    With no successful trials (every attempt failed permanently) the
+    genome gets the penalty vector; it stays in the archive so the
+    search will not re-propose it for free.
+    """
+    if not per_seed_metrics:
+        return Fitness(
+            vector=PENALTY_VECTOR,
+            half_width=(0.0,) * len(OBJECTIVES),
+            raw={name: 0.0 for name, _, _ in OBJECTIVES},
+            n_seeds=0,
+            feasible=False,
+        )
+    vectors = [normalize_metrics(m) for m in per_seed_metrics]
+    feasible = any(v != PENALTY_VECTOR for v in vectors)
+    columns = list(zip(*vectors))
+    vector = tuple(mean(list(col)) for col in columns)
+    half_width = tuple(
+        ci95_half_width(list(col)) if len(col) > 1 else 0.0 for col in columns
+    )
+    raw = {
+        name: mean([float(m.get(key, 0.0)) for m in per_seed_metrics])
+        for name, key, _ in OBJECTIVES
+    }
+    return Fitness(
+        vector=vector,
+        half_width=half_width,
+        raw=raw,
+        n_seeds=len(per_seed_metrics),
+        feasible=feasible,
+    )
+
+
+def ci_dominated(candidate: Fitness, others: Sequence[Fitness]) -> bool:
+    """Is ``candidate`` dominated even at the CI-half-width bound?
+
+    True when some other genome's *pessimistic* (worst-case) vector
+    dominates the candidate's *optimistic* (best-case) vector — i.e. the
+    candidate loses even if every confidence interval breaks maximally
+    in its favor.  That is the early-kill criterion: spending the
+    remaining seed repetitions on such a genome cannot change any
+    selection decision, mirroring the interval-based pruning the
+    fault-space driver applies to its proportion strata.
+    """
+    best_case = candidate.optimistic()
+    for other in others:
+        if other is candidate:
+            continue
+        if dominates(other.pessimistic(), best_case):
+            return True
+    return False
+
+
+# ----------------------------------------------------------------------
+# NSGA-II machinery: pure functions over minimization vectors.
+# ----------------------------------------------------------------------
+
+def non_dominated_sort(vectors: Sequence[Tuple[float, ...]]) -> List[List[int]]:
+    """Fast non-dominated sorting: indices grouped into fronts.
+
+    Front 0 is the Pareto front of the input; front *k* is the Pareto
+    front after removing fronts ``< k``.  Deterministic: indices within
+    a front keep input order.
+    """
+    n = len(vectors)
+    dominated_by: List[List[int]] = [[] for _ in range(n)]
+    domination_count = [0] * n
+    for i in range(n):
+        for j in range(i + 1, n):
+            if dominates(vectors[i], vectors[j]):
+                dominated_by[i].append(j)
+                domination_count[j] += 1
+            elif dominates(vectors[j], vectors[i]):
+                dominated_by[j].append(i)
+                domination_count[i] += 1
+    fronts: List[List[int]] = [[i for i in range(n) if domination_count[i] == 0]]
+    current = fronts[0]
+    while current:
+        nxt: List[int] = []
+        for i in current:
+            for j in dominated_by[i]:
+                domination_count[j] -= 1
+                if domination_count[j] == 0:
+                    nxt.append(j)
+        if nxt:
+            fronts.append(sorted(nxt))
+        current = nxt
+    return fronts
+
+
+def crowding_distance(
+    vectors: Sequence[Tuple[float, ...]], front: Sequence[int]
+) -> Dict[int, float]:
+    """NSGA-II crowding distance for the members of one front.
+
+    Boundary points on each objective get infinite distance; interior
+    points accumulate the normalized gap between their neighbors.  A
+    larger distance means a less-crowded, more diversity-preserving
+    point.
+    """
+    distance = {i: 0.0 for i in front}
+    if len(front) <= 2:
+        return {i: float("inf") for i in front}
+    n_obj = len(vectors[front[0]])
+    for m in range(n_obj):
+        ordered = sorted(front, key=lambda i: (vectors[i][m], i))
+        lo = vectors[ordered[0]][m]
+        hi = vectors[ordered[-1]][m]
+        distance[ordered[0]] = float("inf")
+        distance[ordered[-1]] = float("inf")
+        span = hi - lo
+        if span <= 0.0:
+            continue
+        for pos in range(1, len(ordered) - 1):
+            i = ordered[pos]
+            if distance[i] == float("inf"):
+                continue
+            gap = vectors[ordered[pos + 1]][m] - vectors[ordered[pos - 1]][m]
+            distance[i] += gap / span
+    return distance
+
+
+@dataclass(frozen=True)
+class RankedIndex:
+    """Selection metadata for one population slot."""
+
+    index: int
+    rank: int
+    crowding: float
+
+
+def rank_population(
+    vectors: Sequence[Tuple[float, ...]],
+) -> List[RankedIndex]:
+    """Rank + crowding for every vector, in input order."""
+    fronts = non_dominated_sort(vectors)
+    ranked: List[Optional[RankedIndex]] = [None] * len(vectors)
+    for rank, front in enumerate(fronts):
+        crowd = crowding_distance(vectors, front)
+        for i in front:
+            ranked[i] = RankedIndex(index=i, rank=rank, crowding=crowd[i])
+    return [r for r in ranked if r is not None]

@@ -1,0 +1,138 @@
+"""Config-space encoding and seeded genetic operators.
+
+A **genome** is a plain JSON dict with one entry per design knob of the
+resilience configuration space the ROADMAP calls out: consensus protocol
+x fault threshold x batch config x client window x shard count x
+placement geometry x rejuvenation cadence x read-lease choice.  The
+space is the cartesian product of :data:`GENE_SPACE` — tens of
+thousands of points, far beyond what grid sweeps (`repro.campaign`'s
+native mode) can afford — which is exactly why the evolutionary driver
+exists.
+
+Genes are either *ordinal* (numeric ladders where neighbors are similar
+configurations — mutation steps one rung for locality) or *categorical*
+(mutation resamples uniformly among the alternatives).  All operators
+draw from a caller-provided :class:`~repro.sim.rng.RngStream`, so the
+driver's per-generation seeding (``evolve-gen:<g>``, see
+:func:`repro.sim.rng.derive_generation_seed`) makes every trajectory a
+pure function of the campaign seed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+from repro.campaign.spec import canonical_json
+from repro.sim.rng import RngStream
+
+#: The searched design space: gene name -> (kind, allowed values).
+#: ``mesh`` is the placement dimension — the square chip geometry the
+#: shard regions are packed onto (bigger meshes ease placement and NoC
+#: congestion but cost proportionally more provisioned tiles).
+#: ``rejuv_period`` of 0 disables proactive rejuvenation.
+GENE_SPACE: Dict[str, Tuple[str, List[Any]]] = {
+    "protocol": ("categorical", ["pbft", "minbft", "cft", "passive"]),
+    "f": ("ordinal", [1, 2]),
+    "batch_size": ("ordinal", [1, 4, 8, 16]),
+    "batch_inflight": ("ordinal", [1, 2, 4, 8]),
+    "window": ("ordinal", [8, 32, 128]),
+    "n_shards": ("ordinal", [1, 2, 4]),
+    "mesh": ("ordinal", [6, 8, 10]),
+    "rejuv_period": ("ordinal", [0, 30_000.0, 90_000.0]),
+    "lease": ("categorical", [0, 1]),
+}
+
+#: Gene evaluation order — sorted so genome dicts, spec axes, and
+#: canonical keys all agree without callers having to care.
+GENE_NAMES: List[str] = sorted(GENE_SPACE)
+
+Genome = Dict[str, Any]
+
+
+def space_size() -> int:
+    """Total number of distinct genomes in :data:`GENE_SPACE`."""
+    size = 1
+    for _, values in GENE_SPACE.values():
+        size *= len(values)
+    return size
+
+
+def genome_key(genome: Genome) -> str:
+    """Canonical identity of a genome (order-independent JSON)."""
+    return canonical_json({name: genome[name] for name in GENE_NAMES})
+
+
+def validate_genome(genome: Genome) -> Genome:
+    """Check every gene is present with an allowed value; returns it."""
+    for name in GENE_NAMES:
+        kind_values = GENE_SPACE[name]
+        if name not in genome:
+            raise ValueError(f"genome is missing gene {name!r}")
+        if genome[name] not in kind_values[1]:
+            raise ValueError(
+                f"gene {name!r} has value {genome[name]!r}, "
+                f"allowed: {kind_values[1]}"
+            )
+    extra = set(genome) - set(GENE_NAMES)
+    if extra:
+        raise ValueError(f"genome has unknown genes {sorted(extra)}")
+    return genome
+
+
+def random_genome(rng: RngStream) -> Genome:
+    """Draw one genome uniformly from the space."""
+    return {name: rng.choice(GENE_SPACE[name][1]) for name in GENE_NAMES}
+
+
+def stratified_genome(rng: RngStream, stratum_index: int) -> Genome:
+    """One draw of the stratified-random baseline.
+
+    The baseline the P5 bench measures against: the first gene axis
+    (protocol, the dominant architectural choice) is covered round-robin
+    by ``stratum_index`` while every other gene is uniform — classical
+    stratified sampling, strictly stronger than naive uniform sampling
+    and therefore an honest comparison point for the genetic driver.
+    """
+    genome = random_genome(rng)
+    protocols = GENE_SPACE["protocol"][1]
+    genome["protocol"] = protocols[stratum_index % len(protocols)]
+    return genome
+
+
+def mutate(genome: Genome, rng: RngStream, rate: float) -> Genome:
+    """Return a mutated copy: each gene flips with probability ``rate``.
+
+    Ordinal genes take one step up or down the value ladder (clamped at
+    the ends, and never a no-op), preserving locality; categorical genes
+    resample uniformly among the *other* values.
+    """
+    if not 0.0 <= rate <= 1.0:
+        raise ValueError(f"mutation rate must be in [0, 1], got {rate}")
+    child = dict(genome)
+    for name in GENE_NAMES:
+        if not rng.bernoulli(rate):
+            continue
+        kind, values = GENE_SPACE[name]
+        if len(values) < 2:
+            continue
+        if kind == "ordinal":
+            i = values.index(child[name])
+            if i == 0:
+                j = 1
+            elif i == len(values) - 1:
+                j = i - 1
+            else:
+                j = i + rng.choice([-1, 1])
+            child[name] = values[j]
+        else:
+            alternatives = [v for v in values if v != child[name]]
+            child[name] = rng.choice(alternatives)
+    return child
+
+
+def crossover(a: Genome, b: Genome, rng: RngStream) -> Genome:
+    """Uniform crossover: each gene comes from parent ``a`` or ``b``."""
+    return {
+        name: (a[name] if rng.bernoulli(0.5) else b[name])
+        for name in GENE_NAMES
+    }

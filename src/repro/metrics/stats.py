@@ -12,12 +12,17 @@ outcome reporting and its CI-driven early-stopping rule
 small n and extreme p), Clopper-Pearson is the conservative exact
 interval used for one-sided dependability bounds (e.g. the MTTF lower
 bound from an observed-zero-SDC stratum).
+
+The multi-objective helpers (:func:`dominates`, :func:`pareto_front`,
+:func:`hypervolume`) back the evolutionary design-space explorer
+(:mod:`repro.evolve`): all three use the **minimization** convention, so
+callers negate maximization objectives before handing vectors in.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 Z_95 = 1.959963984540054  # two-sided 95% normal quantile
 
@@ -219,6 +224,87 @@ def binomial_half_width(
     """Half the width of the chosen binomial interval (stopping metric)."""
     low, high = binomial_interval(successes, n, confidence, method)
     return (high - low) / 2.0
+
+
+def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """Pareto dominance under **minimization**: ``a`` dominates ``b``.
+
+    True iff ``a`` is no worse than ``b`` in every objective and strictly
+    better in at least one.  Callers with maximization objectives negate
+    them first (:mod:`repro.evolve.fitness` does exactly that), keeping
+    this layer sign-convention-free.
+    """
+    if len(a) != len(b):
+        raise ValueError(f"objective vectors differ in length ({len(a)} vs {len(b)})")
+    better = False
+    for ai, bi in zip(a, b):
+        if ai > bi:
+            return False
+        if ai < bi:
+            better = True
+    return better
+
+
+def pareto_front(points: Sequence[Sequence[float]]) -> List[int]:
+    """Indices of the non-dominated points (minimization), in input order.
+
+    Duplicate points are all kept: a point never dominates an exact copy
+    of itself (dominance requires strict improvement somewhere), and the
+    evolutionary driver relies on that to keep seed-repeated genomes
+    visible in the front report.
+    """
+    front: List[int] = []
+    for i, p in enumerate(points):
+        if not any(dominates(q, p) for j, q in enumerate(points) if j != i):
+            front.append(i)
+    return front
+
+
+def hypervolume(
+    points: Sequence[Sequence[float]], reference: Sequence[float]
+) -> float:
+    """Volume dominated by ``points`` and bounded by ``reference``
+    (minimization): the standard front-quality indicator.
+
+    Implemented by recursive slicing on the last objective — exact for
+    any dimension, O(n² · d) per call, which is plenty for the front
+    sizes campaigns produce (tens of points).  The 2D and 3D cases are
+    pinned against hand-computed rectangle/box sums in the test suite.
+    Points that do not strictly dominate the reference contribute
+    nothing; an empty (or fully out-of-bounds) front has volume 0.
+    """
+    dim = len(reference)
+    if dim < 1:
+        raise ValueError("reference point must have at least one objective")
+    clipped = []
+    for p in points:
+        if len(p) != dim:
+            raise ValueError(
+                f"point dimensionality {len(p)} != reference {dim}"
+            )
+        if all(pi < ri for pi, ri in zip(p, reference)):
+            clipped.append(tuple(p))
+    return _hv(sorted(set(clipped)), tuple(reference))
+
+
+def _hv(points: List[Tuple[float, ...]], reference: Tuple[float, ...]) -> float:
+    """Recursive hypervolume of mutually in-bounds, deduplicated points."""
+    if not points:
+        return 0.0
+    if len(reference) == 1:
+        return reference[0] - min(p[0] for p in points)
+    # Sweep the last objective from best (smallest) upward; each slab
+    # between consecutive cut values contributes the lower-dimensional
+    # hypervolume of the points alive in that slab times its thickness.
+    cuts = sorted({p[-1] for p in points})
+    total = 0.0
+    for i, z in enumerate(cuts):
+        upper = cuts[i + 1] if i + 1 < len(cuts) else reference[-1]
+        if upper <= z:
+            continue
+        slab = [p[:-1] for p in points if p[-1] <= z]
+        total += (upper - z) * _hv(sorted(set(slab)), reference[:-1])
+    return total
 
 
 def summarize(values: Sequence[float]) -> Dict[str, float]:

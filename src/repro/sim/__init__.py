@@ -23,7 +23,13 @@ insertion order.
 
 from repro.sim.events import EventCancelled, ScheduledEvent
 from repro.sim.process import Condition, Process
-from repro.sim.rng import RngRegistry, RngStream, derive_trial_seed
+from repro.sim.rng import (
+    RngRegistry,
+    RngStream,
+    derive_domain_seed,
+    derive_generation_seed,
+    derive_trial_seed,
+)
 from repro.sim.simulator import SimTime, Simulator
 from repro.sim.process import spawn
 from repro.sim.timers import PeriodicTimer, Timeout
@@ -39,6 +45,8 @@ __all__ = [
     "SimTime",
     "Simulator",
     "Timeout",
+    "derive_domain_seed",
+    "derive_generation_seed",
     "derive_trial_seed",
     "spawn",
 ]

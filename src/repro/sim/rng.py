@@ -60,6 +60,26 @@ def derive_domain_seed(trial_seed: int, domain_id: str) -> int:
     return int.from_bytes(digest[:8], "big") >> 1
 
 
+def derive_generation_seed(campaign_seed: int, generation: int) -> int:
+    """Derive the genetic-operator seed for one evolutionary generation.
+
+    The evolve driver (:mod:`repro.evolve`) draws mutation, crossover,
+    and tournament decisions for generation ``g`` from a stream seeded
+    here.  The ``evolve-gen:`` prefix keeps the space disjoint from
+    component streams (``_derive_seed``), campaign trial seeds
+    (``campaign-trial:``), and PDES domain seeds (``pdes-domain:``), so
+    the search trajectory never shares randomness with the simulations
+    it steers — and is itself a pure function of ``(campaign_seed, g)``,
+    which is what makes interrupted evolutionary campaigns resumable.
+    Truncated to 63 bits for the same JSON round-trip reason as trial
+    seeds.
+    """
+    digest = hashlib.sha256(
+        f"evolve-gen:{campaign_seed}:{generation}".encode("utf-8")
+    ).digest()
+    return int.from_bytes(digest[:8], "big") >> 1
+
+
 class RngStream:
     """A seeded random stream for one named component.
 

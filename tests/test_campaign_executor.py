@@ -235,3 +235,102 @@ def test_workers_must_be_positive(tmp_path):
     store = ResultStore(tmp_path, spec).open()
     with pytest.raises(ValueError):
         CampaignExecutor(spec, store, workers=0)
+
+
+# ----------------------------------------------------------------------
+# Trial memoization (the evolve driver's cross-generation cache)
+# ----------------------------------------------------------------------
+
+def crn_spec(tmp_name, **overrides):
+    # Zip-mode spec with duplicated points under a seed namespace: the
+    # duplicates share (runner, params, seed) and must be deduplicated.
+    defaults = dict(
+        name=tmp_name,
+        runner="selftest",
+        mode="zip",
+        axes={"a": [1, 1, 2, 2]},
+        base={"draws": 20},
+        n_seeds=2,
+        seed_namespace="crn-test",
+        trial_timeout=30.0,
+    )
+    defaults.update(overrides)
+    return CampaignSpec(**defaults)
+
+
+def test_cache_dedupes_identical_work_inline(tmp_path):
+    spec = crn_spec("cache-inline")
+    store = ResultStore(tmp_path, spec).open()
+    cache = {}
+    stats = CampaignExecutor(spec, store, cache=cache).run()
+    # 8 trials, but only 2 distinct points x 2 namespaced seeds of work.
+    assert stats.succeeded == 8
+    assert stats.executed_attempts == 4
+    assert stats.cache_hits == 4
+    assert len(cache) == 4
+    cached = [r for r in store.records() if r.get("cached")]
+    assert len(cached) == 4
+    assert all(r["status"] == "ok" and r["wall_time_s"] == 0.0 for r in cached)
+
+
+def test_cache_dedupes_identical_work_in_pool(tmp_path):
+    spec = crn_spec("cache-pool")
+    store = ResultStore(tmp_path, spec).open()
+    stats = CampaignExecutor(spec, store, workers=2, cache={}).run()
+    assert stats.succeeded == 8
+    assert stats.executed_attempts == 4
+    assert stats.cache_hits == 4
+
+
+def test_cache_hit_replays_identical_metrics(tmp_path):
+    spec = crn_spec("cache-metrics")
+    store = ResultStore(tmp_path, spec).open()
+    CampaignExecutor(spec, store, cache={}).run()
+    by_key = {}
+    for record in store.ok_records():
+        key = (json.dumps(record["params"], sort_keys=True), record["seed"])
+        by_key.setdefault(key, []).append(record["metrics"])
+    assert len(by_key) == 4
+    # Within a run, duplicate records collapse to one ok record per id;
+    # across ids sharing a key, metrics are identical.
+    all_metrics = [
+        r["metrics"]
+        for r in store.records()
+        if r["status"] == "ok"
+    ]
+    assert len(all_metrics) == 8
+    for record in store.records():
+        if record["status"] != "ok":
+            continue
+        key = (json.dumps(record["params"], sort_keys=True), record["seed"])
+        assert record["metrics"] == by_key[key][0]
+
+
+def test_cache_shared_across_executors_skips_execution(tmp_path):
+    cache = {}
+    first = crn_spec("cache-gen0")
+    store0 = ResultStore(tmp_path / "g0", first).open()
+    CampaignExecutor(first, store0, cache=cache).run()
+    # A second campaign re-proposing the same points under the same
+    # namespace (the revisited-genome case) costs zero executions.
+    second = crn_spec("cache-gen1", axes={"a": [2, 1]})
+    store1 = ResultStore(tmp_path / "g1", second).open()
+    stats = CampaignExecutor(second, store1, cache=cache).run()
+    assert stats.succeeded == 4
+    assert stats.executed_attempts == 0
+    assert stats.cache_hits == 4
+
+
+def test_private_cache_does_not_leak_across_executors(tmp_path):
+    # Without an explicit shared cache each executor still memoizes
+    # within its own run, but a second campaign gets no hits.
+    first = crn_spec("cache-priv0")
+    store0 = ResultStore(tmp_path / "g0", first).open()
+    stats0 = CampaignExecutor(first, store0).run()
+    assert stats0.executed_attempts == 4
+    assert stats0.cache_hits == 4
+    second = crn_spec("cache-priv1", axes={"a": [1, 2]})
+    store1 = ResultStore(tmp_path / "g1", second).open()
+    stats1 = CampaignExecutor(second, store1).run()
+    assert stats1.cache_hits == 0
+    assert stats1.executed_attempts == 4

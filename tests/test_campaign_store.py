@@ -105,3 +105,50 @@ def test_fresh_discards_previous_results(tmp_path):
     fresh = ResultStore(tmp_path, changed).open(fresh=True)
     assert fresh.completed_ids() == set()
     assert json.loads(fresh.spec_path.read_text())["spec_hash"] == changed.spec_hash()
+
+
+def test_open_maintains_completed_set_incrementally(tmp_path):
+    spec = make_spec()
+    trials = spec.trials()
+    store = ResultStore(tmp_path, spec).open()
+    assert store.completed_ids() == set()
+    store.append(record_for(trials[0]))
+    assert trials[0].trial_id in store.completed_ids()
+    store.append(record_for(trials[1], status="failed"))
+    assert trials[1].trial_id not in store.completed_ids()
+    store.append(record_for(trials[1]))
+    assert trials[1].trial_id in store.completed_ids()
+
+
+def test_completed_ids_served_from_memory_not_rescans(tmp_path):
+    # The streaming-resume contract: after open(), membership queries
+    # never re-read the results file.  Proof: remove the file and the
+    # set is still served.
+    spec = make_spec()
+    trials = spec.trials()
+    store = ResultStore(tmp_path, spec).open()
+    store.append(record_for(trials[0]))
+    store.close()
+    store.results_path.unlink()
+    assert store.completed_ids() == {trials[0].trial_id}
+
+
+def test_completed_ids_returns_a_copy(tmp_path):
+    spec = make_spec()
+    store = ResultStore(tmp_path, spec).open()
+    store.append(record_for(spec.trials()[0]))
+    leaked = store.completed_ids()
+    leaked.add("t9999-bogus")
+    assert "t9999-bogus" not in store.completed_ids()
+
+
+def test_reopen_streams_previous_results_once(tmp_path):
+    spec = make_spec()
+    trials = spec.trials()
+    first = ResultStore(tmp_path, spec).open()
+    for trial in trials:
+        first.append(record_for(trial))
+    first.close()
+    reopened = ResultStore(tmp_path, spec).open()
+    assert reopened.completed_ids() == {t.trial_id for t in trials}
+    assert reopened.attempt_count() == len(trials)

@@ -415,3 +415,62 @@ def test_registry_dump_load_round_trip():
 def test_registry_load_rejects_unknown_type():
     with pytest.raises(ValueError):
         MetricsRegistry().load({"x": {"type": "sketch", "value": 1}})
+
+
+# ----------------------------------------------------------------------
+# Pareto helpers (minimization vectors)
+# ----------------------------------------------------------------------
+
+def test_dominates_requires_no_worse_everywhere_and_better_somewhere():
+    from repro.metrics.stats import dominates
+
+    assert dominates((1.0, 1.0), (2.0, 2.0))
+    assert dominates((1.0, 2.0), (2.0, 2.0))
+    assert not dominates((1.0, 3.0), (2.0, 2.0))  # trade-off
+    assert not dominates((2.0, 2.0), (2.0, 2.0))  # equal is not better
+    assert not dominates((2.0, 2.0), (1.0, 1.0))
+
+
+def test_pareto_front_keeps_trade_offs_and_duplicates():
+    from repro.metrics.stats import pareto_front
+
+    points = [(1.0, 2.0), (2.0, 1.0), (2.0, 2.0), (1.0, 2.0)]
+    assert pareto_front(points) == [0, 1, 3]
+
+
+def test_pareto_front_trivial_cases():
+    from repro.metrics.stats import pareto_front
+
+    assert pareto_front([]) == []
+    assert pareto_front([(3.0, 4.0)]) == [0]
+
+
+def test_hypervolume_hand_computed_2d():
+    from repro.metrics.stats import hypervolume
+
+    # Staircase front: 3x3 + 2x2 + 1x1 disjoint slabs = 6.
+    front = [(1.0, 3.0), (2.0, 2.0), (3.0, 1.0)]
+    assert hypervolume(front, (4.0, 4.0)) == pytest.approx(6.0)
+    assert hypervolume([(1.0, 1.0)], (2.0, 2.0)) == pytest.approx(1.0)
+
+
+def test_hypervolume_hand_computed_3d_and_duplicates():
+    from repro.metrics.stats import hypervolume
+
+    assert hypervolume([(1.0, 1.0, 1.0)], (3.0, 3.0, 3.0)) == pytest.approx(8.0)
+    # Duplicates add no volume.
+    assert hypervolume(
+        [(1.0, 1.0), (1.0, 1.0)], (2.0, 2.0)
+    ) == pytest.approx(1.0)
+
+
+def test_hypervolume_edge_cases():
+    from repro.metrics.stats import hypervolume
+
+    assert hypervolume([], (1.0, 1.0)) == 0.0
+    # A point on the reference boundary contributes nothing.
+    assert hypervolume([(2.0, 2.0)], (2.0, 2.0)) == 0.0
+    # Dominated points do not inflate the volume.
+    assert hypervolume(
+        [(1.0, 1.0), (1.5, 1.5)], (2.0, 2.0)
+    ) == pytest.approx(1.0)
