@@ -357,9 +357,19 @@ class EvolutionaryCampaign:
             if t.seed_index < config.min_seeds
         }
         stats1 = executor.run(select=stage1)
+        # The kill decision must be a pure function of stage-1 data.  The
+        # shared memo can already hold later repetitions of a genome — a
+        # resumed store re-seeds every ok record above, and a genome fully
+        # evaluated in an earlier generation keeps all its seeds cached —
+        # and letting those leak into stage-1 fitness would make the kill
+        # set, and with it the whole trajectory, depend on execution
+        # history instead of the campaign seed alone.
         fits = [
-            self._fitness_of(spec, position_trials)
-            for position_trials in (by_position[i] for i in range(len(genomes)))
+            self._fitness_of(
+                spec,
+                [t for t in by_position[i] if t.seed_index < config.min_seeds],
+            )
+            for i in range(len(genomes))
         ]
         killed: Set[int] = set()
         if config.min_seeds < config.seeds_per_eval:

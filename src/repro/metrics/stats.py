@@ -267,9 +267,13 @@ def hypervolume(
     (minimization): the standard front-quality indicator.
 
     Implemented by recursive slicing on the last objective — exact for
-    any dimension, O(n² · d) per call, which is plenty for the front
-    sizes campaigns produce (tens of points).  The 2D and 3D cases are
-    pinned against hand-computed rectangle/box sums in the test suite.
+    any dimension, but each of the up-to-``n`` slabs recomputes a
+    ``(d-1)``-dimensional hypervolume, so the worst case grows like
+    O(n^d).  That is plenty for the front sizes campaigns produce (tens
+    of points at d ≤ 4); larger fronts or higher dimension want a
+    dedicated algorithm (WFG, HSO with memoization, …).  The 2D and 3D
+    cases are pinned against hand-computed rectangle/box sums in the
+    test suite.
     Points that do not strictly dominate the reference contribute
     nothing; an empty (or fully out-of-bounds) front has volume 0.
     """

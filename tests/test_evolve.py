@@ -309,6 +309,38 @@ def test_resume_replays_for_free_and_reproduces_artifacts(tmp_path):
         assert path.read_bytes() == content
 
 
+@pytest.mark.parametrize(
+    "campaign_seed,population,seeds_per_eval",
+    [(1, 8, 2), (2, 6, 3), (3, 6, 3), (7, 8, 3)],
+)
+def test_resume_is_byte_identical_under_early_kill_racing(
+    tmp_path, campaign_seed, population, seeds_per_eval
+):
+    """Resume with racing active (min_seeds < seeds_per_eval) must not
+    change the kill set: on resume the memo already holds stage-2 seeds,
+    and if they leaked into stage-1 fitness the trajectory would diverge
+    (or crash on a spec mismatch against the existing generation dirs)."""
+    cfg = small_config(
+        campaign_seed=campaign_seed,
+        population=population,
+        seeds_per_eval=seeds_per_eval,
+        min_seeds=1,
+    )
+    first = EvolutionaryCampaign(cfg, tmp_path).run()
+    results_before = {
+        p: p.read_bytes()
+        for p in (tmp_path / cfg.name).glob("g*/results.jsonl")
+    }
+    assert results_before
+    resumed = EvolutionaryCampaign(cfg, tmp_path).run()
+    assert json.dumps(resumed, sort_keys=True) == json.dumps(
+        first, sort_keys=True
+    )
+    # Same kill set, same stage-2 trials: the stores did not grow.
+    for path, content in results_before.items():
+        assert path.read_bytes() == content
+
+
 def test_changed_seed_changes_the_trajectory(tmp_path):
     base = EvolutionaryCampaign(small_config(), tmp_path / "a").run()
     other = EvolutionaryCampaign(
